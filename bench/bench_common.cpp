@@ -1,0 +1,73 @@
+#include "bench_common.hpp"
+
+#include <cstdio>
+
+#include "support/check.hpp"
+
+namespace olb::bench {
+
+std::unique_ptr<bb::BBWorkload> make_bb(int index, int jobs, int machines) {
+  return std::make_unique<bb::BBWorkload>(
+      bb::FlowshopInstance::ta20x20_scaled(index, jobs, machines),
+      bb::BoundKind::kOneMachine, bb::CostModel{});
+}
+
+std::unique_ptr<uts::UtsWorkload> make_uts(std::uint32_t root_seed, int b0, double q) {
+  uts::Params p;
+  p.shape = uts::TreeShape::kBinomial;
+  p.hash = uts::HashMode::kFast;
+  p.b0 = b0;
+  p.q = q;
+  p.m = 2;
+  p.root_seed = root_seed;
+  return std::make_unique<uts::UtsWorkload>(p, uts::CostModel{});
+}
+
+namespace {
+lb::RunConfig common_config(lb::Strategy s, int n, std::uint64_t seed, int dmax,
+                            std::uint64_t chunk) {
+  lb::RunConfig c;
+  c.strategy = s;
+  c.num_peers = n;
+  c.dmax = dmax;
+  c.seed = seed;
+  c.net = lb::paper_network(n);
+  c.chunk_units = chunk;
+  return c;
+}
+}  // namespace
+
+lb::RunConfig bb_config(lb::Strategy s, int n, std::uint64_t seed, int dmax) {
+  return common_config(s, n, seed, dmax, Defaults::kChunkBB);
+}
+
+lb::RunConfig uts_config(lb::Strategy s, int n, std::uint64_t seed, int dmax) {
+  return common_config(s, n, seed, dmax, Defaults::kChunkUTS);
+}
+
+lb::RunMetrics run_checked(lb::Workload& workload, const lb::RunConfig& config,
+                           const char* what) {
+  const auto metrics = lb::run_distributed(workload, config);
+  if (!metrics.ok) {
+    std::fprintf(stderr, "FATAL: run did not complete cleanly: %s (%s, n=%d)\n",
+                 what, lb::strategy_name(config.strategy), config.num_peers);
+    std::abort();
+  }
+  return metrics;
+}
+
+double sequential_seconds(lb::Workload& workload) {
+  return lb::run_sequential(workload).exec_seconds;
+}
+
+void print_preamble(const char* experiment, const std::string& notes) {
+  std::printf("# %s\n", experiment);
+  std::printf("# Reproduction of: Vu, Derbel, Ali, Bendjoudi, Melab — "
+              "\"Overlay-Centric Load Balancing\" (CLUSTER 2012)\n");
+  std::printf("# Substrate: deterministic cluster simulation; workloads scaled "
+              "(see DESIGN.md / EXPERIMENTS.md).\n");
+  if (!notes.empty()) std::printf("# %s\n", notes.c_str());
+  std::printf("\n");
+}
+
+}  // namespace olb::bench

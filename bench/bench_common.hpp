@@ -1,0 +1,67 @@
+// Shared infrastructure for the paper-reproduction bench harnesses.
+//
+// Every binary in bench/ regenerates one table or figure of the paper.
+// Because the substrate is a simulator (see DESIGN.md §2), workloads are
+// scaled: the flowshop instances are the leading jobs x machines submatrices
+// of the genuine Taillard 20x20 instances, and UTS trees are near-critical
+// binomial trees of 10^6..10^8 nodes. Flags on every binary let you change
+// scales, trials and instance sizes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "bb/bb_work.hpp"
+#include "lb/driver.hpp"
+#include "support/flags.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+#include "uts/uts_work.hpp"
+
+namespace olb::bench {
+
+/// Calibrated defaults (see EXPERIMENTS.md "Calibration").
+struct Defaults {
+  // B&B instance families.
+  static constexpr int kSmallJobs = 12;     ///< Table I/II, Figs 1-3
+  static constexpr int kSmallMachines = 8;
+  static constexpr int kBigJobs = 13;       ///< Fig 4 / Fig 5 (Ta21s)
+  static constexpr int kBigMachines = 8;
+  static constexpr int kBig23Jobs = 14;     ///< Fig 4 / Fig 5 (Ta23s)
+
+  // UTS instances (binomial, m=2, q near critical).
+  static constexpr double kUtsQ = 0.49995;
+  static constexpr int kUtsB0 = 2000;
+  static constexpr std::uint32_t kUtsBigSeed = 8;    ///< ~18.5M nodes
+  static constexpr std::uint32_t kUtsSmallSeed = 1;  ///< ~6.9M nodes
+
+  static constexpr std::uint64_t kChunkBB = 32;
+  static constexpr std::uint64_t kChunkUTS = 64;
+};
+
+/// B&B workload on the scaled analogue of Ta(21+index).
+std::unique_ptr<bb::BBWorkload> make_bb(int index, int jobs, int machines);
+
+/// UTS workload (binomial, fast hash) with the calibrated shape.
+std::unique_ptr<uts::UtsWorkload> make_uts(std::uint32_t root_seed,
+                                           int b0 = Defaults::kUtsB0,
+                                           double q = Defaults::kUtsQ);
+
+/// Baseline RunConfig for a strategy at a scale (paper network layout,
+/// calibrated chunk size for the workload kind).
+lb::RunConfig bb_config(lb::Strategy s, int n, std::uint64_t seed, int dmax = 10);
+lb::RunConfig uts_config(lb::Strategy s, int n, std::uint64_t seed, int dmax = 10);
+
+/// Runs and aborts loudly if the protocol failed to complete — a bench must
+/// never silently report a broken run.
+lb::RunMetrics run_checked(lb::Workload& workload, const lb::RunConfig& config,
+                           const char* what);
+
+/// Sequential simulated time (seconds) of a workload, for PE columns.
+double sequential_seconds(lb::Workload& workload);
+
+/// Common header printed by every bench binary.
+void print_preamble(const char* experiment, const std::string& notes);
+
+}  // namespace olb::bench

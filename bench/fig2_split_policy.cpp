@@ -1,0 +1,69 @@
+// Fig. 2 — the subtree-proportional work-sharing policy vs classical
+// steal-half on the same TD(dmax=10) overlay:
+//   top-left : execution time on the 10 B&B instances at 200 peers,
+//   top-right: total work requests injected into the network,
+//   bottom   : UTS execution time as a function of n = 16..128.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace olb;
+using namespace olb::bench;
+
+int main(int argc, char** argv) {
+  Flags flags;
+  flags.define("peers", "200", "cluster size for the B&B part")
+      .define("jobs", std::to_string(Defaults::kSmallJobs), "flowshop jobs")
+      .define("machines", std::to_string(Defaults::kSmallMachines), "flowshop machines")
+      .define("uts_seed", std::to_string(Defaults::kUtsSmallSeed), "UTS root seed")
+      .define("uts_scales", "16,32,48,64,80,96,112,128", "UTS peer counts")
+      .define("seed", "1", "run seed")
+      .define("csv", "false", "emit CSV instead of aligned tables");
+  if (!flags.parse(argc, argv)) return 0;
+  const int n = static_cast<int>(flags.get_int("peers"));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  const bool csv = flags.get_bool("csv");
+
+  print_preamble("Fig 2: subtree-proportional vs steal-half (TD, dmax=10)", "");
+
+  Table bb_table({"instance", "prop_sec", "half_sec", "prop_requests", "half_requests"});
+  for (int idx = 0; idx < 10; ++idx) {
+    double secs[2];
+    std::uint64_t reqs[2];
+    for (int policy = 0; policy < 2; ++policy) {
+      auto workload = make_bb(idx, static_cast<int>(flags.get_int("jobs")),
+                              static_cast<int>(flags.get_int("machines")));
+      auto config = bb_config(lb::Strategy::kOverlayTD, n, seed);
+      config.split = policy == 0 ? lb::SplitPolicy::kSubtreeProportional
+                                 : lb::SplitPolicy::kHalf;
+      const auto metrics = run_checked(*workload, config, "fig2 bb");
+      secs[policy] = metrics.exec_seconds;
+      reqs[policy] = metrics.work_requests;
+    }
+    bb_table.add_row({"Ta" + std::to_string(21 + idx) + "s", Table::cell(secs[0], 4),
+                      Table::cell(secs[1], 4), Table::cell(reqs[0]),
+                      Table::cell(reqs[1])});
+  }
+  if (csv) bb_table.print_csv(std::cout); else bb_table.print(std::cout);
+  std::printf("\n# Expected shape (paper): the proportional policy is faster on "
+              "most instances and execution time correlates with the number of "
+              "work requests.\n\n");
+
+  Table uts_table({"n", "prop_sec", "half_sec"});
+  for (std::int64_t un : flags.get_int_list("uts_scales")) {
+    double secs[2];
+    for (int policy = 0; policy < 2; ++policy) {
+      auto workload = make_uts(static_cast<std::uint32_t>(flags.get_int("uts_seed")));
+      auto config = uts_config(lb::Strategy::kOverlayTD, static_cast<int>(un), seed);
+      config.split = policy == 0 ? lb::SplitPolicy::kSubtreeProportional
+                                 : lb::SplitPolicy::kHalf;
+      secs[policy] = run_checked(*workload, config, "fig2 uts").exec_seconds;
+    }
+    uts_table.add_row({Table::cell(un), Table::cell(secs[0], 4), Table::cell(secs[1], 4)});
+  }
+  if (csv) uts_table.print_csv(std::cout); else uts_table.print(std::cout);
+  std::printf("\n# Expected shape (paper): proportional splitting at or below "
+              "steal-half across UTS scales.\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Fig. 3 — execution time of BTD (dmax=10) vs Master-Worker vs Random Work
+// Stealing on the 10 scaled flowshop instances at 200 peers.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace olb;
+using namespace olb::bench;
+
+int main(int argc, char** argv) {
+  Flags flags;
+  flags.define("peers", "200", "cluster size")
+      .define("jobs", std::to_string(Defaults::kSmallJobs), "flowshop jobs")
+      .define("machines", std::to_string(Defaults::kSmallMachines), "flowshop machines")
+      .define("seed", "1", "run seed")
+      .define("csv", "false", "emit CSV instead of aligned table");
+  if (!flags.parse(argc, argv)) return 0;
+  const int n = static_cast<int>(flags.get_int("peers"));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  const int jobs = static_cast<int>(flags.get_int("jobs"));
+  const int machines = static_cast<int>(flags.get_int("machines"));
+
+  print_preamble("Fig 3: BTD vs RWS vs MW at 200 peers (B&B)", "");
+
+  const lb::Strategy strategies[] = {lb::Strategy::kOverlayBTD, lb::Strategy::kRWS,
+                                     lb::Strategy::kMW};
+  Table table({"instance", "BTD_sec", "RWS_sec", "MW_sec", "winner"});
+  double totals[3] = {0, 0, 0};
+  int btd_wins = 0;
+  for (int idx = 0; idx < 10; ++idx) {
+    double secs[3];
+    for (int s = 0; s < 3; ++s) {
+      auto workload = make_bb(idx, jobs, machines);
+      secs[s] = run_checked(*workload, bb_config(strategies[s], n, seed), "fig3")
+                    .exec_seconds;
+      totals[s] += secs[s];
+    }
+    const int best = secs[0] <= secs[1] && secs[0] <= secs[2] ? 0
+                     : secs[1] <= secs[2]                     ? 1
+                                                              : 2;
+    if (best == 0) ++btd_wins;
+    table.add_row({"Ta" + std::to_string(21 + idx) + "s", Table::cell(secs[0], 4),
+                   Table::cell(secs[1], 4), Table::cell(secs[2], 4),
+                   lb::strategy_name(strategies[best])});
+  }
+  table.add_row({"TOTAL", Table::cell(totals[0], 4), Table::cell(totals[1], 4),
+                 Table::cell(totals[2], 4),
+                 "BTD wins " + std::to_string(btd_wins) + "/10"});
+  if (flags.get_bool("csv")) table.print_csv(std::cout); else table.print(std::cout);
+  std::printf("\n# Expected shape (paper): BTD best on ~7/10 instances; MW very "
+              "competitive at this scale (often beating RWS).\n");
+  return 0;
+}

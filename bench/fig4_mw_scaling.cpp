@@ -1,0 +1,52 @@
+// Fig. 4 — execution time of BTD vs Master-Worker as the cluster grows from
+// 200 to 1000 peers, on the two "critical" instances Ta21s and Ta23s. The
+// master's per-message service time makes MW a queueing hot spot; beyond a
+// few hundred peers its execution time stops improving and then worsens,
+// while the fully distributed BTD keeps scaling.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace olb;
+using namespace olb::bench;
+
+int main(int argc, char** argv) {
+  Flags flags;
+  flags.define("scales", "200,400,600,800,1000", "peer counts")
+      .define("jobs21", std::to_string(Defaults::kBigJobs), "jobs for Ta21s")
+      .define("jobs23", std::to_string(Defaults::kBig23Jobs), "jobs for Ta23s")
+      .define("machines", std::to_string(Defaults::kBigMachines), "flowshop machines")
+      .define("seed", "1", "run seed")
+      .define("csv", "false", "emit CSV instead of aligned table");
+  if (!flags.parse(argc, argv)) return 0;
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  const int machines = static_cast<int>(flags.get_int("machines"));
+
+  print_preamble("Fig 4: BTD vs MW scaling on Ta21s / Ta23s",
+                 "Ta21s at " + flags.get("jobs21") + " jobs, Ta23s at " +
+                     flags.get("jobs23") + " jobs (sizes chosen so both are "
+                     "large enough for 1000 peers)");
+
+  Table table({"n", "BTD_Ta21s", "MW_Ta21s", "BTD_Ta23s", "MW_Ta23s"});
+  for (std::int64_t n : flags.get_int_list("scales")) {
+    std::vector<std::string> row = {Table::cell(n)};
+    for (int which = 0; which < 2; ++which) {
+      const int idx = which == 0 ? 0 : 2;
+      const int jobs = static_cast<int>(
+          flags.get_int(which == 0 ? "jobs21" : "jobs23"));
+      for (auto strategy : {lb::Strategy::kOverlayBTD, lb::Strategy::kMW}) {
+        auto workload = make_bb(idx, jobs, machines);
+        const auto metrics = run_checked(
+            *workload, bb_config(strategy, static_cast<int>(n), seed), "fig4");
+        row.push_back(Table::cell(metrics.exec_seconds, 4));
+      }
+    }
+    // Reorder: BTD21, MW21, BTD23, MW23 already in that order.
+    table.add_row(std::move(row));
+  }
+  if (flags.get_bool("csv")) table.print_csv(std::cout); else table.print(std::cout);
+  std::printf("\n# Expected shape (paper): MW stops improving past ~600 peers "
+              "(master congestion) while BTD keeps decreasing.\n");
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Component micro-benchmarks (google-benchmark): throughput of the building
+// blocks the experiments rest on — UTS node expansion (both hash modes),
+// SHA-1, flowshop bounding, interval exploration, the event engine, overlay
+// construction and permutation (un)ranking.
+#include <benchmark/benchmark.h>
+
+#include "bb/bounds.hpp"
+#include "bb/flowshop.hpp"
+#include "bb/interval_bb.hpp"
+#include "overlay/tree_overlay.hpp"
+#include "simnet/engine.hpp"
+#include "support/factorial.hpp"
+#include "support/sha1.hpp"
+#include "uts/uts.hpp"
+
+namespace {
+
+using namespace olb;
+
+void BM_Sha1Digest64B(benchmark::State& state) {
+  std::uint8_t data[64] = {42};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha1::hash(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_Sha1Digest64B);
+
+void BM_UtsChildExpansion(benchmark::State& state) {
+  uts::Params p;
+  p.hash = state.range(0) == 0 ? uts::HashMode::kFast : uts::HashMode::kSha1;
+  auto node = uts::root_state(p);
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    node = uts::child_state(p, node, i++ & 1);
+    benchmark::DoNotOptimize(uts::num_children(p, node, 3));
+  }
+  state.SetLabel(state.range(0) == 0 ? "fast" : "sha1");
+}
+BENCHMARK(BM_UtsChildExpansion)->Arg(0)->Arg(1);
+
+void BM_FlowshopBound(benchmark::State& state) {
+  const auto inst = bb::FlowshopInstance::ta20x20_scaled(0, 20, 20);
+  std::vector<std::int64_t> completion(20, 0);
+  for (int j = 0; j < 5; ++j) inst.advance(completion, j);
+  std::vector<int> remaining;
+  for (int j = 5; j < 20; ++j) remaining.push_back(j);
+  const auto kind =
+      state.range(0) == 0 ? bb::BoundKind::kOneMachine : bb::BoundKind::kTwoMachine;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bb::lower_bound(inst, completion, remaining, kind));
+  }
+  state.SetLabel(state.range(0) == 0 ? "LB1" : "LB2");
+}
+BENCHMARK(BM_FlowshopBound)->Arg(0)->Arg(1);
+
+void BM_IntervalExploration(benchmark::State& state) {
+  const auto inst = bb::FlowshopInstance::ta20x20_scaled(0, 11, 8);
+  auto shared = std::make_shared<const bb::FlowshopInstance>(inst);
+  for (auto _ : state) {
+    bb::IntervalExplorer explorer(shared, 0, factorial(11), bb::BoundKind::kOneMachine);
+    std::int64_t ub = std::numeric_limits<std::int64_t>::max();
+    const auto progress = explorer.run(10000, ub, nullptr);
+    benchmark::DoNotOptimize(progress.nodes);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 10000);
+}
+BENCHMARK(BM_IntervalExploration);
+
+void BM_PermutationRankRoundTrip(benchmark::State& state) {
+  std::uint64_t rank = 123456789;
+  for (auto _ : state) {
+    const auto perm = permutation_unrank(rank % factorial(12), 12);
+    rank += permutation_rank(perm) + 1;
+    benchmark::DoNotOptimize(rank);
+  }
+}
+BENCHMARK(BM_PermutationRankRoundTrip);
+
+/// Ping-pong actors measuring raw engine event throughput.
+class Pinger : public sim::Actor {
+ public:
+  explicit Pinger(int peer) : peer_(peer) {}
+
+ protected:
+  void on_start() override {
+    if (id() == 0) send(peer_, sim::Message(1));
+  }
+  void on_message(sim::Message m) override { send(m.src, sim::Message(1)); }
+
+ private:
+  int peer_;
+};
+
+void BM_EngineEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine engine(sim::NetworkConfig{}, 1);
+    engine.add_actor(std::make_unique<Pinger>(1));
+    engine.add_actor(std::make_unique<Pinger>(0));
+    const auto result = engine.run(sim::kTimeMax, 100000);
+    benchmark::DoNotOptimize(result.events);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 100000);
+}
+BENCHMARK(BM_EngineEventThroughput);
+
+void BM_OverlayConstruction(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(overlay::TreeOverlay::deterministic(n, 10).height());
+  }
+}
+BENCHMARK(BM_OverlayConstruction)->Arg(1000)->Arg(100000);
+
+void BM_TaillardInstanceGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        bb::FlowshopInstance::taillard("x", 20, 20, 479340445).p(19, 19));
+  }
+}
+BENCHMARK(BM_TaillardInstanceGeneration);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+// Inspect overlay topologies: build TD trees of several degrees and a TR
+// tree, print their structural properties, and show how the paper's
+// subtree-proportional sharing ratios fall out of the shape.
+//
+//   $ ./examples/overlay_explorer --peers 200
+#include <cstdio>
+
+#include "overlay/tree_overlay.hpp"
+#include "support/flags.hpp"
+#include "support/table.hpp"
+
+#include <iostream>
+
+int main(int argc, char** argv) {
+  using namespace olb;
+
+  Flags flags;
+  flags.define("peers", "200", "overlay size").define("seed", "7", "TR seed");
+  if (!flags.parse(argc, argv)) return 0;
+  const int n = static_cast<int>(flags.get_int("peers"));
+
+  Table table({"overlay", "height", "max_degree", "leaves", "interior",
+               "avg_root_child_share"});
+  auto describe = [&](const char* label, const overlay::TreeOverlay& tree) {
+    int leaves = 0;
+    for (int v = 0; v < tree.size(); ++v) {
+      if (tree.children(v).empty()) ++leaves;
+    }
+    // The share of the root's work a first-level child receives on request:
+    // T_child / T_root (paper §II-B).
+    double share_sum = 0;
+    for (int c : tree.children(tree.root())) {
+      share_sum += static_cast<double>(tree.subtree_size(c)) /
+                   static_cast<double>(tree.subtree_size(tree.root()));
+    }
+    const auto num_children = tree.children(tree.root()).size();
+    table.add_row({label, Table::cell(static_cast<std::int64_t>(tree.height())),
+                   Table::cell(static_cast<std::int64_t>(tree.max_degree())),
+                   Table::cell(static_cast<std::int64_t>(leaves)),
+                   Table::cell(static_cast<std::int64_t>(tree.size() - leaves)),
+                   Table::cell(num_children ? share_sum /
+                                                  static_cast<double>(num_children)
+                                            : 0.0,
+                               3)});
+  };
+
+  for (int dmax : {2, 5, 10}) {
+    const auto tree = overlay::TreeOverlay::deterministic(n, dmax);
+    char label[32];
+    std::snprintf(label, sizeof(label), "TD dmax=%d", dmax);
+    describe(label, tree);
+  }
+  describe("TR (random)",
+           overlay::TreeOverlay::randomized(
+               n, static_cast<std::uint64_t>(flags.get_int("seed"))));
+  table.print(std::cout);
+
+  std::printf("\nInterpretation: higher degree shrinks the height (work flows "
+              "in fewer hops) but concentrates traffic on interior peers — the "
+              "trade-off of the paper's Fig. 1. TR trees are shallow on average "
+              "but unbalanced, which Table I shows as higher variance.\n");
+  return 0;
+}

@@ -1,0 +1,121 @@
+#include "bb/bb_work.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+#include "support/factorial.hpp"
+
+namespace olb::bb {
+
+BBWork::BBWork(std::shared_ptr<const FlowshopInstance> inst, BoundKind bound_kind,
+               CostModel costs, BestSolution* recorder, std::int64_t ub)
+    : inst_(std::move(inst)), bound_kind_(bound_kind), costs_(costs),
+      recorder_(recorder), ub_(ub) {}
+
+std::unique_ptr<BBWork> BBWork::whole_problem(
+    std::shared_ptr<const FlowshopInstance> inst, BoundKind bound_kind,
+    CostModel costs, BestSolution* recorder, std::int64_t initial_ub) {
+  auto work = std::make_unique<BBWork>(inst, bound_kind, costs, recorder, initial_ub);
+  work->pool_.emplace_back(inst, 0, factorial(inst->jobs()), bound_kind);
+  return work;
+}
+
+std::uint64_t BBWork::total_remaining() const {
+  std::uint64_t total = 0;
+  for (const auto& e : pool_) total += e.remaining();
+  return total;
+}
+
+std::unique_ptr<lb::Work> BBWork::split(double fraction) {
+  OLB_CHECK(fraction > 0.0 && fraction < 1.0);
+  const std::uint64_t total = total_remaining();
+  if (total < 2) return nullptr;
+  auto target = static_cast<std::uint64_t>(
+      std::llround(fraction * static_cast<double>(total)));
+  target = std::clamp<std::uint64_t>(target, 1, total - 1);
+
+  // The transferred work inherits the victim's bound knowledge — in the real
+  // system the bound piggybacks on the work message.
+  auto out = std::make_unique<BBWork>(inst_, bound_kind_, costs_, recorder_, ub_);
+  while (target > 0) {
+    OLB_CHECK(!pool_.empty());
+    IntervalExplorer& back = pool_.back();
+    const std::uint64_t r = back.remaining();
+    if (r == 0) {
+      pool_.pop_back();
+      continue;
+    }
+    if (r <= target) {
+      out->pool_.push_front(std::move(back));
+      pool_.pop_back();
+      target -= r;
+    } else {
+      const std::uint64_t new_end = back.end() - target;
+      out->pool_.push_front(IntervalExplorer(inst_, new_end, back.end(), bound_kind_));
+      back.shrink_end(new_end);
+      target = 0;
+    }
+  }
+  return out;
+}
+
+void BBWork::merge(std::unique_ptr<lb::Work> other) {
+  auto* bb = dynamic_cast<BBWork*>(other.get());
+  OLB_CHECK_MSG(bb != nullptr, "cannot merge foreign work into BBWork");
+  ub_ = std::min(ub_, bb->ub_);
+  for (auto& e : bb->pool_) {
+    if (!e.done()) pool_.push_back(std::move(e));
+  }
+  bb->pool_.clear();
+}
+
+lb::StepResult BBWork::step(std::uint64_t max_units) {
+  lb::StepResult result;
+  const std::int64_t ub_before = ub_;
+  while (result.units_done < max_units && !pool_.empty()) {
+    IntervalExplorer& front = pool_.front();
+    if (front.done()) {
+      pool_.pop_front();
+      continue;
+    }
+    const auto progress = front.run(max_units - result.units_done, ub_, recorder_);
+    result.units_done += progress.nodes;
+    if (progress.nodes == 0 && !front.done()) {
+      // Defensive: an explorer with remaining work must make progress.
+      OLB_CHECK_MSG(false, "IntervalExplorer stalled");
+    }
+  }
+  result.sim_cost = static_cast<sim::Time>(result.units_done) * costs_.per_node;
+  result.bound = ub_;
+  result.improved_bound = ub_ < ub_before;
+  return result;
+}
+
+void BBWork::observe_bound(std::int64_t bound) { ub_ = std::min(ub_, bound); }
+
+void BBWork::push_interval(std::uint64_t begin, std::uint64_t end) {
+  OLB_CHECK(begin < end);
+  pool_.emplace_back(inst_, begin, end, bound_kind_);
+}
+
+std::uint64_t BBWork::interval_position() const {
+  return pool_.empty() ? 0 : pool_.front().position();
+}
+
+std::uint64_t BBWork::interval_end() const {
+  return pool_.empty() ? 0 : pool_.front().end();
+}
+
+void BBWork::interval_truncate(std::uint64_t new_end) {
+  if (pool_.empty()) return;
+  IntervalExplorer& front = pool_.front();
+  if (new_end >= front.end()) return;  // nothing to give up
+  if (front.position() >= new_end) {
+    pool_.pop_front();  // the whole remainder was reassigned
+    return;
+  }
+  front.shrink_end(new_end);
+}
+
+}  // namespace olb::bb

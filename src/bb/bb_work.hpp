@@ -1,0 +1,109 @@
+// B&B adapter for the generic lb::Work interface.
+//
+// A peer's B&B work is a small pool of disjoint leaf-rank intervals (the
+// paper: work acquired from a tree neighbour and over a bridge is "logically
+// appended"). amount() is the total interval length; split(f) carves
+// sub-intervals off the pool's far end; step() drives the front explorer.
+//
+// The incumbent bound is per-peer knowledge: works carry the bound they knew
+// when split off, receive network-learnt bounds via observe_bound(), and
+// report improvements through StepResult so the owning protocol can diffuse
+// them. Pruning never peeks at global state.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+
+#include "bb/interval_bb.hpp"
+#include "lb/interval_work.hpp"
+#include "lb/work.hpp"
+#include "simnet/time.hpp"
+
+namespace olb::bb {
+
+/// Simulated cost model for B&B node evaluations.
+struct CostModel {
+  sim::Time per_node = sim::microseconds(20);  ///< one bound/leaf evaluation
+};
+
+class BBWork final : public lb::Work, public lb::IntervalWork {
+ public:
+  BBWork(std::shared_ptr<const FlowshopInstance> inst, BoundKind bound_kind,
+         CostModel costs, BestSolution* recorder, std::int64_t ub);
+
+  /// The whole problem [0, jobs!) as one interval.
+  static std::unique_ptr<BBWork> whole_problem(
+      std::shared_ptr<const FlowshopInstance> inst, BoundKind bound_kind,
+      CostModel costs, BestSolution* recorder,
+      std::int64_t initial_ub = lb::kNoBound);
+
+  double amount() const override { return static_cast<double>(total_remaining()); }
+  bool empty() const override { return total_remaining() == 0; }
+  std::unique_ptr<lb::Work> split(double fraction) override;
+  void merge(std::unique_ptr<lb::Work> other) override;
+  lb::StepResult step(std::uint64_t max_units) override;
+  void observe_bound(std::int64_t bound) override;
+
+  std::uint64_t total_remaining() const;
+  std::int64_t local_bound() const { return ub_; }
+  std::size_t pool_size() const { return pool_.size(); }
+
+  // --- interval bookkeeping used by the Master-Worker baseline, whose
+  // master tracks worker intervals by [position, end) and splits them from
+  // its own (possibly stale) view ---
+
+  /// Current DFS position of the front interval (0 if none).
+  std::uint64_t interval_position() const override;
+  /// Right edge of the front interval (0 if none).
+  std::uint64_t interval_end() const override;
+  /// Truncates the front interval to end at `new_end` (master split notify):
+  /// drops it entirely when the position has already passed new_end.
+  void interval_truncate(std::uint64_t new_end) override;
+
+  /// Appends an explorer for [begin, end) to the pool.
+  void push_interval(std::uint64_t begin, std::uint64_t end);
+
+ private:
+  std::shared_ptr<const FlowshopInstance> inst_;
+  BoundKind bound_kind_;
+  CostModel costs_;
+  BestSolution* recorder_;  ///< not owned; outlives the run
+  std::int64_t ub_;
+  std::deque<IntervalExplorer> pool_;
+};
+
+/// Workload wrapper used by experiment drivers. Owns the shared incumbent
+/// recorder for one run.
+class BBWorkload final : public lb::Workload, public lb::IntervalWorkload {
+ public:
+  BBWorkload(FlowshopInstance inst, BoundKind bound_kind, CostModel costs,
+             std::int64_t initial_ub = lb::kNoBound)
+      : inst_(std::make_shared<const FlowshopInstance>(std::move(inst))),
+        bound_kind_(bound_kind), costs_(costs), initial_ub_(initial_ub) {}
+
+  std::unique_ptr<lb::Work> make_root_work() override {
+    return BBWork::whole_problem(inst_, bound_kind_, costs_, &best_, initial_ub_);
+  }
+  const char* name() const override { return inst_->name().c_str(); }
+
+  std::uint64_t interval_total() const override { return factorial(inst_->jobs()); }
+  std::unique_ptr<lb::Work> make_interval_work(std::uint64_t begin,
+                                               std::uint64_t end) override {
+    auto work = std::make_unique<BBWork>(inst_, bound_kind_, costs_, &best_, initial_ub_);
+    if (begin < end) work->push_interval(begin, end);
+    return work;
+  }
+
+  const FlowshopInstance& instance() const { return *inst_; }
+  const BestSolution& best() const { return best_; }
+
+ private:
+  std::shared_ptr<const FlowshopInstance> inst_;
+  BoundKind bound_kind_;
+  CostModel costs_;
+  std::int64_t initial_ub_;
+  BestSolution best_;
+};
+
+}  // namespace olb::bb

@@ -1,0 +1,83 @@
+#include "bb/bounds.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace olb::bb {
+
+namespace {
+
+std::int64_t one_machine_bound(const FlowshopInstance& inst,
+                               std::span<const std::int64_t> completion,
+                               std::span<const int> remaining) {
+  const int m = inst.machines();
+  std::int64_t best = completion[static_cast<std::size_t>(m - 1)];
+  for (int k = 0; k < m; ++k) {
+    std::int64_t load = 0;
+    std::int64_t min_tail = std::numeric_limits<std::int64_t>::max();
+    for (int j : remaining) {
+      load += inst.p(j, k);
+      min_tail = std::min(min_tail, inst.tail_after(j, k));
+    }
+    const std::int64_t lb = completion[static_cast<std::size_t>(k)] + load + min_tail;
+    best = std::max(best, lb);
+  }
+  return best;
+}
+
+}  // namespace
+
+std::int64_t johnson_cmax(const FlowshopInstance& inst, std::span<const int> jobs,
+                          int ka, int kb) {
+  // Johnson's rule: jobs with p_a < p_b first in increasing p_a, then jobs
+  // with p_a >= p_b in decreasing p_b.
+  std::vector<int> order(jobs.begin(), jobs.end());
+  std::sort(order.begin(), order.end(), [&](int x, int y) {
+    const std::int64_t key_x = std::min<std::int64_t>(inst.p(x, ka), inst.p(x, kb));
+    const std::int64_t key_y = std::min<std::int64_t>(inst.p(y, ka), inst.p(y, kb));
+    const bool x_first = inst.p(x, ka) < inst.p(x, kb);
+    const bool y_first = inst.p(y, ka) < inst.p(y, kb);
+    if (x_first != y_first) return x_first;
+    if (x_first) return inst.p(x, ka) < inst.p(y, ka) ||
+                        (inst.p(x, ka) == inst.p(y, ka) && x < y);
+    (void)key_x;
+    (void)key_y;
+    return inst.p(x, kb) > inst.p(y, kb) ||
+           (inst.p(x, kb) == inst.p(y, kb) && x < y);
+  });
+  std::int64_t ta = 0;
+  std::int64_t tb = 0;
+  for (int j : order) {
+    ta += inst.p(j, ka);
+    tb = std::max(tb, ta) + inst.p(j, kb);
+  }
+  return tb;
+}
+
+std::int64_t lower_bound(const FlowshopInstance& inst,
+                         std::span<const std::int64_t> completion,
+                         std::span<const int> remaining, BoundKind kind) {
+  OLB_CHECK(static_cast<int>(completion.size()) == inst.machines());
+  if (remaining.empty()) {
+    return completion[static_cast<std::size_t>(inst.machines() - 1)];
+  }
+  std::int64_t best = one_machine_bound(inst, completion, remaining);
+  if (kind == BoundKind::kTwoMachine) {
+    const int m = inst.machines();
+    for (int k = 0; k + 1 < m; ++k) {
+      std::int64_t min_tail = std::numeric_limits<std::int64_t>::max();
+      for (int j : remaining) {
+        min_tail = std::min(min_tail, inst.tail_after(j, k + 1));
+      }
+      const std::int64_t lb = completion[static_cast<std::size_t>(k)] +
+                              johnson_cmax(inst, remaining, k, k + 1) + min_tail;
+      best = std::max(best, lb);
+    }
+  }
+  return best;
+}
+
+}  // namespace olb::bb

@@ -1,0 +1,120 @@
+#include "bb/interval_bb.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace olb::bb {
+
+IntervalExplorer::IntervalExplorer(std::shared_ptr<const FlowshopInstance> inst,
+                                   std::uint64_t begin, std::uint64_t end,
+                                   BoundKind bound_kind)
+    : inst_(std::move(inst)), bound_kind_(bound_kind), pos_(begin), end_(end) {
+  const int n = inst_->jobs();
+  OLB_CHECK(n <= kMaxFactorialArg);
+  OLB_CHECK(begin <= end && end <= factorial(n));
+  const auto depths = static_cast<std::size_t>(n) + 1;
+  remaining_.resize(depths);
+  completion_.resize(depths);
+  for (auto& c : completion_) c.assign(static_cast<std::size_t>(inst_->machines()), 0);
+  path_.assign(static_cast<std::size_t>(n), -1);
+  remaining_[0].resize(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) remaining_[0][static_cast<std::size_t>(j)] = j;
+  stack_.reserve(depths);
+  if (pos_ < end_) stack_.push_back(Frame{0, 0});
+}
+
+void IntervalExplorer::shrink_end(std::uint64_t new_end) {
+  OLB_CHECK(pos_ < new_end && new_end < end_);
+  end_ = new_end;
+}
+
+IntervalExplorer::Progress IntervalExplorer::run(std::uint64_t max_nodes,
+                                                 std::int64_t& ub,
+                                                 BestSolution* recorder) {
+  Progress progress;
+  const int n = inst_->jobs();
+  const int m = inst_->machines();
+
+  while (progress.nodes < max_nodes && !stack_.empty() && pos_ < end_) {
+    const int d = static_cast<int>(stack_.size()) - 1;
+    Frame& frame = stack_.back();
+    const int num_kids = n - d;
+    if (frame.next_child >= num_kids) {
+      stack_.pop_back();
+      continue;
+    }
+    const std::uint64_t child_width = factorial(n - d - 1);
+    const std::uint64_t child_lo =
+        frame.lo + static_cast<std::uint64_t>(frame.next_child) * child_width;
+    const std::uint64_t child_hi = child_lo + child_width;
+    if (child_hi <= pos_) {
+      // Entirely before our position: already handled (resume fast-forward).
+      ++frame.next_child;
+      continue;
+    }
+    if (child_lo >= end_) {
+      // This and all later siblings belong to a thief now.
+      frame.next_child = num_kids;
+      continue;
+    }
+
+    const auto child_idx = static_cast<std::size_t>(frame.next_child);
+    ++frame.next_child;
+    const int job = remaining_[static_cast<std::size_t>(d)][child_idx];
+    path_[static_cast<std::size_t>(d)] = job;
+
+    auto& child_completion = completion_[static_cast<std::size_t>(d + 1)];
+    child_completion = completion_[static_cast<std::size_t>(d)];
+    inst_->advance(child_completion, job);
+    ++progress.nodes;
+
+    if (d + 1 == n) {
+      // Complete permutation.
+      const std::int64_t mk = child_completion[static_cast<std::size_t>(m - 1)];
+      if (mk < ub) {
+        ub = mk;
+        progress.improved = true;
+        if (recorder != nullptr) recorder->offer(mk, path_);
+      }
+      pos_ = child_hi;
+      continue;
+    }
+
+    auto& child_remaining = remaining_[static_cast<std::size_t>(d + 1)];
+    child_remaining = remaining_[static_cast<std::size_t>(d)];
+    child_remaining.erase(child_remaining.begin() + static_cast<std::ptrdiff_t>(child_idx));
+
+    const std::int64_t lb =
+        lower_bound(*inst_, child_completion, child_remaining, bound_kind_);
+    if (lb >= ub) {
+      pos_ = child_hi;  // prune the whole child subtree
+    } else {
+      stack_.push_back(Frame{child_lo, 0});
+    }
+  }
+
+  if (stack_.empty()) {
+    // Every leaf rank below end_ has been handled.
+    pos_ = end_;
+  }
+  return progress;
+}
+
+SequentialResult solve_sequential(const FlowshopInstance& inst, BoundKind bound_kind,
+                                  std::int64_t initial_ub) {
+  auto shared = std::make_shared<const FlowshopInstance>(inst);
+  IntervalExplorer explorer(shared, 0, factorial(inst.jobs()), bound_kind);
+  BestSolution best;
+  std::int64_t ub = initial_ub;
+  SequentialResult result;
+  while (!explorer.done()) {
+    const auto progress = explorer.run(1 << 20, ub, &best);
+    result.nodes += progress.nodes;
+  }
+  result.optimum = ub;
+  result.permutation = best.permutation();
+  return result;
+}
+
+}  // namespace olb::bb

@@ -1,0 +1,113 @@
+// Interval-encoded sequential Branch-and-Bound for the flowshop problem.
+//
+// Work encoding (Mezmaz, Melab, Talbi — IPDPS'07): the permutation tree is
+// labelled so that the subtree fixing a length-d prefix covers a contiguous
+// range of (jobs-d)! leaf ranks; any piece of B&B work is therefore just an
+// interval [begin, end) of [0, jobs!). The paper uses the *interval length*
+// as the work amount, splits work by handing over a right-hand sub-interval,
+// and merges pieces by keeping a small pool of disjoint intervals.
+//
+// IntervalExplorer performs a budgeted DFS over one interval with
+// best-first-free lexicographic branching and LB pruning. The right edge
+// (`end`) may shrink at any chunk boundary when a thief steals a
+// sub-interval; the DFS re-checks every child range against the current
+// edge, so stolen regions are never explored locally.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "bb/bounds.hpp"
+#include "bb/flowshop.hpp"
+#include "support/factorial.hpp"
+
+namespace olb::bb {
+
+/// Write-only global incumbent recorder shared by every peer of a run.
+/// Peers *prune* only with knowledge that travelled through the simulated
+/// network; this recorder exists so the harness can read the final solution
+/// (and so tests can verify optimality).
+class BestSolution {
+ public:
+  void offer(std::int64_t makespan, std::vector<int> permutation) {
+    std::scoped_lock lock(mu_);
+    if (makespan < makespan_) {
+      makespan_ = makespan;
+      permutation_ = std::move(permutation);
+    }
+  }
+
+  std::int64_t makespan() const {
+    std::scoped_lock lock(mu_);
+    return makespan_;
+  }
+
+  std::vector<int> permutation() const {
+    std::scoped_lock lock(mu_);
+    return permutation_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::int64_t makespan_ = std::numeric_limits<std::int64_t>::max();
+  std::vector<int> permutation_;
+};
+
+class IntervalExplorer {
+ public:
+  /// Explores [begin, end) of the instance's [0, jobs!) leaf-rank space.
+  IntervalExplorer(std::shared_ptr<const FlowshopInstance> inst,
+                   std::uint64_t begin, std::uint64_t end, BoundKind bound_kind);
+
+  IntervalExplorer(IntervalExplorer&&) noexcept = default;
+  IntervalExplorer& operator=(IntervalExplorer&&) noexcept = default;
+
+  struct Progress {
+    std::uint64_t nodes = 0;   ///< bound/leaf evaluations performed
+    bool improved = false;     ///< ub was improved during this call
+  };
+
+  /// Runs up to max_nodes evaluations. `ub` is the caller's incumbent
+  /// (in-out); improvements are also offered to `recorder` if non-null.
+  Progress run(std::uint64_t max_nodes, std::int64_t& ub, BestSolution* recorder);
+
+  std::uint64_t position() const { return pos_; }
+  std::uint64_t end() const { return end_; }
+  std::uint64_t remaining() const { return end_ > pos_ ? end_ - pos_ : 0; }
+  bool done() const { return remaining() == 0; }
+
+  /// Gives away [new_end, end): shrinks this explorer's right edge.
+  /// Requires position() < new_end < end().
+  void shrink_end(std::uint64_t new_end);
+
+ private:
+  struct Frame {
+    std::uint64_t lo = 0;  ///< leaf rank of the first leaf under this prefix
+    int next_child = 0;    ///< index into the depth's remaining-jobs list
+  };
+
+  std::shared_ptr<const FlowshopInstance> inst_;
+  BoundKind bound_kind_;
+  std::uint64_t pos_;  ///< lowest unexplored leaf rank
+  std::uint64_t end_;
+
+  // Per-depth scratch, preallocated once: remaining jobs (ascending, for
+  // lexicographic rank order), machine-completion vectors, chosen path.
+  std::vector<Frame> stack_;
+  std::vector<std::vector<int>> remaining_;
+  std::vector<std::vector<std::int64_t>> completion_;
+  std::vector<int> path_;
+};
+
+/// Convenience: fully sequential B&B over the whole instance.
+struct SequentialResult {
+  std::int64_t optimum = 0;
+  std::vector<int> permutation;
+  std::uint64_t nodes = 0;  ///< node evaluations performed
+};
+SequentialResult solve_sequential(const FlowshopInstance& inst, BoundKind bound_kind,
+                                  std::int64_t initial_ub = std::numeric_limits<std::int64_t>::max());
+
+}  // namespace olb::bb

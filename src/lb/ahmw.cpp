@@ -1,0 +1,191 @@
+#include "lb/ahmw.hpp"
+
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace olb::lb {
+
+AhmwPeer::AhmwPeer(std::shared_ptr<const overlay::TreeOverlay> tree,
+                   AhmwConfig config, std::unique_ptr<Work> initial_work)
+    : PeerBase(config.peer), tree_(std::move(tree)), config_(config),
+      initial_work_(std::move(initial_work)) {}
+
+void AhmwPeer::on_start() {
+  OLB_CHECK((initial_work_ != nullptr) == is_root());
+  if (is_master()) {
+    const int my_level = tree_->depth(id());
+    for (int p = 0; p < tree_->size(); ++p) {
+      if (p != id() && !tree_->children(p).empty() && tree_->depth(p) == my_level) {
+        level_peers_.push_back(p);
+      }
+    }
+  }
+  if (is_root()) {
+    ds_.make_initiator();
+    OLB_CHECK(acquire_work(std::move(initial_work_)));
+    continue_processing();
+  } else {
+    became_idle();
+  }
+}
+
+double AhmwPeer::grain_fraction() const {
+  // A level-L master hands out absolute pieces of total/B^(L+1) work units,
+  // converted here into a fraction of its current local amount.
+  const double amount = work_ != nullptr ? work_->amount() : 0.0;
+  if (amount <= 0.0) return 0.0;
+  OLB_CHECK_MSG(config_.total_amount > 0.0, "AhmwConfig::total_amount unset");
+  const double level = static_cast<double>(tree_->depth(id()));
+  const double piece =
+      config_.total_amount / std::pow(config_.decomposition_base, level + 1.0);
+  return std::min(0.5, piece / amount);
+}
+
+void AhmwPeer::became_idle() {
+  if (terminated_) return;
+  maybe_detach();
+  if (terminated_ || request_outstanding_) return;
+  if (is_root()) return;  // the top master only waits for its subtree
+  pull_from_parent();
+}
+
+void AhmwPeer::pull_from_parent() {
+  if (terminated_ || request_outstanding_ || holds_work()) return;
+  request_outstanding_ = true;
+  send(tree_->parent(id()), make_msg(kMWRequest));
+}
+
+void AhmwPeer::steal_from_sibling() {
+  if (terminated_ || request_outstanding_ || holds_work()) return;
+  if (level_peers_.empty()) {
+    arm_retry();
+    return;
+  }
+  const int target =
+      level_peers_[rng().below(static_cast<std::uint64_t>(level_peers_.size()))];
+  request_outstanding_ = true;
+  send(target, make_msg(kSteal));
+}
+
+void AhmwPeer::arm_retry() {
+  if (retry_armed_ || terminated_) return;
+  retry_armed_ = true;
+  set_timer(config_.retry_delay, kRetryTimer);
+}
+
+void AhmwPeer::on_timer(std::int64_t tag) {
+  OLB_CHECK(tag == kRetryTimer);
+  retry_armed_ = false;
+  if (terminated_ || holds_work() || request_outstanding_) return;
+  if (!is_root()) pull_from_parent();
+}
+
+void AhmwPeer::maybe_detach() {
+  const bool passive = !holds_work() && !computing();
+  if (!ds_.can_detach(passive)) return;
+  const int parent = ds_.detach();
+  if (parent >= 0) {
+    send(parent, make_msg(kSignal));
+  } else {
+    declare_termination();
+  }
+}
+
+void AhmwPeer::declare_termination() {
+  terminated_ = true;
+  done_time_ = now();
+  for (int c : tree_->children(id())) send(c, make_msg(kTerminate));
+}
+
+void AhmwPeer::diffuse_bound() {
+  if (!is_root()) send(tree_->parent(id()), make_msg(kBound));
+  for (int c : tree_->children(id())) send(c, make_msg(kBound));
+}
+
+void AhmwPeer::on_message(sim::Message m) {
+  if (m.type != kTerminate) note_bound(m.a);
+  if (terminated_) {
+    OLB_CHECK(m.type != kWork);
+    if (m.type == kMWRequest || m.type == kSteal) {
+      // Straggler pull from a peer the broadcast has not reached yet.
+      send(m.src, make_msg(kStealFail));
+    }
+    return;
+  }
+  switch (m.type) {
+    case kMWRequest: {  // a child pulls a level-grain piece
+      if (holds_work()) {
+        if (auto w = split_work(grain_fraction())) {
+          ds_.on_work_sent();
+          auto reply = make_msg(kWork);
+          reply.payload = std::make_unique<WorkPayload>(std::move(w));
+          send(m.src, std::move(reply));
+          break;
+        }
+      }
+      send(m.src, make_msg(kStealFail));
+      break;
+    }
+    case kSteal: {  // an empty same-level master steals half
+      if (holds_work()) {
+        if (auto w = split_work(0.5)) {
+          ds_.on_work_sent();
+          auto reply = make_msg(kWork);
+          reply.payload = std::make_unique<WorkPayload>(std::move(w));
+          send(m.src, std::move(reply));
+          break;
+        }
+      }
+      send(m.src, make_msg(kStealFail));
+      break;
+    }
+    case kStealFail: {
+      request_outstanding_ = false;
+      if (holds_work()) break;
+      // Parent dry: masters try a same-level peer before backing off.
+      if (is_master() && m.src == tree_->parent(id())) {
+        steal_from_sibling();
+      } else {
+        arm_retry();
+      }
+      break;
+    }
+    case kWork: {
+      request_outstanding_ = false;
+      if (ds_.on_work_received(m.src)) send(m.src, make_msg(kSignal));
+      auto* payload = static_cast<WorkPayload*>(m.payload.get());
+      acquire_work(std::move(payload->work));
+      continue_processing();
+      break;
+    }
+    case kSignal: {
+      ds_.on_signal();
+      maybe_detach();
+      break;
+    }
+    case kBound:
+      // Forward improvements along the hierarchy.
+      if (bound_ < diffused_bound_) {
+        diffused_bound_ = bound_;
+        if (!is_root() && tree_->parent(id()) != m.src) {
+          send(tree_->parent(id()), make_msg(kBound));
+        }
+        for (int c : tree_->children(id())) {
+          if (c != m.src) send(c, make_msg(kBound));
+        }
+      }
+      break;
+    case kTerminate: {
+      OLB_CHECK_MSG(!holds_work(), "terminate reached a peer still holding work");
+      terminated_ = true;
+      done_time_ = now();
+      for (int c : tree_->children(id())) send(c, make_msg(kTerminate));
+      break;
+    }
+    default:
+      OLB_CHECK_MSG(false, "unexpected message type for AhmwPeer");
+  }
+}
+
+}  // namespace olb::lb

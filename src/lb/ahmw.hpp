@@ -1,0 +1,85 @@
+// AHMW — Adaptive Hierarchical Master-Worker (Bendjoudi, Melab, Talbi;
+// JPDC 2012 / FGCS 2012), the hierarchical B&B baseline of the paper's
+// Table II.
+//
+// All peers are packed into a degree-10 hierarchy (the degree the AHMW
+// papers report as best). Interior nodes act as masters, leaves as workers;
+// every peer also explores its own pool. Work flows strictly downwards in
+// level-dependent grains — a master at level L hands out pieces of
+// ~total/B^(L+1) leaf ranks — so deeper masters deal finer work ("the B&B
+// work grain is a function of the master's level"). An empty master pulls
+// from its parent and, failing that, steals half from a random master of
+// its own level (the papers' intra-level cooperation); an empty worker can
+// only poll its master. Nobody ever splits a *busy* peer's work — the
+// rigidity that makes AHMW collapse on instances whose hard regions land in
+// one piece, visible in the paper's Table II (e.g. Ta21).
+//
+// Termination: Dijkstra-Scholten rooted at the top master, which then
+// broadcasts kTerminate down the hierarchy.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "lb/ds_termination.hpp"
+#include "lb/peer_base.hpp"
+#include "overlay/tree_overlay.hpp"
+
+namespace olb::lb {
+
+struct AhmwConfig {
+  PeerConfig peer;
+  int hierarchy_degree = 10;
+  /// Grain divisor base: a level-L master serves pieces of total/B^(L+1).
+  double decomposition_base = 30.0;
+  /// Total problem size in work units (the driver sets this from the
+  /// workload, e.g. jobs! for B&B); defines the absolute grain sizes.
+  double total_amount = 0.0;
+  /// Pause before re-polling after a failed pull.
+  sim::Time retry_delay = sim::microseconds(500);
+};
+
+class AhmwPeer final : public PeerBase {
+ public:
+  /// `initial_work` non-null exactly for the hierarchy root (peer 0).
+  AhmwPeer(std::shared_ptr<const overlay::TreeOverlay> tree, AhmwConfig config,
+           std::unique_ptr<Work> initial_work);
+
+  bool protocol_terminated() const { return terminated_; }
+  sim::Time done_time() const { return done_time_; }
+
+ protected:
+  void on_start() override;
+  void on_message(sim::Message m) override;
+  void on_timer(std::int64_t tag) override;
+  void became_idle() override;
+  void diffuse_bound() override;
+
+ private:
+  bool is_root() const { return id() == tree_->root(); }
+  bool is_master() const { return !tree_->children(id()).empty(); }
+
+  void pull_from_parent();
+  void steal_from_sibling();
+  void arm_retry();
+  void maybe_detach();
+  void declare_termination();
+  double grain_fraction() const;
+
+  sim::Message make_msg(int type, std::int64_t b = 0, std::int64_t c = 0) const {
+    return sim::Message(type, bound_, b, c);
+  }
+
+  std::shared_ptr<const overlay::TreeOverlay> tree_;
+  AhmwConfig config_;
+  std::unique_ptr<Work> initial_work_;
+  std::vector<int> level_peers_;  ///< masters of the same hierarchy level
+  DsTermination ds_;
+  bool request_outstanding_ = false;
+  bool retry_armed_ = false;
+  sim::Time done_time_ = -1;
+
+  static constexpr std::int64_t kRetryTimer = 1;
+};
+
+}  // namespace olb::lb

@@ -1,0 +1,232 @@
+#include "lb/driver.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "lb/ahmw.hpp"
+#include "lb/interval_work.hpp"
+#include "lb/messages.hpp"
+#include "lb/mw.hpp"
+#include "lb/rws.hpp"
+#include "simnet/engine.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace olb::lb {
+
+const char* strategy_name(Strategy s) {
+  switch (s) {
+    case Strategy::kOverlayTD: return "TD";
+    case Strategy::kOverlayTR: return "TR";
+    case Strategy::kOverlayBTD: return "BTD";
+    case Strategy::kRWS: return "RWS";
+    case Strategy::kMW: return "MW";
+    case Strategy::kAHMW: return "AHMW";
+  }
+  return "?";
+}
+
+sim::NetworkConfig paper_network(int num_peers) {
+  sim::NetworkConfig net;
+  net.cluster_capacity = num_peers >= 800 ? 736 : 0;
+  return net;
+}
+
+SequentialMetrics run_sequential(Workload& workload) {
+  auto work = workload.make_root_work();
+  SequentialMetrics metrics;
+  sim::Time total = 0;
+  while (!work->empty()) {
+    const StepResult r = work->step(1 << 16);
+    metrics.units += r.units_done;
+    total += r.sim_cost;
+    if (r.bound != kNoBound) metrics.bound = r.bound;
+  }
+  metrics.exec_seconds = sim::to_seconds(total);
+  return metrics;
+}
+
+namespace {
+
+struct BuiltCluster {
+  std::vector<PeerBase*> peers;          ///< all PeerBase-derived actors
+  MwMaster* mw_master = nullptr;         ///< set for Strategy::kMW
+  OverlayPeer* overlay_root = nullptr;   ///< set for overlay strategies
+  RwsPeer* rws_initiator = nullptr;      ///< set for Strategy::kRWS
+  AhmwPeer* ahmw_root = nullptr;         ///< set for Strategy::kAHMW
+};
+
+BuiltCluster build_cluster(sim::Engine& engine, Workload& workload,
+                           const RunConfig& config) {
+  BuiltCluster built;
+  const int n = config.num_peers;
+  OLB_CHECK(n >= 1);
+  PeerConfig peer_config{config.chunk_units, config.diffuse_bounds,
+                         config.min_split_amount};
+
+  // Heterogeneity: a seeded subset of peers is slow.
+  std::vector<double> speeds(static_cast<std::size_t>(n), 1.0);
+  if (config.het_fraction > 0.0) {
+    OLB_CHECK(config.het_slow_factor > 0.0);
+    Xoshiro256 het_rng(mix64(config.seed ^ 0x6865746full));
+    for (auto& s : speeds) {
+      if (het_rng.uniform01() < config.het_fraction) s = config.het_slow_factor;
+    }
+  }
+  auto weight_of = [&](int i) -> std::uint64_t {
+    if (!config.capacity_weighted_overlay) return 1;
+    // Integer capacity weights proportional to relative speed (x100).
+    return std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(speeds[static_cast<std::size_t>(i)] * 100.0));
+  };
+
+  switch (config.strategy) {
+    case Strategy::kOverlayTD:
+    case Strategy::kOverlayTR:
+    case Strategy::kOverlayBTD: {
+      auto tree = std::make_shared<const overlay::TreeOverlay>(
+          config.strategy == Strategy::kOverlayTR
+              ? overlay::TreeOverlay::randomized(n, mix64(config.seed ^ 0x7452))
+              : overlay::TreeOverlay::deterministic(n, config.dmax));
+      OverlayConfig oc;
+      oc.peer = peer_config;
+      oc.use_bridges = config.strategy == Strategy::kOverlayBTD;
+      oc.split = config.split;
+      oc.fixed_units = config.split_fixed_units;
+      oc.retry_delay = config.overlay_retry_delay;
+      oc.bridge_patience = config.overlay_bridge_patience;
+      oc.capacity_weighted = config.capacity_weighted_overlay;
+      for (int i = 0; i < n; ++i) {
+        auto peer = std::make_unique<OverlayPeer>(
+            tree, oc, i == 0 ? workload.make_root_work() : nullptr, weight_of(i));
+        if (i == 0) built.overlay_root = peer.get();
+        built.peers.push_back(peer.get());
+        engine.add_actor(std::move(peer));
+      }
+      break;
+    }
+    case Strategy::kRWS: {
+      RwsConfig rc;
+      rc.peer = peer_config;
+      // The paper pushes the application to a random node for RWS.
+      const int initiator = static_cast<int>(
+          mix64(config.seed ^ 0x7277u) % static_cast<std::uint64_t>(n));
+      for (int i = 0; i < n; ++i) {
+        auto peer = std::make_unique<RwsPeer>(
+            rc, i == initiator ? workload.make_root_work() : nullptr);
+        if (i == initiator) built.rws_initiator = peer.get();
+        built.peers.push_back(peer.get());
+        engine.add_actor(std::move(peer));
+      }
+      break;
+    }
+    case Strategy::kMW: {
+      OLB_CHECK_MSG(n >= 2, "MW needs a master and at least one worker");
+      auto* factory = dynamic_cast<IntervalWorkload*>(&workload);
+      OLB_CHECK_MSG(factory != nullptr, "MW requires an interval workload");
+      MwConfig mc;
+      mc.peer = peer_config;
+      mc.checkpoint_period = config.mw_checkpoint_period;
+      auto master = std::make_unique<MwMaster>(mc, factory);
+      built.mw_master = master.get();
+      engine.add_actor(std::move(master));
+      for (int i = 1; i < n; ++i) {
+        auto worker = std::make_unique<MwWorker>(mc);
+        built.peers.push_back(worker.get());
+        engine.add_actor(std::move(worker));
+      }
+      break;
+    }
+    case Strategy::kAHMW: {
+      auto* factory = dynamic_cast<IntervalWorkload*>(&workload);
+      OLB_CHECK_MSG(factory != nullptr, "AHMW requires an interval workload");
+      auto tree = std::make_shared<const overlay::TreeOverlay>(
+          overlay::TreeOverlay::deterministic(n, config.dmax));
+      AhmwConfig ac;
+      ac.peer = peer_config;
+      ac.hierarchy_degree = config.dmax;
+      ac.decomposition_base = config.ahmw_decomposition;
+      ac.total_amount = static_cast<double>(factory->interval_total());
+      for (int i = 0; i < n; ++i) {
+        auto peer = std::make_unique<AhmwPeer>(
+            tree, ac, i == 0 ? workload.make_root_work() : nullptr);
+        if (i == 0) built.ahmw_root = peer.get();
+        built.peers.push_back(peer.get());
+        engine.add_actor(std::move(peer));
+      }
+      break;
+    }
+  }
+  for (int i = 0; i < engine.num_actors(); ++i) {
+    engine.actor(i).set_speed(speeds[static_cast<std::size_t>(i)]);
+  }
+  return built;
+}
+
+}  // namespace
+
+RunMetrics run_distributed(Workload& workload, const RunConfig& config) {
+  sim::Engine engine(config.net, config.seed);
+  BuiltCluster built = build_cluster(engine, workload, config);
+
+  const auto result = engine.run(config.time_limit, config.event_limit);
+
+  RunMetrics metrics;
+  metrics.events = result.events;
+  metrics.total_messages = engine.total_messages();
+  metrics.work_requests = engine.total_sent_of_type(kReqDown) +
+                          engine.total_sent_of_type(kReqUp) +
+                          engine.total_sent_of_type(kReqBridge) +
+                          engine.total_sent_of_type(kSteal) +
+                          engine.total_sent_of_type(kMWRequest);
+  metrics.work_transfers = engine.total_sent_of_type(kWork);
+  metrics.sent_by_type.resize(kNumMsgTypes);
+  for (int t = 0; t < kNumMsgTypes; ++t) {
+    metrics.sent_by_type[static_cast<std::size_t>(t)] = engine.total_sent_of_type(t);
+  }
+  for (sim::Time busy : engine.busy_histogram()) {
+    metrics.utilization.push_back(
+        static_cast<double>(busy) /
+        (static_cast<double>(config.num_peers) *
+         static_cast<double>(sim::Engine::kBusyBucket)));
+  }
+
+  sim::Time last_compute = 0;
+  bool all_done = true;
+  for (PeerBase* peer : built.peers) {
+    metrics.total_units += peer->units_done();
+    metrics.best_bound = std::min(metrics.best_bound, peer->best_bound());
+    last_compute = std::max(last_compute, peer->last_active());
+    if (peer->holds_work() || !peer->saw_terminate()) all_done = false;
+  }
+  metrics.last_compute_seconds = sim::to_seconds(last_compute);
+
+  sim::Time done_time = -1;
+  switch (config.strategy) {
+    case Strategy::kOverlayTD:
+    case Strategy::kOverlayTR:
+    case Strategy::kOverlayBTD:
+      done_time = built.overlay_root->done_time();
+      break;
+    case Strategy::kRWS:
+      done_time = built.rws_initiator->done_time();
+      break;
+    case Strategy::kMW:
+      done_time = built.mw_master->done_time();
+      metrics.best_bound = std::min(metrics.best_bound, built.mw_master->best_bound());
+      if (!built.mw_master->protocol_terminated()) all_done = false;
+      break;
+    case Strategy::kAHMW:
+      done_time = built.ahmw_root->done_time();
+      break;
+  }
+  metrics.exec_seconds = sim::to_seconds(std::max<sim::Time>(done_time, 0));
+  metrics.ok = result.quiesced && all_done && done_time >= 0;
+
+  for (int i = 0; i < engine.num_actors(); ++i) {
+    metrics.msgs_per_peer.push_back(engine.stats(i).msgs_sent);
+  }
+  return metrics;
+}
+
+}  // namespace olb::lb

@@ -1,0 +1,101 @@
+// Experiment driver: builds a simulated cluster for one (workload, strategy,
+// scale, seed) combination, runs it to quiescence and returns the metrics
+// the paper reports.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lb/overlay_lb.hpp"
+#include "lb/work.hpp"
+#include "simnet/network.hpp"
+
+namespace olb::lb {
+
+enum class Strategy {
+  kOverlayTD,   ///< deterministic tree, degree dmax
+  kOverlayTR,   ///< randomised recursive tree
+  kOverlayBTD,  ///< TD extended with bridge edges
+  kRWS,         ///< random work stealing (steal-half)
+  kMW,          ///< master-worker (B&B-style interval pool)
+  kAHMW,        ///< adaptive hierarchical master-worker
+};
+
+const char* strategy_name(Strategy s);
+
+struct RunConfig {
+  Strategy strategy = Strategy::kOverlayBTD;
+  int num_peers = 100;
+  int dmax = 10;  ///< degree of TD/BTD (and of the AHMW hierarchy)
+  SplitPolicy split = SplitPolicy::kSubtreeProportional;
+  std::uint64_t split_fixed_units = 1;  ///< k for SplitPolicy::kFixedUnits
+  std::uint64_t seed = 1;
+  sim::NetworkConfig net;
+  std::uint64_t chunk_units = 64;
+  bool diffuse_bounds = true;
+  double min_split_amount = 4.0;
+
+  sim::Time mw_checkpoint_period = sim::milliseconds(2);
+  double ahmw_decomposition = 30.0;
+
+  /// Overlay protocol tuning (see OverlayConfig for semantics).
+  sim::Time overlay_retry_delay = sim::microseconds(100);
+  sim::Time overlay_bridge_patience = sim::microseconds(300);
+
+  /// --- heterogeneous-cluster extension (the paper's future work) ---
+  /// A seeded `het_fraction` of peers run at `het_slow_factor` x nominal
+  /// compute speed (0 disables). With `capacity_weighted_overlay` the
+  /// overlay's converge-cast sums speed-proportional capacity weights, so
+  /// subtree-proportional sharing routes work towards compute power.
+  double het_fraction = 0.0;
+  double het_slow_factor = 1.0;
+  bool capacity_weighted_overlay = false;
+
+  /// Watchdogs: a correct run quiesces long before either limit.
+  sim::Time time_limit = sim::seconds(100000.0);
+  std::uint64_t event_limit = 400'000'000;
+};
+
+struct RunMetrics {
+  /// Simulated seconds until the protocol *detected* completion.
+  double exec_seconds = 0.0;
+  /// Simulated time of the last completed compute chunk (excludes the
+  /// termination-detection tail); used for parallel-efficiency numerators.
+  double last_compute_seconds = 0.0;
+  std::uint64_t total_units = 0;
+  std::uint64_t total_messages = 0;
+  std::uint64_t work_requests = 0;   ///< steal/request messages injected
+  std::uint64_t work_transfers = 0;  ///< kWork messages
+  std::vector<std::uint64_t> msgs_per_peer;  ///< sent, indexed by peer id
+  std::vector<std::uint64_t> sent_by_type;   ///< indexed by lb::MsgType
+  /// Cluster utilisation per 1 ms of simulated time (0..1 per bucket).
+  std::vector<double> utilization;
+  std::int64_t best_bound = kNoBound;
+  std::uint64_t events = 0;
+  bool ok = false;  ///< quiesced, protocol terminated, no work left anywhere
+
+  /// Parallel efficiency against a sequential execution time (seconds).
+  double parallel_efficiency(double seq_seconds, int num_peers) const {
+    return seq_seconds / (static_cast<double>(num_peers) * exec_seconds);
+  }
+};
+
+/// Runs the workload under the given configuration. Aborts (OLB_CHECK) on
+/// protocol invariant violations; returns ok=false if a watchdog fired.
+RunMetrics run_distributed(Workload& workload, const RunConfig& config);
+
+/// Sequential reference: total simulated compute time of the whole problem
+/// on one peer (no engine, no messages).
+struct SequentialMetrics {
+  double exec_seconds = 0.0;
+  std::uint64_t units = 0;
+  std::int64_t bound = kNoBound;
+};
+SequentialMetrics run_sequential(Workload& workload);
+
+/// The paper's testbed layout: a single cluster below 800 peers; beyond
+/// that, peers 736.. live in a second cluster with slower interconnect.
+sim::NetworkConfig paper_network(int num_peers);
+
+}  // namespace olb::lb

@@ -1,0 +1,69 @@
+// Dijkstra–Scholten diffusing-computation termination detection.
+//
+// Used by the RWS and AHMW baselines (the paper: "we use the standard tree
+// based Dijkstra termination detection algorithm taken from previous work
+// stealing studies"). Work transfers are the basic messages of the diffusing
+// computation: the first transfer that reaches an unengaged peer makes the
+// sender its detection-tree parent; every other transfer is signalled
+// immediately; a peer signals its parent and detaches once it is passive
+// with a zero deficit. The initiator detects global termination when it is
+// passive with zero deficit.
+#pragma once
+
+#include "support/check.hpp"
+
+namespace olb::lb {
+
+class DsTermination {
+ public:
+  /// Marks this peer as the diffusing computation's initiator (the peer the
+  /// initial work is pushed to). The initiator never has a parent.
+  void make_initiator() {
+    engaged_ = true;
+    initiator_ = true;
+  }
+
+  /// Records an incoming work message from `src`. Returns true if the
+  /// receiver must signal `src` immediately (it was already engaged);
+  /// returns false if the message engaged the receiver (signal deferred
+  /// until detach()).
+  bool on_work_received(int src) {
+    if (engaged_) return true;
+    engaged_ = true;
+    parent_ = src;
+    return false;
+  }
+
+  void on_work_sent() { ++deficit_; }
+
+  void on_signal() {
+    OLB_CHECK(deficit_ > 0);
+    --deficit_;
+  }
+
+  /// True when this peer may detach (or, for the initiator, declare global
+  /// termination): engaged, zero deficit, and the caller says it is passive.
+  bool can_detach(bool passive) const { return engaged_ && passive && deficit_ == 0; }
+
+  /// Detaches and returns the parent to signal (-1 for the initiator, which
+  /// instead declares termination).
+  int detach() {
+    OLB_CHECK(engaged_ && deficit_ == 0);
+    engaged_ = false;
+    const int p = parent_;
+    parent_ = -1;
+    return initiator_ ? -1 : p;
+  }
+
+  bool engaged() const { return engaged_; }
+  bool initiator() const { return initiator_; }
+  int deficit() const { return deficit_; }
+
+ private:
+  bool engaged_ = false;
+  bool initiator_ = false;
+  int parent_ = -1;
+  int deficit_ = 0;
+};
+
+}  // namespace olb::lb

@@ -1,0 +1,37 @@
+// Optional capability interfaces for interval-encoded work.
+//
+// The Master-Worker and AHMW baselines are interval-centric: the master
+// tracks each worker's interval [position, end) from checkpoints and splits
+// it from its own (possibly stale) view, notifying the owner to truncate.
+// Workloads whose work is interval-encoded (B&B) implement these mixins;
+// protocols discover them by dynamic_cast. UTS does not implement them —
+// matching the paper, which evaluates MW/AHMW on B&B only.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "lb/work.hpp"
+
+namespace olb::lb {
+
+/// Implemented by Work types that expose their front interval.
+class IntervalWork {
+ public:
+  virtual ~IntervalWork() = default;
+  virtual std::uint64_t interval_position() const = 0;
+  virtual std::uint64_t interval_end() const = 0;
+  /// Master split notify: give up [new_end, end) of the front interval.
+  virtual void interval_truncate(std::uint64_t new_end) = 0;
+};
+
+/// Implemented by Workloads that can mint work for an arbitrary interval.
+class IntervalWorkload {
+ public:
+  virtual ~IntervalWorkload() = default;
+  virtual std::uint64_t interval_total() const = 0;  ///< e.g. jobs!
+  virtual std::unique_ptr<Work> make_interval_work(std::uint64_t begin,
+                                                   std::uint64_t end) = 0;
+};
+
+}  // namespace olb::lb

@@ -1,0 +1,55 @@
+// Message vocabulary of the load-balancing protocols.
+//
+// All protocols share one numbering so the engine's per-type counters are
+// comparable across strategies (e.g. "total work requests injected" in the
+// paper's Fig. 2 counts kReqDown + kReqUp + kReqBridge + kSteal).
+//
+// Convention: field `a` of every protocol message carries the sender's best
+// known bound (kNoBound when not applicable), implementing the paper's
+// piggybacked best-bound diffusion at zero extra message cost. Fields `b`
+// and `c` are per-type, documented below.
+#pragma once
+
+#include <cstdint>
+
+#include "lb/work.hpp"
+#include "simnet/message.hpp"
+
+namespace olb::lb {
+
+enum MsgType : int {
+  // --- overlay protocol ---
+  kSizeUp = 0,     ///< converge-cast: b = subtree size of sender
+  kSizeDown = 1,   ///< b = sender's (the parent's) subtree size; start signal
+  kReqDown = 2,    ///< parent asks child for work; c = requester episode
+  kReqUp = 3,      ///< child asks parent; b/c = aggregated bridge sent/recv
+  kReqBridge = 4,  ///< bridge request; b = requester's subtree size
+  kNoWork = 5,     ///< negative reply to kReqDown; c = echoed episode
+  kWork = 6,       ///< work transfer; payload = WorkPayload
+  kTerminate = 7,  ///< root-initiated termination broadcast
+  kProbe = 8,      ///< termination confirmation wave; payload = ProbePayload
+  kProbeAck = 9,   ///< reply to kProbe; payload = ProbePayload
+  kBound = 10,     ///< explicit bound diffusion (a = bound)
+
+  // --- random work stealing ---
+  kSteal = 11,      ///< steal attempt
+  kStealFail = 12,  ///< negative reply to kSteal
+  kSignal = 13,     ///< Dijkstra-Scholten completion signal
+
+  // --- master-worker family ---
+  kMWRequest = 14,     ///< worker asks the master for work
+  kMWCheckpoint = 15,  ///< worker -> master progress update; b = position
+  kMWSplitNotify = 16, ///< master -> owner: your interval shrank to b
+
+  kNumMsgTypes = 17,
+};
+
+/// Payload of kProbe / kProbeAck (termination waves in bridge mode).
+struct ProbePayload final : sim::MsgPayload {
+  std::uint64_t probe_id = 0;
+  std::uint64_t bridge_sent = 0;
+  std::uint64_t bridge_recv = 0;
+  bool dirty = false;  ///< some node in the subtree was active
+};
+
+}  // namespace olb::lb

@@ -1,0 +1,181 @@
+#include "lb/mw.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace olb::lb {
+
+// ---------------------------------------------------------------- master ---
+
+MwMaster::MwMaster(MwConfig config, IntervalWorkload* factory)
+    : config_(config), factory_(factory) {
+  OLB_CHECK_MSG(factory_ != nullptr,
+                "MW requires an interval-encoded workload (B&B)");
+}
+
+MwMaster::Entry* MwMaster::largest_entry() {
+  Entry* best = nullptr;
+  for (Entry& e : pool_) {
+    if (e.length() == 0) continue;
+    if (best == nullptr || e.length() > best->length()) best = &e;
+  }
+  return best;
+}
+
+void MwMaster::drop_entry_of(int worker) {
+  std::erase_if(pool_, [worker](const Entry& e) { return e.owner == worker; });
+}
+
+void MwMaster::on_request(int worker) {
+  // A request implies the worker's interval is exhausted.
+  drop_entry_of(worker);
+  parked_.push_back(worker);
+  serve_parked();
+  maybe_terminate();
+}
+
+void MwMaster::serve_parked() {
+  while (!parked_.empty()) {
+    const int worker = parked_.front();
+    std::uint64_t begin = 0;
+    std::uint64_t end = 0;
+    if (!assigned_initial_) {
+      // First assignment: the whole problem.
+      assigned_initial_ = true;
+      begin = 0;
+      end = factory_->interval_total();
+    } else {
+      Entry* victim = largest_entry();
+      if (victim == nullptr || victim->length() < 2) return;  // nothing to split
+      const std::uint64_t mid = victim->begin + victim->length() / 2;
+      begin = mid;
+      end = victim->end;
+      victim->end = mid;
+      if (victim->owner >= 0) {
+        send(victim->owner, sim::Message(kMWSplitNotify, bound_,
+                                         static_cast<std::int64_t>(mid)));
+      }
+    }
+    parked_.erase(parked_.begin());
+    pool_.push_back(Entry{worker, begin, end});
+    auto work = factory_->make_interval_work(begin, end);
+    if (bound_ != kNoBound) work->observe_bound(bound_);
+    sim::Message m(kWork, bound_);
+    m.payload = std::make_unique<WorkPayload>(std::move(work));
+    send(worker, std::move(m));
+  }
+}
+
+void MwMaster::maybe_terminate() {
+  if (terminated_) return;
+  if (!assigned_initial_) return;  // no worker ever asked: impossible in runs
+  if (static_cast<int>(parked_.size()) != engine().num_actors() - 1) return;
+  for (const Entry& e : pool_) OLB_CHECK(e.length() == 0);
+  terminated_ = true;
+  done_time_ = now();
+  for (int w = 1; w < engine().num_actors(); ++w) {
+    send(w, sim::Message(kTerminate, bound_));
+  }
+}
+
+void MwMaster::broadcast_bound(int except) {
+  for (int w = 1; w < engine().num_actors(); ++w) {
+    if (w != except) send(w, sim::Message(kBound, bound_));
+  }
+}
+
+void MwMaster::on_message(sim::Message m) {
+  if (m.type != kTerminate && m.a < bound_) {
+    bound_ = m.a;
+    broadcast_bound(m.src);
+  }
+  switch (m.type) {
+    case kMWRequest:
+      on_request(m.src);
+      break;
+    case kMWCheckpoint: {
+      const auto pos = static_cast<std::uint64_t>(m.b);
+      for (Entry& e : pool_) {
+        if (e.owner == m.src) {
+          e.begin = std::min(std::max(e.begin, pos), e.end);
+          break;
+        }
+      }
+      break;
+    }
+    case kBound:
+      break;  // bound already absorbed above
+    default:
+      OLB_CHECK_MSG(false, "unexpected message type for MwMaster");
+  }
+}
+
+// ---------------------------------------------------------------- worker ---
+
+void MwWorker::on_start() { request_work(); }
+
+void MwWorker::request_work() {
+  if (request_outstanding_ || terminated_) return;
+  request_outstanding_ = true;
+  send(kMasterId, sim::Message(kMWRequest, bound_));
+}
+
+void MwWorker::became_idle() { request_work(); }
+
+void MwWorker::diffuse_bound() {
+  // Workers report improvements to the master, which rebroadcasts.
+  send(kMasterId, sim::Message(kBound, bound_));
+}
+
+void MwWorker::on_timer(std::int64_t tag) {
+  OLB_CHECK(tag == kCheckpointTimer);
+  checkpoint_armed_ = false;
+  if (terminated_ || !holds_work()) return;
+  const auto* iv = dynamic_cast<const IntervalWork*>(work_.get());
+  OLB_CHECK(iv != nullptr);
+  send(kMasterId, sim::Message(kMWCheckpoint, bound_,
+                               static_cast<std::int64_t>(iv->interval_position())));
+  checkpoint_armed_ = true;
+  set_timer(config_.checkpoint_period, kCheckpointTimer);
+}
+
+void MwWorker::on_message(sim::Message m) {
+  if (m.type != kTerminate) note_bound(m.a);
+  if (terminated_) {
+    OLB_CHECK(m.type != kWork);
+    return;
+  }
+  switch (m.type) {
+    case kWork: {
+      request_outstanding_ = false;
+      auto* payload = static_cast<WorkPayload*>(m.payload.get());
+      acquire_work(std::move(payload->work));
+      if (!checkpoint_armed_) {
+        checkpoint_armed_ = true;
+        set_timer(config_.checkpoint_period, kCheckpointTimer);
+      }
+      continue_processing();
+      break;
+    }
+    case kMWSplitNotify: {
+      if (work_ != nullptr) {
+        auto* iv = dynamic_cast<IntervalWork*>(work_.get());
+        OLB_CHECK(iv != nullptr);
+        iv->interval_truncate(static_cast<std::uint64_t>(m.b));
+        if (!holds_work() && !computing()) request_work();
+      }
+      break;
+    }
+    case kBound:
+      break;  // absorbed by note_bound above
+    case kTerminate:
+      OLB_CHECK_MSG(!holds_work(), "terminate reached a worker still holding work");
+      terminated_ = true;
+      break;
+    default:
+      OLB_CHECK_MSG(false, "unexpected message type for MwWorker");
+  }
+}
+
+}  // namespace olb::lb

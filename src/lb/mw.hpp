@@ -1,0 +1,95 @@
+// Master-Worker (MW) — the B&B-specific baseline of Mezmaz, Melab, Talbi
+// (IPDPS'07), as described in the paper's §IV-C.
+//
+// One dedicated master manages a global pool of interval descriptors
+// {owner, begin, end}. Workers explore their interval, periodically
+// checkpoint their position to the master, and request fresh work when
+// empty. To serve a request, the master picks the pool interval with the
+// *largest length from its own (possibly stale) view*, splits it in two
+// halves, ships the right half to the requester and notifies the owner to
+// truncate — an asynchronous steal-half that never blocks on the owner.
+// Staleness can make the two workers overlap slightly (the paper reports
+// 0.39 % redundant exploration; B&B is idempotent so only time is lost).
+//
+// All coordination flows through the master, whose per-message service time
+// makes it a queueing hot spot — competitive at 200 cores, collapsing past
+// ~600 (the paper's Fig. 4), both of which emerge from the simulation.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "lb/interval_work.hpp"
+#include "lb/peer_base.hpp"
+
+namespace olb::lb {
+
+struct MwConfig {
+  PeerConfig peer;
+  sim::Time checkpoint_period = sim::milliseconds(2);
+};
+
+/// The master: peer 0. Does not explore; owns the interval pool.
+class MwMaster final : public sim::Actor {
+ public:
+  MwMaster(MwConfig config, IntervalWorkload* factory);
+
+  bool protocol_terminated() const { return terminated_; }
+  sim::Time done_time() const { return done_time_; }
+  std::int64_t best_bound() const { return bound_; }
+
+ protected:
+  void on_start() override {}
+  void on_message(sim::Message m) override;
+
+ private:
+  struct Entry {
+    int owner = -1;
+    std::uint64_t begin = 0;
+    std::uint64_t end = 0;
+    std::uint64_t length() const { return end > begin ? end - begin : 0; }
+  };
+
+  void on_request(int worker);
+  void serve_parked();
+  void drop_entry_of(int worker);
+  Entry* largest_entry();
+  void maybe_terminate();
+  void broadcast_bound(int except);
+
+  MwConfig config_;
+  IntervalWorkload* factory_;
+  std::vector<Entry> pool_;
+  std::vector<int> parked_;  ///< workers waiting for work
+  bool assigned_initial_ = false;
+  std::int64_t bound_ = kNoBound;
+  bool terminated_ = false;
+  sim::Time done_time_ = -1;
+};
+
+/// A worker: explores intervals, checkpoints, requests when empty.
+class MwWorker final : public PeerBase {
+ public:
+  explicit MwWorker(MwConfig config) : PeerBase(config.peer), config_(config) {}
+
+  bool protocol_terminated() const { return terminated_; }
+
+ protected:
+  void on_start() override;
+  void on_message(sim::Message m) override;
+  void on_timer(std::int64_t tag) override;
+  void became_idle() override;
+  void diffuse_bound() override;
+
+ private:
+  static constexpr int kMasterId = 0;
+  static constexpr std::int64_t kCheckpointTimer = 1;
+
+  void request_work();
+
+  MwConfig config_;
+  bool request_outstanding_ = false;
+  bool checkpoint_armed_ = false;
+};
+
+}  // namespace olb::lb

@@ -1,0 +1,533 @@
+#include "lb/overlay_lb.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace olb::lb {
+
+OverlayPeer::OverlayPeer(std::shared_ptr<const overlay::TreeOverlay> tree,
+                         OverlayConfig config, std::unique_ptr<Work> initial_work,
+                         std::uint64_t capacity_weight)
+    : PeerBase(config.peer), tree_(std::move(tree)), config_(config),
+      initial_work_(std::move(initial_work)), weight_(capacity_weight) {
+  OLB_CHECK(weight_ >= 1);
+}
+
+std::size_t OverlayPeer::child_index(int child_id) const {
+  for (std::size_t i = 0; i < children_.size(); ++i) {
+    if (children_[i] == child_id) return i;
+  }
+  OLB_CHECK_MSG(false, "message from a non-child peer");
+}
+
+bool OverlayPeer::all_children_pending() const {
+  return std::all_of(pending_child_.begin(), pending_child_.end(),
+                     [](bool b) { return b; });
+}
+
+bool OverlayPeer::locally_quiet() const {
+  return idle_ && !holds_work() && !computing();
+}
+
+// ---------------------------------------------------------------- setup ---
+
+void OverlayPeer::on_start() {
+  OLB_CHECK((initial_work_ != nullptr) == is_root());
+  children_ = tree_->children(id());
+  child_size_.assign(children_.size(), 0);
+  pending_child_.assign(children_.size(), false);
+  child_agg_.assign(children_.size(), {0, 0});
+  sizes_missing_ = static_cast<int>(children_.size());
+  if (sizes_missing_ == 0) {
+    // Leaf (or singleton root): size known immediately.
+    my_size_ = weight_;
+    if (is_root()) {
+      become_ready();
+    } else {
+      send(parent(), make_msg(kSizeUp, static_cast<std::int64_t>(my_size_)));
+    }
+  }
+}
+
+void OverlayPeer::on_size_up(const sim::Message& m) {
+  const std::size_t idx = child_index(m.src);
+  OLB_CHECK(child_size_[idx] == 0);
+  child_size_[idx] = static_cast<std::uint64_t>(m.b);
+  if (--sizes_missing_ > 0) return;
+  my_size_ = weight_;
+  for (std::uint64_t s : child_size_) my_size_ += s;
+  // The distributed converge-cast must agree with the static overlay
+  // (capacity weights deliberately diverge from plain node counts).
+  OLB_CHECK(config_.capacity_weighted || my_size_ == tree_->subtree_size(id()));
+  if (is_root()) {
+    become_ready();
+  } else {
+    send(parent(), make_msg(kSizeUp, static_cast<std::int64_t>(my_size_)));
+  }
+}
+
+void OverlayPeer::on_size_down(const sim::Message& m) {
+  parent_size_ = static_cast<std::uint64_t>(m.b);
+  become_ready();
+}
+
+void OverlayPeer::become_ready() {
+  OLB_CHECK(!ready_);
+  ready_ = true;
+  for (int c : children_) {
+    send(c, make_msg(kSizeDown, static_cast<std::int64_t>(my_size_)));
+  }
+  if (is_root()) {
+    OLB_CHECK(acquire_work(std::move(initial_work_)));
+    continue_processing();
+  } else {
+    start_idle_episode();
+  }
+}
+
+// -------------------------------------------------------- idle protocol ---
+
+void OverlayPeer::became_idle() { start_idle_episode(); }
+
+void OverlayPeer::start_idle_episode() {
+  if (terminated_ || !ready_ || holds_work() || computing()) return;
+  idle_ = true;
+  ++episode_;
+  up_requested_ = false;
+  send_bridge_request();
+  start_down_phase();
+}
+
+void OverlayPeer::send_bridge_request() {
+  const int n = engine().num_actors();
+  if (!config_.use_bridges || n < 2) return;
+  // At most one bridge request is ever parked: if the previous partner has
+  // not served us yet it still will the moment it acquires work (idle peers
+  // cooperate by chaining parked requests — the paper's "logical cluster of
+  // idle nodes"), so re-sending would only multiply work transfers.
+  if (bridge_target_ != -1) {
+    if (now() - bridge_sent_at_ < config_.bridge_patience) return;
+    // Abandon the parked request (it may still be served later — the work
+    // simply merges in) and sample a new partner.
+    bridge_target_ = -1;
+  }
+  int u;
+  do {
+    u = static_cast<int>(rng().below(static_cast<std::uint64_t>(n)));
+  } while (u == id());
+  bridge_target_ = u;
+  bridge_sent_at_ = now();
+  send(u, make_msg(kReqBridge, static_cast<std::int64_t>(my_size_)));
+}
+
+void OverlayPeer::start_down_phase() {
+  down_order_.clear();
+  for (std::size_t i = 0; i < children_.size(); ++i) {
+    if (!pending_child_[i]) down_order_.push_back(children_[i]);
+  }
+  // Uniformly random visiting order (paper: "choosing a child uniformly at
+  // random at each step").
+  for (std::size_t i = down_order_.size(); i > 1; --i) {
+    std::swap(down_order_[i - 1], down_order_[rng().below(i)]);
+  }
+  down_pos_ = 0;
+  advance_down();
+}
+
+void OverlayPeer::advance_down() {
+  if (!idle_ || terminated_) return;
+  while (down_pos_ < down_order_.size()) {
+    const int c = down_order_[down_pos_];
+    if (pending_child_[child_index(c)]) {
+      ++down_pos_;
+      continue;  // became pending since the phase started: known idle
+    }
+    awaiting_child_ = c;
+    send(c, make_msg(kReqDown, 0, episode_));
+    return;
+  }
+  awaiting_child_ = -1;
+  maybe_send_up();
+}
+
+void OverlayPeer::maybe_send_up() {
+  if (!all_children_pending()) {
+    // Some child answered "no work" transiently but its subtree is still
+    // active; retry the downward phase after a short backoff.
+    arm_retry_timer();
+    return;
+  }
+  if (is_root()) {
+    check_root_termination();
+  } else if (!up_requested_) {
+    send_up_request();
+  }
+  // In bridge mode an idle peer keeps sampling random bridge partners while
+  // it waits — work may re-enter its subtree only over a bridge, and the
+  // pure tree protocol would otherwise sit passive until termination.
+  if (config_.use_bridges && !terminated_) arm_retry_timer();
+}
+
+void OverlayPeer::arm_retry_timer() {
+  if (retry_timer_armed_) return;
+  retry_timer_armed_ = true;
+  set_timer(config_.retry_delay, kRetryTimer);
+}
+
+void OverlayPeer::send_up_request() {
+  up_requested_ = true;
+  last_sent_agg_ = {agg_sent(), agg_recv()};
+  send(parent(), make_msg(kReqUp, static_cast<std::int64_t>(last_sent_agg_.first),
+                          static_cast<std::int64_t>(last_sent_agg_.second)));
+}
+
+void OverlayPeer::on_timer(std::int64_t tag) {
+  OLB_CHECK(tag == kRetryTimer);
+  retry_timer_armed_ = false;
+  if (terminated_ || !idle_ || awaiting_child_ != -1 || holds_work()) return;
+  send_bridge_request();
+  start_down_phase();
+}
+
+// -------------------------------------------------------------- serving ---
+
+double OverlayPeer::apply_policy(double proportional) const {
+  switch (config_.split) {
+    case SplitPolicy::kSubtreeProportional:
+      return proportional;
+    case SplitPolicy::kHalf:
+      return 0.5;
+    case SplitPolicy::kFixedUnits: {
+      const double amount = work_ != nullptr ? work_->amount() : 0.0;
+      if (amount <= 0.0) return 0.0;
+      return static_cast<double>(config_.fixed_units) / amount;
+    }
+  }
+  return proportional;
+}
+
+double OverlayPeer::fraction_for_child(std::size_t child_idx) const {
+  return apply_policy(static_cast<double>(child_size_[child_idx]) /
+                      static_cast<double>(my_size_));
+}
+
+double OverlayPeer::fraction_for_parent() const {
+  return apply_policy(static_cast<double>(parent_size_ - my_size_) /
+                      static_cast<double>(parent_size_));
+}
+
+double OverlayPeer::fraction_for_bridge(std::uint64_t requester_size) const {
+  return apply_policy(static_cast<double>(requester_size) /
+                      static_cast<double>(my_size_ + requester_size));
+}
+
+void OverlayPeer::on_req_down(const sim::Message& m) {
+  if (holds_work()) {
+    if (auto w = split_work(fraction_for_parent())) {
+      auto reply = make_msg(kWork, 0);
+      reply.payload = std::make_unique<WorkPayload>(std::move(w));
+      send(m.src, std::move(reply));
+      return;
+    }
+  }
+  send(m.src, make_msg(kNoWork, 0, m.c));
+}
+
+void OverlayPeer::on_req_up(const sim::Message& m) {
+  const std::size_t idx = child_index(m.src);
+  pending_child_[idx] = true;
+  child_agg_[idx] = {static_cast<std::uint64_t>(m.b), static_cast<std::uint64_t>(m.c)};
+
+  if (holds_work()) {
+    if (auto w = split_work(fraction_for_child(idx))) {
+      pending_child_[idx] = false;
+      auto reply = make_msg(kWork, 0);
+      reply.payload = std::make_unique<WorkPayload>(std::move(w));
+      send(m.src, std::move(reply));
+    }
+    return;  // unsplittable: the child stays pending, retried after chunks
+  }
+
+  if (is_root()) {
+    if (probe_outstanding_) {
+      recheck_after_probe_ = true;
+    } else {
+      check_root_termination();
+    }
+    return;
+  }
+  if (idle_ && up_requested_) {
+    // Refresh: forward updated subtree aggregates upwards (the paper's
+    // "aggregated work request messages") — but only when they actually
+    // changed; unchanged counters carry no information and a refresh per
+    // descendant idle event would cascade O(depth) messages.
+    if (std::pair{agg_sent(), agg_recv()} != last_sent_agg_) send_up_request();
+  } else if (idle_ && awaiting_child_ == -1) {
+    maybe_send_up();
+  }
+}
+
+void OverlayPeer::on_req_bridge(const sim::Message& m) {
+  if (holds_work()) {
+    if (auto w = split_work(fraction_for_bridge(static_cast<std::uint64_t>(m.b)))) {
+      ++bridge_sent_;
+      auto reply = make_msg(kWork, 1);
+      reply.payload = std::make_unique<WorkPayload>(std::move(w));
+      send(m.src, std::move(reply));
+      return;
+    }
+  }
+  for (const auto& [peer, size] : pending_bridges_) {
+    if (peer == m.src) return;  // already pending here
+  }
+  pending_bridges_.emplace_back(m.src, static_cast<std::uint64_t>(m.b));
+}
+
+void OverlayPeer::on_work(sim::Message m) {
+  OLB_CHECK_MSG(!terminated_, "work arrived after termination was declared");
+  if (m.b == 1) ++bridge_recv_;
+  if (probe_acks_missing_ > 0) probe_dirty_ = true;
+  if (m.b == 1 && m.src == bridge_target_) bridge_target_ = -1;
+  idle_ = false;
+  awaiting_child_ = -1;
+  auto* payload = static_cast<WorkPayload*>(m.payload.get());
+  OLB_CHECK(payload != nullptr);
+  acquire_work(std::move(payload->work));
+  serve_pending();
+  continue_processing();
+}
+
+void OverlayPeer::serve_pending() {
+  if (!holds_work()) return;
+  for (std::size_t i = 0; i < children_.size(); ++i) {
+    if (!pending_child_[i]) continue;
+    auto w = split_work(fraction_for_child(i));
+    if (w == nullptr) return;  // too small to divide further right now
+    pending_child_[i] = false;
+    auto msg = make_msg(kWork, 0);
+    msg.payload = std::make_unique<WorkPayload>(std::move(w));
+    send(children_[i], std::move(msg));
+  }
+  while (!pending_bridges_.empty()) {
+    const auto [peer, size] = pending_bridges_.front();
+    auto w = split_work(fraction_for_bridge(size));
+    if (w == nullptr) return;
+    pending_bridges_.erase(pending_bridges_.begin());
+    ++bridge_sent_;
+    auto msg = make_msg(kWork, 1);
+    msg.payload = std::make_unique<WorkPayload>(std::move(w));
+    send(peer, std::move(msg));
+  }
+}
+
+void OverlayPeer::after_chunk() { serve_pending(); }
+
+// ------------------------------------------------------ bound diffusion ---
+
+void OverlayPeer::diffuse_bound() {
+  if (!is_root()) send(parent(), make_msg(kBound));
+  for (int c : children_) send(c, make_msg(kBound));
+}
+
+void OverlayPeer::on_bound_msg(const sim::Message& m) {
+  if (!note_bound(m.a)) return;
+  if (bound_ >= diffused_bound_) return;
+  diffused_bound_ = bound_;
+  if (!is_root() && parent() != m.src) send(parent(), make_msg(kBound));
+  for (int c : children_) {
+    if (c != m.src) send(c, make_msg(kBound));
+  }
+}
+
+// ---------------------------------------------------------- termination ---
+
+std::uint64_t OverlayPeer::agg_sent() const {
+  std::uint64_t s = bridge_sent_;
+  for (const auto& [cs, cr] : child_agg_) s += cs;
+  return s;
+}
+
+std::uint64_t OverlayPeer::agg_recv() const {
+  std::uint64_t r = bridge_recv_;
+  for (const auto& [cs, cr] : child_agg_) r += cr;
+  return r;
+}
+
+void OverlayPeer::check_root_termination() {
+  if (!is_root() || terminated_) return;
+  if (!locally_quiet() || !all_children_pending()) return;
+  if (!config_.use_bridges) {
+    // Pure tree mode: a child's upward request proves its whole subtree is
+    // finished, so the condition alone is exact.
+    declare_termination();
+    return;
+  }
+  if (probe_outstanding_) {
+    recheck_after_probe_ = true;
+    return;
+  }
+  if (agg_sent() == agg_recv()) launch_probe();
+  // Unbalanced counters: some receipt/send is still unreported; the owning
+  // subtree will re-idle and refresh its upward request, re-triggering us.
+}
+
+void OverlayPeer::launch_probe() {
+  probe_outstanding_ = true;
+  recheck_after_probe_ = false;
+  cur_probe_ = ++next_probe_id_;
+  probe_s_ = bridge_sent_;
+  probe_r_ = bridge_recv_;
+  probe_dirty_ = false;
+  probe_acks_missing_ = static_cast<int>(children_.size());
+  if (probe_acks_missing_ == 0) {
+    finish_probe_at_root(probe_s_, probe_r_, probe_dirty_);
+    return;
+  }
+  for (int c : children_) {
+    auto msg = make_msg(kProbe);
+    auto payload = std::make_unique<ProbePayload>();
+    payload->probe_id = cur_probe_;
+    msg.payload = std::move(payload);
+    send(c, std::move(msg));
+  }
+}
+
+void OverlayPeer::on_probe(sim::Message m) {
+  if (terminated_) return;
+  const auto* pp = static_cast<const ProbePayload*>(m.payload.get());
+  const std::uint64_t pid = pp->probe_id;
+  auto reply_dirty = [&] {
+    auto msg = make_msg(kProbeAck);
+    auto payload = std::make_unique<ProbePayload>();
+    payload->probe_id = pid;
+    payload->dirty = true;
+    msg.payload = std::move(payload);
+    send(m.src, std::move(msg));
+  };
+  if (!locally_quiet() || !all_children_pending()) {
+    reply_dirty();
+    return;
+  }
+  cur_probe_ = pid;
+  probe_parent_ = m.src;
+  probe_s_ = bridge_sent_;
+  probe_r_ = bridge_recv_;
+  probe_dirty_ = false;
+  probe_acks_missing_ = static_cast<int>(children_.size());
+  if (probe_acks_missing_ == 0) {
+    auto msg = make_msg(kProbeAck);
+    auto payload = std::make_unique<ProbePayload>();
+    payload->probe_id = pid;
+    payload->bridge_sent = probe_s_;
+    payload->bridge_recv = probe_r_;
+    payload->dirty = false;
+    msg.payload = std::move(payload);
+    send(probe_parent_, std::move(msg));
+    return;
+  }
+  for (int c : children_) {
+    auto msg = make_msg(kProbe);
+    auto payload = std::make_unique<ProbePayload>();
+    payload->probe_id = pid;
+    msg.payload = std::move(payload);
+    send(c, std::move(msg));
+  }
+}
+
+void OverlayPeer::on_probe_ack(sim::Message m) {
+  if (terminated_) return;
+  const auto* pp = static_cast<const ProbePayload*>(m.payload.get());
+  if (pp->probe_id != cur_probe_ || probe_acks_missing_ == 0) return;  // stale
+  probe_s_ += pp->bridge_sent;
+  probe_r_ += pp->bridge_recv;
+  probe_dirty_ = probe_dirty_ || pp->dirty;
+  if (--probe_acks_missing_ > 0) return;
+  if (is_root()) {
+    finish_probe_at_root(probe_s_, probe_r_, probe_dirty_);
+    return;
+  }
+  const bool still_quiet = locally_quiet() && all_children_pending();
+  auto msg = make_msg(kProbeAck);
+  auto payload = std::make_unique<ProbePayload>();
+  payload->probe_id = cur_probe_;
+  payload->bridge_sent = probe_s_;
+  payload->bridge_recv = probe_r_;
+  payload->dirty = probe_dirty_ || !still_quiet;
+  msg.payload = std::move(payload);
+  send(probe_parent_, std::move(msg));
+}
+
+void OverlayPeer::finish_probe_at_root(std::uint64_t s, std::uint64_t r, bool dirty) {
+  probe_outstanding_ = false;
+  const bool still_quiet = locally_quiet() && all_children_pending();
+  if (!dirty && still_quiet && s == r) {
+    if (have_clean_probe_ && clean_s_ == s && clean_r_ == r) {
+      // Mattern four-counter rule: two consecutive clean waves with
+      // identical balanced counters — no transfer can be in flight.
+      declare_termination();
+      return;
+    }
+    have_clean_probe_ = true;
+    clean_s_ = s;
+    clean_r_ = r;
+    launch_probe();
+    return;
+  }
+  have_clean_probe_ = false;
+  if (recheck_after_probe_) {
+    recheck_after_probe_ = false;
+    check_root_termination();
+  }
+}
+
+void OverlayPeer::declare_termination() {
+  OLB_CHECK(is_root());
+  terminated_ = true;
+  done_time_ = now();
+  for (int c : children_) send(c, make_msg(kTerminate));
+}
+
+void OverlayPeer::on_terminate() {
+  OLB_CHECK_MSG(!holds_work(), "terminate reached a peer still holding work");
+  OLB_CHECK_MSG(!computing(), "terminate reached a peer still computing");
+  terminated_ = true;
+  done_time_ = now();
+  idle_ = false;
+  pending_bridges_.clear();
+  for (int c : children_) send(c, make_msg(kTerminate));
+}
+
+// ------------------------------------------------------------- dispatch ---
+
+void OverlayPeer::on_message(sim::Message m) {
+  if (m.type != kTerminate) handle_piggyback(m);
+  if (terminated_) {
+    // In-flight stragglers (requests/acks sent before the sender heard the
+    // termination broadcast) are ignored; work must never straggle.
+    OLB_CHECK(m.type != kWork);
+    return;
+  }
+  switch (m.type) {
+    case kSizeUp: on_size_up(m); break;
+    case kSizeDown: on_size_down(m); break;
+    case kReqDown: on_req_down(m); break;
+    case kReqUp: on_req_up(m); break;
+    case kReqBridge: on_req_bridge(m); break;
+    case kWork: on_work(std::move(m)); break;
+    case kNoWork:
+      if (idle_ && awaiting_child_ == m.src && m.c == episode_) {
+        awaiting_child_ = -1;
+        ++down_pos_;
+        advance_down();
+      }
+      break;
+    case kTerminate: on_terminate(); break;
+    case kProbe: on_probe(std::move(m)); break;
+    case kProbeAck: on_probe_ack(std::move(m)); break;
+    case kBound: on_bound_msg(m); break;
+    default: OLB_CHECK_MSG(false, "unexpected message type for OverlayPeer");
+  }
+}
+
+}  // namespace olb::lb

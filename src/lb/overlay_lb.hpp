@@ -1,0 +1,202 @@
+// The paper's contribution: overlay-centric dynamic load balancing.
+//
+// Peers are organised in a tree overlay (TD / TR, see overlay::TreeOverlay);
+// BTD additionally lets every idle peer ask one random bridge partner in
+// parallel with the tree protocol. Protocol summary (paper §II):
+//
+//  Setup      — subtree sizes are computed by a distributed converge-cast
+//               (kSizeUp to the root), then announced downwards (kSizeDown,
+//               which also tells each peer its parent's size and acts as the
+//               start signal). The root then begins processing the whole
+//               problem.
+//  Idle peer  — requests children first, sequentially, in uniformly random
+//               order, skipping children whose own upward request is pending
+//               here; children answer immediately (kWork or kNoWork). Only
+//               when *all* children have requested upwards does the peer
+//               send its single upward request — which therefore doubles as
+//               the "my entire subtree is finished" signal. In BTD mode an
+//               asynchronous bridge request is additionally sent to one
+//               random peer per idle episode.
+//  Serving    — a peer holding work answers a child's upward request with a
+//               T_child/T_self share, a parent's downward request with
+//               (T_parent - T_self)/T_parent, and a bridge request with
+//               T_req/(T_self + T_req) (subtree-proportional policy; the
+//               steal-half policy used for the paper's Fig. 2 comparison
+//               replaces every fraction by 1/2). Requests that cannot be
+//               served yet stay pending; "idle nodes should not be selfish":
+//               the moment a pending peer acquires work it serves all of its
+//               own pending requesters before continuing.
+//  Termination— pure tree mode: the root terminates when it is idle and all
+//               children have upward requests pending. Bridge mode: upward
+//               requests carry aggregated per-subtree bridge-transfer
+//               counters; when the sums balance, the root runs confirmation
+//               waves down the tree (kProbe/kProbeAck) and terminates after
+//               two consecutive clean waves with identical, balanced
+//               counters (Mattern's four-counter rule) — our realisation of
+//               the paper's "aggregated work request messages".
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "lb/peer_base.hpp"
+#include "overlay/tree_overlay.hpp"
+
+namespace olb::lb {
+
+enum class SplitPolicy {
+  kSubtreeProportional,  ///< the paper's overlay-dependent policy
+  kHalf,                 ///< classical steal-half (Fig. 2 baseline)
+  kFixedUnits,           ///< steal-k (the steal-1/steal-2 of Dinan et al.)
+};
+
+struct OverlayConfig {
+  PeerConfig peer;
+  bool use_bridges = false;  ///< BTD when true, TD/TR when false
+  SplitPolicy split = SplitPolicy::kSubtreeProportional;
+  std::uint64_t fixed_units = 1;  ///< the k of SplitPolicy::kFixedUnits
+  /// Backoff before re-running the downward phase when every non-pending
+  /// child transiently answered "no work".
+  sim::Time retry_delay = sim::microseconds(100);
+  /// How long an unanswered bridge request is left parked before the peer
+  /// abandons it and samples a new random partner. Re-picking keeps idle
+  /// peers probing (like RWS) while the pacing bounds stale-service churn.
+  sim::Time bridge_patience = sim::microseconds(300);
+  /// Capacity-aware extension (the paper's stated future work): the
+  /// converge-cast sums per-peer *capacity weights* instead of counting
+  /// peers, so on heterogeneous hardware the proportional policy sends work
+  /// where the compute power actually is. Weights are per-peer constructor
+  /// arguments; this flag only disables the homogeneous-size sanity check.
+  bool capacity_weighted = false;
+};
+
+class OverlayPeer final : public PeerBase {
+ public:
+  /// `initial_work` must be non-null exactly for the overlay root (peer 0).
+  /// `capacity_weight` is this peer's logical compute power (1 for
+  /// homogeneous clusters; scale by relative speed in heterogeneous ones).
+  OverlayPeer(std::shared_ptr<const overlay::TreeOverlay> tree, OverlayConfig config,
+              std::unique_ptr<Work> initial_work, std::uint64_t capacity_weight = 1);
+
+  // --- post-run inspection ---
+  bool protocol_terminated() const { return terminated_; }
+  sim::Time done_time() const { return done_time_; }
+
+ protected:
+  void on_start() override;
+  void on_message(sim::Message m) override;
+  void on_timer(std::int64_t tag) override;
+  void became_idle() override;
+  void diffuse_bound() override;
+  void after_chunk() override;
+
+ private:
+  bool is_root() const { return id() == tree_->root(); }
+  int parent() const { return tree_->parent(id()); }
+  std::size_t child_index(int child_id) const;
+  bool all_children_pending() const;
+  bool locally_quiet() const;  ///< idle, no work, no compute outstanding
+
+  // setup
+  void on_size_up(const sim::Message& m);
+  void on_size_down(const sim::Message& m);
+  void become_ready();
+
+  // idle protocol
+  void start_idle_episode();
+  void send_bridge_request();
+  void arm_retry_timer();
+  void start_down_phase();
+  void advance_down();
+  void maybe_send_up();
+  void send_up_request();
+
+  // serving
+  void on_req_down(const sim::Message& m);
+  void on_req_up(const sim::Message& m);
+  void on_req_bridge(const sim::Message& m);
+  void on_work(sim::Message m);
+  void serve_pending();
+  double apply_policy(double proportional) const;
+  double fraction_for_child(std::size_t child_idx) const;
+  double fraction_for_parent() const;
+  double fraction_for_bridge(std::uint64_t requester_size) const;
+
+  // bound diffusion
+  void handle_piggyback(const sim::Message& m) { note_bound(m.a); }
+  void on_bound_msg(const sim::Message& m);
+
+  // termination
+  std::uint64_t agg_sent() const;
+  std::uint64_t agg_recv() const;
+  void check_root_termination();
+  void launch_probe();
+  void on_probe(sim::Message m);
+  void on_probe_ack(sim::Message m);
+  void finish_probe_at_root(std::uint64_t s, std::uint64_t r, bool dirty);
+  void declare_termination();
+  void on_terminate();
+
+  sim::Message make_msg(int type, std::int64_t b = 0, std::int64_t c = 0) const {
+    sim::Message m(type, bound_, b, c);
+    return m;
+  }
+
+  std::shared_ptr<const overlay::TreeOverlay> tree_;
+  OverlayConfig config_;
+  std::unique_ptr<Work> initial_work_;
+  std::uint64_t weight_ = 1;
+
+  // sizes (learned through the distributed converge-cast)
+  std::vector<int> children_;
+  std::vector<std::uint64_t> child_size_;
+  std::uint64_t my_size_ = 0;
+  std::uint64_t parent_size_ = 0;
+  int sizes_missing_ = 0;
+  bool ready_ = false;
+
+  // idle-episode state
+  bool idle_ = false;
+  std::int64_t episode_ = 0;
+  std::vector<int> down_order_;
+  std::size_t down_pos_ = 0;
+  int awaiting_child_ = -1;
+  bool up_requested_ = false;
+  std::pair<std::uint64_t, std::uint64_t> last_sent_agg_{0, 0};
+  bool retry_timer_armed_ = false;
+  int bridge_target_ = -1;
+  sim::Time bridge_sent_at_ = 0;
+
+  // serving state
+  std::vector<bool> pending_child_;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> child_agg_;  ///< (S, R)
+  std::vector<std::pair<int, std::uint64_t>> pending_bridges_;      ///< (peer, T_peer)
+
+  // bridge-transfer counters (monotonic)
+  std::uint64_t bridge_sent_ = 0;
+  std::uint64_t bridge_recv_ = 0;
+
+  // probe state (any node)
+  std::uint64_t cur_probe_ = 0;
+  int probe_parent_ = -1;
+  int probe_acks_missing_ = 0;
+  std::uint64_t probe_s_ = 0;
+  std::uint64_t probe_r_ = 0;
+  bool probe_dirty_ = false;
+
+  // root-only termination state
+  bool probe_outstanding_ = false;
+  std::uint64_t next_probe_id_ = 0;
+  bool have_clean_probe_ = false;
+  std::uint64_t clean_s_ = 0;
+  std::uint64_t clean_r_ = 0;
+  bool recheck_after_probe_ = false;
+
+  sim::Time done_time_ = -1;
+
+  static constexpr std::int64_t kRetryTimer = 1;
+};
+
+}  // namespace olb::lb

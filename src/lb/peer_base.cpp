@@ -1,0 +1,65 @@
+#include "lb/peer_base.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace olb::lb {
+
+bool PeerBase::acquire_work(std::unique_ptr<Work> w) {
+  if (w == nullptr || w->empty()) return holds_work();
+  if (work_ == nullptr) {
+    work_ = std::move(w);
+  } else {
+    work_->merge(std::move(w));
+  }
+  if (bound_ != kNoBound) work_->observe_bound(bound_);
+  return true;
+}
+
+std::unique_ptr<Work> PeerBase::split_work(double fraction) {
+  if (!holds_work()) return nullptr;
+  if (fraction <= 0.0) return nullptr;
+  if (work_->amount() < config_.min_split_amount) return nullptr;
+  fraction = std::min(fraction, 0.99);
+  return work_->split(fraction);
+}
+
+void PeerBase::continue_processing() {
+  if (computing()) return;
+  if (!holds_work()) return;
+  const StepResult result = work_->step(config_.chunk_units);
+  units_done_ += result.units_done;
+  if (result.bound < bound_) bound_ = result.bound;
+  // Execute-then-advance: the work state is already final, but the results
+  // become externally visible only when the compute span ends.
+  start_compute(result.sim_cost);
+}
+
+bool PeerBase::note_bound(std::int64_t b) {
+  if (b >= bound_) return false;
+  bound_ = b;
+  if (work_ != nullptr) work_->observe_bound(bound_);
+  return true;
+}
+
+void PeerBase::on_compute_done() {
+  last_active_ = now();
+  maybe_diffuse();
+  after_chunk();
+  if (holds_work()) {
+    continue_processing();
+  } else {
+    became_idle();
+  }
+}
+
+void PeerBase::maybe_diffuse() {
+  if (!config_.diffuse_bounds) return;
+  if (bound_ < diffused_bound_) {
+    diffused_bound_ = bound_;
+    diffuse_bound();
+  }
+}
+
+}  // namespace olb::lb

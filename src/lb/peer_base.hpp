@@ -1,0 +1,86 @@
+// Common machinery of all load-balancing peers.
+//
+// A peer owns at most one lb::Work object and processes it in bounded chunks
+// (chunk_units application units per compute span) so that protocol messages
+// are serviced between chunks — the simulated analogue of a worker that
+// polls its MPI channel inside the work loop. Subclasses implement the
+// acquisition protocol (who to ask for work, how to answer requests) via the
+// became_idle() hook and on_message().
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "lb/messages.hpp"
+#include "lb/work.hpp"
+#include "simnet/engine.hpp"
+
+namespace olb::lb {
+
+struct PeerConfig {
+  std::uint64_t chunk_units = 64;  ///< application units per compute span
+  bool diffuse_bounds = true;      ///< forward improved bounds to neighbours
+  /// Work below this amount is never split: shipping single-digit crumbs
+  /// stalls the sender's critical path for a network round-trip that costs
+  /// more than the work is worth (every real work-stealing runtime guards
+  /// its queue with such a threshold).
+  double min_split_amount = 4.0;
+};
+
+class PeerBase : public sim::Actor {
+ public:
+  // --- post-run inspection (harness side) ---
+  std::uint64_t units_done() const { return units_done_; }
+  std::int64_t best_bound() const { return bound_; }
+  sim::Time last_active() const { return last_active_; }
+  bool saw_terminate() const { return terminated_; }
+  bool holds_work() const { return work_ != nullptr && !work_->empty(); }
+
+ protected:
+  explicit PeerBase(PeerConfig config) : config_(config) {}
+
+  /// Merges `w` into the local work (installing the local bound into it) and
+  /// returns true if the peer now holds processable work.
+  bool acquire_work(std::unique_ptr<Work> w);
+
+  /// Splits `fraction` off the local work; nullptr if indivisible/absent.
+  std::unique_ptr<Work> split_work(double fraction);
+
+  /// Starts (or continues) chunked processing if work is available and no
+  /// compute span is outstanding. Safe to call from any handler.
+  void continue_processing();
+
+  /// Updates the local bound from a message field; returns true if improved.
+  bool note_bound(std::int64_t b);
+
+  /// Called when the peer finishes its work and holds none; implement the
+  /// acquisition protocol here.
+  virtual void became_idle() = 0;
+
+  /// Called after a chunk during which the local bound improved (either
+  /// found locally or merged from received work); diffuse it here.
+  virtual void diffuse_bound() {}
+
+  /// Called after every completed chunk, before processing continues or
+  /// became_idle() fires. Protocols use it to serve requesters that had to
+  /// wait for work to become splittable.
+  virtual void after_chunk() {}
+
+  void on_compute_done() final;
+
+  const PeerConfig& peer_config() const { return config_; }
+
+  std::unique_ptr<Work> work_;
+  std::int64_t bound_ = kNoBound;
+  std::int64_t diffused_bound_ = kNoBound;  ///< last value handed to diffuse_bound
+  std::uint64_t units_done_ = 0;
+  sim::Time last_active_ = 0;
+  bool terminated_ = false;
+
+ private:
+  void maybe_diffuse();
+
+  PeerConfig config_;
+};
+
+}  // namespace olb::lb

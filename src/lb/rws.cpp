@@ -1,0 +1,124 @@
+#include "lb/rws.hpp"
+
+#include "support/check.hpp"
+
+namespace olb::lb {
+
+RwsPeer::RwsPeer(RwsConfig config, std::unique_ptr<Work> initial_work)
+    : PeerBase(config.peer), config_(config), initial_work_(std::move(initial_work)) {}
+
+void RwsPeer::on_start() {
+  if (initial_work_ != nullptr) {
+    ds_.make_initiator();
+    OLB_CHECK(acquire_work(std::move(initial_work_)));
+    continue_processing();
+  } else {
+    became_idle();
+  }
+}
+
+void RwsPeer::became_idle() {
+  if (terminated_) return;
+  maybe_detach();
+  if (!terminated_) try_steal();
+}
+
+void RwsPeer::try_steal() {
+  if (terminated_ || steal_outstanding_ || holds_work()) return;
+  const int n = engine().num_actors();
+  if (n < 2) {
+    // Nothing to steal from; the singleton initiator terminates on idle.
+    return;
+  }
+  int victim;
+  do {
+    victim = static_cast<int>(rng().below(static_cast<std::uint64_t>(n)));
+  } while (victim == id());
+  steal_outstanding_ = true;
+  send(victim, make_msg(kSteal));
+}
+
+void RwsPeer::maybe_detach() {
+  const bool passive = !holds_work() && !computing();
+  if (!ds_.can_detach(passive)) return;
+  const int parent = ds_.detach();
+  if (parent >= 0) {
+    send(parent, make_msg(kSignal));
+  } else {
+    declare_termination();
+  }
+}
+
+void RwsPeer::declare_termination() {
+  terminated_ = true;
+  done_time_ = now();
+  for (int p = 0; p < engine().num_actors(); ++p) {
+    if (p != id()) send(p, make_msg(kTerminate));
+  }
+}
+
+void RwsPeer::diffuse_bound() {
+  // No overlay to diffuse along: bounds piggyback on steal traffic (field a
+  // of every message), which in RWS is abundant.
+}
+
+void RwsPeer::on_timer(std::int64_t tag) {
+  OLB_CHECK(tag == kRetryTimer);
+  if (!terminated_ && !holds_work() && !steal_outstanding_) try_steal();
+}
+
+void RwsPeer::on_message(sim::Message m) {
+  if (m.type != kTerminate) note_bound(m.a);
+  if (terminated_) {
+    OLB_CHECK(m.type != kWork);
+    return;
+  }
+  switch (m.type) {
+    case kSteal: {
+      if (holds_work()) {
+        if (auto w = split_work(config_.steal_fraction)) {
+          ds_.on_work_sent();
+          auto reply = make_msg(kWork);
+          reply.payload = std::make_unique<WorkPayload>(std::move(w));
+          send(m.src, std::move(reply));
+          break;
+        }
+      }
+      send(m.src, make_msg(kStealFail));
+      break;
+    }
+    case kStealFail: {
+      steal_outstanding_ = false;
+      if (holds_work()) break;  // engaged meanwhile via another transfer
+      if (config_.retry_delay > 0) {
+        set_timer(config_.retry_delay, kRetryTimer);
+      } else {
+        try_steal();
+      }
+      break;
+    }
+    case kWork: {
+      steal_outstanding_ = false;
+      if (ds_.on_work_received(m.src)) send(m.src, make_msg(kSignal));
+      auto* payload = static_cast<WorkPayload*>(m.payload.get());
+      acquire_work(std::move(payload->work));
+      continue_processing();
+      break;
+    }
+    case kSignal: {
+      ds_.on_signal();
+      maybe_detach();
+      break;
+    }
+    case kTerminate: {
+      OLB_CHECK_MSG(!holds_work(), "terminate reached a peer still holding work");
+      terminated_ = true;
+      done_time_ = now();
+      break;
+    }
+    default:
+      OLB_CHECK_MSG(false, "unexpected message type for RwsPeer");
+  }
+}
+
+}  // namespace olb::lb

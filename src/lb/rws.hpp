@@ -1,0 +1,63 @@
+// Random Work Stealing (RWS) — the paper's generic reference baseline.
+//
+// An idle peer picks a victim uniformly at random, sends a steal request and
+// waits for the answer: half the victim's work (steal-half, the strategy the
+// literature and the paper retain as best) or a failure, after which the
+// thief immediately retries with a new random victim. Termination is
+// detected with Dijkstra–Scholten over the work-transfer graph, rooted at
+// the peer the problem was initially pushed to; that initiator broadcasts
+// kTerminate when the diffusing computation collapses.
+//
+// RWS can be read as work stealing over a *complete* overlay: idle peers
+// probe blindly, which is competitive at low scale and degrades at high
+// scale — the effect the paper measures in Fig. 5.
+#pragma once
+
+#include <memory>
+
+#include "lb/ds_termination.hpp"
+#include "lb/peer_base.hpp"
+
+namespace olb::lb {
+
+struct RwsConfig {
+  PeerConfig peer;
+  double steal_fraction = 0.5;  ///< steal-half
+  /// Pause between a failed steal and the next attempt (0 = immediate).
+  sim::Time retry_delay = 0;
+};
+
+class RwsPeer final : public PeerBase {
+ public:
+  /// `initial_work` non-null exactly for the initiator peer.
+  RwsPeer(RwsConfig config, std::unique_ptr<Work> initial_work);
+
+  bool protocol_terminated() const { return terminated_; }
+  sim::Time done_time() const { return done_time_; }
+
+ protected:
+  void on_start() override;
+  void on_message(sim::Message m) override;
+  void on_timer(std::int64_t tag) override;
+  void became_idle() override;
+  void diffuse_bound() override;
+
+ private:
+  void try_steal();
+  void maybe_detach();
+  void declare_termination();
+
+  sim::Message make_msg(int type, std::int64_t b = 0, std::int64_t c = 0) const {
+    return sim::Message(type, bound_, b, c);
+  }
+
+  RwsConfig config_;
+  std::unique_ptr<Work> initial_work_;
+  DsTermination ds_;
+  bool steal_outstanding_ = false;
+  sim::Time done_time_ = -1;
+
+  static constexpr std::int64_t kRetryTimer = 1;
+};
+
+}  // namespace olb::lb

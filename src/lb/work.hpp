@@ -1,0 +1,88 @@
+// The application-facing work abstraction.
+//
+// The paper's protocols are generic: they move "work" between peers without
+// knowing whether it is a UTS node deque or a B&B interval. Everything a
+// protocol needs is captured here:
+//
+//  * amount()  — the application's own work measure (UTS: pending nodes;
+//                B&B: interval length). The paper's subtree-proportional
+//                policy splits this quantity.
+//  * split(f)  — carve off a transferable fraction f of the work.
+//  * merge()   — logically append work acquired from several sources
+//                (tree neighbour + bridge), as §II-B of the paper requires.
+//  * step(k)   — process up to k work units, reporting simulated cost and
+//                any improved incumbent bound (B&B only).
+//
+// Bound handling: protocols diffuse the best known bound through messages;
+// works receive it via observe_bound() and report improvements via
+// StepResult so exploration is driven *only* by information that actually
+// travelled through the simulated network.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+
+#include "simnet/message.hpp"
+#include "simnet/time.hpp"
+
+namespace olb::lb {
+
+/// Sentinel for "no bound known" (problems are minimisation problems).
+inline constexpr std::int64_t kNoBound = std::numeric_limits<std::int64_t>::max();
+
+struct StepResult {
+  std::uint64_t units_done = 0;     ///< application units processed
+  sim::Time sim_cost = 0;           ///< simulated time the processing took
+  bool improved_bound = false;      ///< true if `bound` improved this step
+  std::int64_t bound = kNoBound;    ///< best bound known after the step
+};
+
+class Work {
+ public:
+  virtual ~Work() = default;
+
+  Work(const Work&) = delete;
+  Work& operator=(const Work&) = delete;
+
+  /// Application-specific work measure; 0 iff empty().
+  virtual double amount() const = 0;
+  virtual bool empty() const = 0;
+
+  /// Splits off ~fraction (in (0,1)) of this work for transfer to another
+  /// peer. Returns nullptr when the work is too small to divide; in that
+  /// case this work is unchanged.
+  virtual std::unique_ptr<Work> split(double fraction) = 0;
+
+  /// Appends `other` (same concrete type) to this work.
+  virtual void merge(std::unique_ptr<Work> other) = 0;
+
+  /// Processes up to max_units units and returns what happened.
+  virtual StepResult step(std::uint64_t max_units) = 0;
+
+  /// Installs a bound learnt from the network (no-op for UTS).
+  virtual void observe_bound(std::int64_t bound) { (void)bound; }
+
+ protected:
+  Work() = default;
+};
+
+/// One experiment instance: knows how to create the initial root work.
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  /// The entire problem as a single work item (placed on the initial peer).
+  virtual std::unique_ptr<Work> make_root_work() = 0;
+
+  /// Human-readable name for reports.
+  virtual const char* name() const = 0;
+};
+
+/// Message payload moving work across the simulated network.
+struct WorkPayload final : sim::MsgPayload {
+  explicit WorkPayload(std::unique_ptr<Work> w) : work(std::move(w)) {}
+  std::unique_ptr<Work> work;
+};
+
+}  // namespace olb::lb

@@ -1,0 +1,119 @@
+#include "overlay/tree_overlay.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace olb::overlay {
+
+TreeOverlay TreeOverlay::deterministic(int n, int dmax) {
+  OLB_CHECK(n >= 1);
+  OLB_CHECK(dmax >= 1);
+  std::vector<int> parent(static_cast<std::size_t>(n));
+  parent[0] = -1;
+  for (int i = 1; i < n; ++i) {
+    parent[static_cast<std::size_t>(i)] = (i - 1) / dmax;
+  }
+  return TreeOverlay(std::move(parent));
+}
+
+TreeOverlay TreeOverlay::randomized(int n, std::uint64_t seed) {
+  OLB_CHECK(n >= 1);
+  Xoshiro256 rng(seed);
+  std::vector<int> parent(static_cast<std::size_t>(n));
+  parent[0] = -1;
+  for (int i = 1; i < n; ++i) {
+    parent[static_cast<std::size_t>(i)] =
+        static_cast<int>(rng.below(static_cast<std::uint64_t>(i)));
+  }
+  return TreeOverlay(std::move(parent));
+}
+
+TreeOverlay TreeOverlay::from_parents(std::vector<int> parent) {
+  return TreeOverlay(std::move(parent));
+}
+
+TreeOverlay::TreeOverlay(std::vector<int> parent) : parent_(std::move(parent)) {
+  const int n = size();
+  OLB_CHECK(n >= 1);
+  OLB_CHECK_MSG(parent_[0] == -1, "node 0 must be the root");
+  children_.resize(static_cast<std::size_t>(n));
+  depth_.assign(static_cast<std::size_t>(n), 0);
+  subtree_size_.assign(static_cast<std::size_t>(n), 1);
+  for (int i = 1; i < n; ++i) {
+    const int p = parent_[static_cast<std::size_t>(i)];
+    OLB_CHECK_MSG(p >= 0 && p < i, "parent ids must precede children");
+    children_[static_cast<std::size_t>(p)].push_back(i);
+    depth_[static_cast<std::size_t>(i)] = depth_[static_cast<std::size_t>(p)] + 1;
+    height_ = std::max(height_, depth_[static_cast<std::size_t>(i)]);
+  }
+  // parent[i] < i makes a single reverse sweep sufficient for subtree sizes.
+  for (int i = n - 1; i >= 1; --i) {
+    subtree_size_[static_cast<std::size_t>(parent_[static_cast<std::size_t>(i)])] +=
+        subtree_size_[static_cast<std::size_t>(i)];
+  }
+  validate();
+}
+
+int TreeOverlay::max_degree() const {
+  std::size_t best = 0;
+  for (const auto& c : children_) best = std::max(best, c.size());
+  return static_cast<int>(best);
+}
+
+int TreeOverlay::distance(int u, int v) const {
+  OLB_CHECK(u >= 0 && u < size() && v >= 0 && v < size());
+  int du = depth(u);
+  int dv = depth(v);
+  int hops = 0;
+  while (du > dv) {
+    u = parent(u);
+    --du;
+    ++hops;
+  }
+  while (dv > du) {
+    v = parent(v);
+    --dv;
+    ++hops;
+  }
+  while (u != v) {
+    u = parent(u);
+    v = parent(v);
+    hops += 2;
+  }
+  return hops;
+}
+
+std::vector<int> TreeOverlay::bfs_order() const {
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(size()));
+  std::deque<int> frontier{root()};
+  while (!frontier.empty()) {
+    const int v = frontier.front();
+    frontier.pop_front();
+    order.push_back(v);
+    for (int c : children(v)) frontier.push_back(c);
+  }
+  return order;
+}
+
+void TreeOverlay::validate() const {
+  const int n = size();
+  OLB_CHECK(subtree_size_[0] == static_cast<std::uint64_t>(n));
+  std::uint64_t total_children = 0;
+  for (int v = 0; v < n; ++v) {
+    std::uint64_t sum = 1;
+    for (int c : children(v)) {
+      OLB_CHECK(parent(c) == v);
+      OLB_CHECK(depth(c) == depth(v) + 1);
+      sum += subtree_size(c);
+    }
+    OLB_CHECK(sum == subtree_size(v));
+    total_children += children(v).size();
+  }
+  OLB_CHECK(total_children == static_cast<std::uint64_t>(n - 1));
+}
+
+}  // namespace olb::overlay

@@ -1,0 +1,73 @@
+// Logical tree overlays connecting the computing peers.
+//
+// The paper structures n peers (one per core) into a tree overlay and uses
+// the *sizes of the induced subtrees* as a proxy for logical computing power
+// when deciding how much work to transfer. Two constructions are studied:
+//
+//  * TD — deterministic tree with an out-degree bound dmax: peers are packed
+//    level by level, at most dmax children per node (a complete dmax-ary
+//    tree). Peer ids coincide with BFS labels, matching the paper's Fig. 1
+//    x-axis.
+//  * TR — randomised recursive tree: peer i >= 1 attaches to a parent chosen
+//    uniformly at random among peers 0..i-1.
+//
+// Both constructions guarantee parent id < child id, which the subtree-size
+// computation and several protocol invariants rely on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace olb::overlay {
+
+class TreeOverlay {
+ public:
+  /// Complete dmax-ary tree on n nodes (the paper's TD). dmax >= 1.
+  static TreeOverlay deterministic(int n, int dmax);
+
+  /// Random recursive tree on n nodes (the paper's TR).
+  static TreeOverlay randomized(int n, std::uint64_t seed);
+
+  /// Builds from an explicit parent vector (parent[0] must be -1 and
+  /// parent[i] < i for i >= 1). Used by tests and custom topologies.
+  static TreeOverlay from_parents(std::vector<int> parent);
+
+  int size() const { return static_cast<int>(parent_.size()); }
+  int root() const { return 0; }
+
+  int parent(int v) const { return parent_[static_cast<std::size_t>(v)]; }
+  const std::vector<int>& children(int v) const {
+    return children_[static_cast<std::size_t>(v)];
+  }
+  /// Number of nodes in the subtree rooted at v (>= 1).
+  std::uint64_t subtree_size(int v) const {
+    return subtree_size_[static_cast<std::size_t>(v)];
+  }
+  int depth(int v) const { return depth_[static_cast<std::size_t>(v)]; }
+  /// Height of the tree (max depth).
+  int height() const { return height_; }
+  /// Maximum out-degree over all nodes.
+  int max_degree() const;
+
+  /// Hop distance between u and v along tree edges.
+  int distance(int u, int v) const;
+
+  /// BFS labelling: bfs_order()[k] is the id of the k-th node in BFS order
+  /// (children visited in stored order). For TD this is the identity.
+  std::vector<int> bfs_order() const;
+
+  /// Structural sanity checks (single root, acyclic, sizes consistent);
+  /// aborts on violation. Cheap; called by the builders.
+  void validate() const;
+
+ private:
+  explicit TreeOverlay(std::vector<int> parent);
+
+  std::vector<int> parent_;
+  std::vector<std::vector<int>> children_;
+  std::vector<std::uint64_t> subtree_size_;
+  std::vector<int> depth_;
+  int height_ = 0;
+};
+
+}  // namespace olb::overlay

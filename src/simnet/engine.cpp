@@ -1,0 +1,163 @@
+#include "simnet/engine.hpp"
+
+namespace olb::sim {
+
+Time Actor::now() const { return engine_->now(); }
+
+void Actor::send(int dst, Message m) { engine_->send_from(*this, dst, std::move(m)); }
+
+void Actor::start_compute(Time duration) {
+  OLB_CHECK_MSG(!compute_pending_, "actor already has an outstanding compute span");
+  OLB_CHECK(duration >= 0);
+  if (speed_ != 1.0) {
+    duration = static_cast<Time>(static_cast<double>(duration) / speed_);
+  }
+  const Time base = busy_until_ > engine_->now() ? busy_until_ : engine_->now();
+  busy_until_ = base + duration;
+  compute_pending_ = true;
+  stats_.compute_time += duration;
+  engine_->record_busy(base, duration);
+}
+
+void Engine::record_busy(Time start, Time duration) {
+  const auto bucket = static_cast<std::size_t>(start / kBusyBucket);
+  if (busy_buckets_.size() <= bucket) busy_buckets_.resize(bucket + 1, 0);
+  busy_buckets_[bucket] += duration;
+}
+
+void Actor::set_timer(Time delay, std::int64_t tag) {
+  OLB_CHECK(delay >= 0);
+  Message m(kTimerMsgType, tag);
+  m.src = id_;
+  m.dst = id_;
+  m.sent_at = engine_->now();
+  Event e;
+  e.time = engine_->now() + delay;
+  e.seq = engine_->next_seq_++;
+  e.dst = id_;
+  e.kind = Event::Kind::kArrival;
+  e.msg = std::move(m);
+  engine_->queue_.push(std::move(e));
+}
+
+Engine::Engine(NetworkConfig config, std::uint64_t seed)
+    : config_(config), network_(config, seed), seed_(seed) {}
+
+int Engine::add_actor(std::unique_ptr<Actor> actor) {
+  OLB_CHECK_MSG(!running_, "actors must be added before run()");
+  const int id = static_cast<int>(actors_.size());
+  actor->engine_ = this;
+  actor->id_ = id;
+  actor->rng_ = Xoshiro256(mix64(seed_ + 0x9e3779b9u) ^ mix64(static_cast<std::uint64_t>(id)));
+  actors_.push_back(std::move(actor));
+  return id;
+}
+
+std::uint64_t Engine::total_sent_of_type(int type) const {
+  OLB_CHECK(type >= 0);
+  std::uint64_t total = 0;
+  const auto idx = static_cast<std::size_t>(type);
+  for (const auto& a : actors_) {
+    if (idx < a->stats_.sent_by_type.size()) total += a->stats_.sent_by_type[idx];
+  }
+  return total;
+}
+
+void Engine::send_from(Actor& from, int dst, Message m) {
+  OLB_CHECK(dst >= 0 && dst < num_actors());
+  OLB_CHECK_MSG(m.type >= 0, "application message types must be >= 0");
+  m.src = from.id_;
+  m.dst = dst;
+  m.sent_at = now_;
+  ++from.stats_.msgs_sent;
+  ++total_messages_;
+  const auto type_idx = static_cast<std::size_t>(m.type);
+  if (from.stats_.sent_by_type.size() <= type_idx) {
+    from.stats_.sent_by_type.resize(type_idx + 1, 0);
+  }
+  ++from.stats_.sent_by_type[type_idx];
+
+  Event e;
+  e.time = now_ + network_.latency(from.id_, dst);
+  e.seq = next_seq_++;
+  e.dst = dst;
+  e.kind = Event::Kind::kArrival;
+  e.msg = std::move(m);
+  queue_.push(std::move(e));
+}
+
+void Engine::schedule_wake(Actor& a, Time at) {
+  OLB_CHECK(!a.wake_pending_);
+  a.wake_pending_ = true;
+  Event e;
+  e.time = at;
+  e.seq = next_seq_++;
+  e.dst = a.id_;
+  e.kind = Event::Kind::kWake;
+  queue_.push(std::move(e));
+}
+
+void Engine::service(Actor& a, Time t) {
+  // Invariant: wakes are only scheduled at or after busy_until_, and
+  // busy_until_ only advances inside wakes (of which there is at most one
+  // outstanding per actor), so the actor is guaranteed free here.
+  OLB_CHECK(t >= a.busy_until_);
+
+  if (!a.started_) {
+    a.started_ = true;
+    a.on_start();
+  } else if (!a.inbox_.empty()) {
+    Message m = std::move(a.inbox_.front());
+    a.inbox_.pop_front();
+    ++a.stats_.msgs_received;
+    a.busy_until_ = t + config_.msg_handling_cost;
+    a.stats_.overhead_time += config_.msg_handling_cost;
+    if (m.type == kTimerMsgType) {
+      a.on_timer(m.a);
+    } else {
+      a.on_message(std::move(m));
+    }
+  } else if (a.compute_pending_) {
+    a.compute_pending_ = false;
+    a.on_compute_done();
+  }
+
+  if (!a.inbox_.empty() || a.compute_pending_) {
+    schedule_wake(a, a.busy_until_ > t ? a.busy_until_ : t);
+  }
+}
+
+Engine::RunResult Engine::run(Time time_limit, std::uint64_t event_limit) {
+  running_ = true;
+  for (auto& a : actors_) {
+    if (!a->started_ && !a->wake_pending_) schedule_wake(*a, 0);
+  }
+
+  RunResult result;
+  while (!queue_.empty()) {
+    if (queue_.peek().time > time_limit || result.events >= event_limit) {
+      return result;  // limit hit; queue intentionally left intact
+    }
+    Event e = queue_.pop();
+    now_ = e.time;
+    ++result.events;
+    result.end_time = now_;
+    Actor& a = *actors_[static_cast<std::size_t>(e.dst)];
+    switch (e.kind) {
+      case Event::Kind::kArrival:
+        a.inbox_.push_back(std::move(e.msg));
+        if (!a.wake_pending_) {
+          schedule_wake(a, a.busy_until_ > now_ ? a.busy_until_ : now_);
+        }
+        break;
+      case Event::Kind::kWake:
+        a.wake_pending_ = false;
+        service(a, now_);
+        break;
+    }
+  }
+  result.quiesced = true;
+  return result;
+}
+
+}  // namespace olb::sim

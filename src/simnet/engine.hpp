@@ -1,0 +1,169 @@
+// Discrete-event simulation engine with queueing-accurate actors.
+//
+// Every peer of the simulated cluster is an Actor with single-server FIFO
+// semantics: handling a message occupies the actor for
+// NetworkConfig::msg_handling_cost, and application compute occupies it for
+// the durations the actor requests via start_compute(). Messages that arrive
+// while the actor is busy wait in its inbox. At a compute-chunk boundary all
+// queued messages are serviced before the next chunk starts — the same
+// behaviour as a message-passing worker that polls its channel between work
+// chunks. These semantics are what make hot-spot effects (e.g. the
+// Master-Worker collapse at high core counts in the paper's Fig. 4) emerge
+// from first principles instead of being scripted.
+//
+// Determinism: all randomness (latency jitter, per-actor RNG streams) is
+// derived from the engine seed, and simultaneous events are ordered by a
+// global insertion counter, so a run is a pure function of (actors, config,
+// seed).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "simnet/event_queue.hpp"
+#include "simnet/message.hpp"
+#include "simnet/network.hpp"
+#include "simnet/time.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace olb::sim {
+
+class Engine;
+
+/// Per-actor accounting used for efficiency and message-load reports.
+struct ActorStats {
+  std::uint64_t msgs_sent = 0;
+  std::uint64_t msgs_received = 0;
+  Time compute_time = 0;   ///< simulated time spent on application work
+  Time overhead_time = 0;  ///< simulated time spent handling messages
+  std::vector<std::uint64_t> sent_by_type;  ///< indexed by message type
+};
+
+/// Base class for simulated peers. Subclasses implement the protocol by
+/// overriding the on_* hooks and calling send()/start_compute()/set_timer()
+/// from inside them. All hooks run with the actor exclusively scheduled; no
+/// locking is ever needed.
+class Actor {
+ public:
+  virtual ~Actor() = default;
+
+  Actor(const Actor&) = delete;
+  Actor& operator=(const Actor&) = delete;
+
+  int id() const { return id_; }
+
+  /// Relative compute speed of this peer (1.0 = nominal). Durations passed
+  /// to start_compute() are divided by it — the knob for simulating
+  /// heterogeneous hardware. Set before run().
+  void set_speed(double speed) {
+    OLB_CHECK(speed > 0.0);
+    speed_ = speed;
+  }
+  double speed() const { return speed_; }
+
+ protected:
+  Actor() = default;
+
+  /// Called once at simulated time 0, before any message delivery.
+  virtual void on_start() {}
+
+  /// Called for each delivered application message.
+  virtual void on_message(Message m) = 0;
+
+  /// Called when a timer set with set_timer() fires.
+  virtual void on_timer(std::int64_t tag) { (void)tag; }
+
+  /// Called when a compute span started with start_compute() completes and
+  /// all messages that arrived during the span have been serviced.
+  virtual void on_compute_done() {}
+
+  // --- services available inside hooks ---
+
+  Time now() const;
+  void send(int dst, Message m);
+  /// Occupies this actor for `duration / speed()`; on_compute_done() fires
+  /// afterwards. At most one compute span may be outstanding.
+  void start_compute(Time duration);
+  bool computing() const { return compute_pending_; }
+  void set_timer(Time delay, std::int64_t tag);
+  Xoshiro256& rng() { return rng_; }
+  Engine& engine() { return *engine_; }
+  const ActorStats& stats() const { return stats_; }
+
+ private:
+  friend class Engine;
+
+  Engine* engine_ = nullptr;
+  int id_ = -1;
+  double speed_ = 1.0;
+  Xoshiro256 rng_;
+
+  Time busy_until_ = 0;
+  bool started_ = false;
+  bool compute_pending_ = false;
+  bool wake_pending_ = false;
+  std::deque<Message> inbox_;
+  ActorStats stats_;
+};
+
+class Engine {
+ public:
+  Engine(NetworkConfig config, std::uint64_t seed);
+
+  /// Takes ownership; returns the actor's id (dense, starting at 0).
+  /// All actors must be added before run().
+  int add_actor(std::unique_ptr<Actor> actor);
+
+  int num_actors() const { return static_cast<int>(actors_.size()); }
+  Actor& actor(int id) { return *actors_[static_cast<std::size_t>(id)]; }
+  const ActorStats& stats(int id) const {
+    return actors_[static_cast<std::size_t>(id)]->stats_;
+  }
+
+  struct RunResult {
+    Time end_time = 0;          ///< time of the last processed event
+    std::uint64_t events = 0;   ///< events processed
+    bool quiesced = false;      ///< event queue drained (natural completion)
+  };
+
+  /// Runs until the event queue drains or a limit is hit.
+  RunResult run(Time time_limit = kTimeMax,
+                std::uint64_t event_limit = ~std::uint64_t{0});
+
+  Time now() const { return now_; }
+  Network& network() { return network_; }
+
+  std::uint64_t total_messages() const { return total_messages_; }
+  /// Sum of a message-type counter over all actors.
+  std::uint64_t total_sent_of_type(int type) const;
+
+  /// Aggregate compute time per kBusyBucket window of simulated time —
+  /// cluster utilisation over time (bucket i covers [i, i+1) * kBusyBucket).
+  static constexpr Time kBusyBucket = milliseconds(1);
+  const std::vector<Time>& busy_histogram() const { return busy_buckets_; }
+
+ private:
+  friend class Actor;
+
+  void send_from(Actor& from, int dst, Message m);
+  void schedule_wake(Actor& a, Time at);
+  void service(Actor& a, Time t);
+
+  void record_busy(Time start, Time duration);
+
+  NetworkConfig config_;
+  Network network_;
+  std::uint64_t seed_;
+  std::vector<Time> busy_buckets_;
+  std::vector<std::unique_ptr<Actor>> actors_;
+  EventQueue queue_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t total_messages_ = 0;
+  Time now_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace olb::sim

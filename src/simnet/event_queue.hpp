@@ -1,0 +1,83 @@
+// Binary min-heap of simulation events.
+//
+// std::priority_queue cannot hand back move-only elements, and we need a
+// deterministic total order (time, then insertion sequence), so we keep a
+// small hand-rolled heap.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "simnet/message.hpp"
+#include "simnet/time.hpp"
+
+namespace olb::sim {
+
+struct Event {
+  enum class Kind : std::uint8_t {
+    kArrival,  ///< a message reaches its destination's inbox
+    kWake,     ///< the destination actor should service its queues
+  };
+
+  Time time = 0;
+  std::uint64_t seq = 0;  ///< global insertion counter; ties broken FIFO
+  int dst = -1;
+  Kind kind = Kind::kWake;
+  Message msg;  ///< valid only for kArrival
+
+  bool before(const Event& other) const {
+    if (time != other.time) return time < other.time;
+    return seq < other.seq;
+  }
+};
+
+class EventQueue {
+ public:
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  void push(Event e) {
+    heap_.push_back(std::move(e));
+    sift_up(heap_.size() - 1);
+  }
+
+  /// Removes and returns the earliest event. Precondition: !empty().
+  Event pop() {
+    Event top = std::move(heap_.front());
+    heap_.front() = std::move(heap_.back());
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down(0);
+    return top;
+  }
+
+  const Event& peek() const { return heap_.front(); }
+
+ private:
+  void sift_up(std::size_t i) {
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!heap_[i].before(heap_[parent])) break;
+      std::swap(heap_[i], heap_[parent]);
+      i = parent;
+    }
+  }
+
+  void sift_down(std::size_t i) {
+    const std::size_t n = heap_.size();
+    while (true) {
+      const std::size_t left = 2 * i + 1;
+      const std::size_t right = 2 * i + 2;
+      std::size_t best = i;
+      if (left < n && heap_[left].before(heap_[best])) best = left;
+      if (right < n && heap_[right].before(heap_[best])) best = right;
+      if (best == i) return;
+      std::swap(heap_[i], heap_[best]);
+      i = best;
+    }
+  }
+
+  std::vector<Event> heap_;
+};
+
+}  // namespace olb::sim

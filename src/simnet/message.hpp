@@ -1,0 +1,48 @@
+// Messages exchanged between simulated peers.
+//
+// A message carries an application-defined integer type tag, three scalar
+// fields (enough for the protocols in this repo: request flags, counters,
+// bound values), and an optional owned payload for work transfers. Messages
+// are move-only: work travels, it is never duplicated.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "simnet/time.hpp"
+
+namespace olb::sim {
+
+/// Base class for owned message payloads (e.g. a chunk of work).
+/// Applications downcast via static_cast after checking the message type.
+struct MsgPayload {
+  virtual ~MsgPayload() = default;
+};
+
+struct Message {
+  int type = 0;
+  std::int64_t a = 0;
+  std::int64_t b = 0;
+  std::int64_t c = 0;
+  std::unique_ptr<MsgPayload> payload;
+
+  // Filled in by the engine on send.
+  int src = -1;
+  int dst = -1;
+  Time sent_at = 0;
+
+  Message() = default;
+  Message(int type_, std::int64_t a_ = 0, std::int64_t b_ = 0, std::int64_t c_ = 0)
+      : type(type_), a(a_), b(b_), c(c_) {}
+
+  Message(Message&&) noexcept = default;
+  Message& operator=(Message&&) noexcept = default;
+  Message(const Message&) = delete;
+  Message& operator=(const Message&) = delete;
+};
+
+/// Message type tag reserved by the engine for timer expiry. Application
+/// message types must be >= 0.
+inline constexpr int kTimerMsgType = -1;
+
+}  // namespace olb::sim

@@ -1,0 +1,140 @@
+// Chase-Lev work-stealing deque (Chase & Lev, SPAA'05; memory-order fixes
+// per Lê et al., PPoPP'13).
+//
+// The companion shared-memory artefact of this repo: the same work-stealing
+// ideas the paper studies across a cluster, in their classic single-node
+// form. One owner pushes/pops at the bottom; any number of thieves steal
+// from the top. Lock-free; the owner's fast path is a single relaxed load.
+//
+// T must be trivially copyable (slots are overwritten concurrently with
+// reads that lose the race — harmless only for trivial types; store
+// pointers for anything richer).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <type_traits>
+#include <vector>
+
+#include "support/check.hpp"
+
+namespace olb::steal {
+
+template <typename T>
+class ChaseLevDeque {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  explicit ChaseLevDeque(std::size_t initial_capacity = 64)
+      : buffer_(new Buffer(round_up(initial_capacity))) {}
+
+  ~ChaseLevDeque() {
+    delete buffer_.load(std::memory_order_relaxed);
+    for (Buffer* old : retired_) delete old;
+  }
+
+  ChaseLevDeque(const ChaseLevDeque&) = delete;
+  ChaseLevDeque& operator=(const ChaseLevDeque&) = delete;
+
+  /// Owner only: push at the bottom. Grows the buffer when full (old buffers
+  /// are retired, not freed, so racing thieves stay safe).
+  void push(T value) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    Buffer* buf = buffer_.load(std::memory_order_relaxed);
+    if (b - t >= static_cast<std::int64_t>(buf->capacity)) {
+      buf = grow(buf, t, b);
+    }
+    buf->put(b, value);
+    std::atomic_thread_fence(std::memory_order_release);
+    bottom_.store(b + 1, std::memory_order_relaxed);
+  }
+
+  /// Owner only: pop from the bottom (LIFO).
+  std::optional<T> pop() {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Buffer* buf = buffer_.load(std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+    if (t > b) {
+      // Deque was empty; restore.
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+    T value = buf->get(b);
+    if (t == b) {
+      // Last element: race against thieves for it.
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        bottom_.store(b + 1, std::memory_order_relaxed);
+        return std::nullopt;  // a thief won
+      }
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return value;
+  }
+
+  /// Any thread: steal from the top (FIFO side).
+  std::optional<T> steal() {
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_acquire);
+    if (t >= b) return std::nullopt;
+    Buffer* buf = buffer_.load(std::memory_order_consume);
+    T value = buf->get(t);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return std::nullopt;  // lost the race
+    }
+    return value;
+  }
+
+  /// Approximate size (exact only when quiescent).
+  std::size_t size() const {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? static_cast<std::size_t>(b - t) : 0;
+  }
+
+  bool empty() const { return size() == 0; }
+
+ private:
+  struct Buffer {
+    explicit Buffer(std::size_t cap) : capacity(cap), slots(cap) {}
+    std::size_t capacity;
+    std::vector<std::atomic<T>> slots;
+
+    T get(std::int64_t i) {
+      return slots[static_cast<std::size_t>(i) & (capacity - 1)].load(
+          std::memory_order_relaxed);
+    }
+    void put(std::int64_t i, T value) {
+      slots[static_cast<std::size_t>(i) & (capacity - 1)].store(
+          value, std::memory_order_relaxed);
+    }
+  };
+
+  static std::size_t round_up(std::size_t n) {
+    std::size_t cap = 8;
+    while (cap < n) cap *= 2;
+    return cap;
+  }
+
+  Buffer* grow(Buffer* old, std::int64_t t, std::int64_t b) {
+    auto* bigger = new Buffer(old->capacity * 2);
+    for (std::int64_t i = t; i < b; ++i) bigger->put(i, old->get(i));
+    buffer_.store(bigger, std::memory_order_release);
+    retired_.push_back(old);  // freed at destruction; thieves may still read
+    return bigger;
+  }
+
+  std::atomic<std::int64_t> top_{0};
+  std::atomic<std::int64_t> bottom_{0};
+  std::atomic<Buffer*> buffer_;
+  std::vector<Buffer*> retired_;  // owner-only
+};
+
+}  // namespace olb::steal

@@ -1,0 +1,94 @@
+#include "steal/work_stealing_pool.hpp"
+
+namespace olb::steal {
+
+namespace {
+constexpr std::size_t kNotAWorker = static_cast<std::size_t>(-1);
+}
+
+thread_local std::size_t WorkStealingPool::tls_worker_index_ = kNotAWorker;
+
+WorkStealingPool::WorkStealingPool(unsigned num_threads) {
+  OLB_CHECK(num_threads >= 1);
+  workers_.reserve(num_threads);
+  for (unsigned i = 0; i < num_threads; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  for (unsigned i = 0; i < num_threads; ++i) {
+    workers_[i]->thread = std::thread([this, i] { worker_loop(i); });
+  }
+}
+
+WorkStealingPool::~WorkStealingPool() {
+  wait_idle();
+  stopping_.store(true, std::memory_order_release);
+  idle_cv_.notify_all();
+  for (auto& w : workers_) w->thread.join();
+}
+
+void WorkStealingPool::spawn(TaskFn fn) {
+  outstanding_.fetch_add(1, std::memory_order_acq_rel);
+  auto* task = new Task{std::move(fn)};
+  const std::size_t self = tls_worker_index_;
+  if (self != kNotAWorker) {
+    workers_[self]->deque.push(task);
+  } else {
+    std::scoped_lock lock(inject_mutex_);
+    inject_queue_.push_back(task);
+  }
+  idle_cv_.notify_one();
+}
+
+void WorkStealingPool::wait_idle() {
+  // Busy-check with a short sleep: simple and correct (the counter reaches 0
+  // only when every task, including spawned descendants, has run).
+  while (outstanding_.load(std::memory_order_acquire) != 0) {
+    std::this_thread::yield();
+  }
+}
+
+WorkStealingPool::Task* WorkStealingPool::find_task(std::size_t self,
+                                                    Xoshiro256& rng) {
+  if (auto task = workers_[self]->deque.pop()) return *task;
+  {
+    std::scoped_lock lock(inject_mutex_);
+    if (!inject_queue_.empty()) {
+      Task* task = inject_queue_.front();
+      inject_queue_.pop_front();
+      return task;
+    }
+  }
+  // Random-victim stealing, a few rounds before giving up this poll.
+  const std::size_t n = workers_.size();
+  for (std::size_t attempt = 0; attempt < 2 * n; ++attempt) {
+    const std::size_t victim = static_cast<std::size_t>(rng.below(n));
+    if (victim == self) continue;
+    if (auto task = workers_[victim]->deque.steal()) {
+      steals_.fetch_add(1, std::memory_order_relaxed);
+      return *task;
+    }
+  }
+  return nullptr;
+}
+
+void WorkStealingPool::run_task(Task* task) {
+  task->fn(*this);
+  delete task;
+  outstanding_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+void WorkStealingPool::worker_loop(std::size_t index) {
+  tls_worker_index_ = index;
+  Xoshiro256 rng(mix64(0x706f6f6cull) ^ mix64(index + 1));
+  while (true) {
+    if (Task* task = find_task(index, rng)) {
+      run_task(task);
+      continue;
+    }
+    if (stopping_.load(std::memory_order_acquire)) return;
+    std::unique_lock lock(idle_mutex_);
+    idle_cv_.wait_for(lock, std::chrono::milliseconds(1));
+  }
+}
+
+}  // namespace olb::steal

@@ -1,0 +1,79 @@
+// A shared-memory work-stealing thread pool built on ChaseLevDeque.
+//
+// Each worker owns a deque of task pointers; idle workers steal from random
+// victims (the same random-victim/steal policy the paper's RWS baseline uses
+// across a cluster). Tasks may spawn subtasks; the pool runs until every
+// spawned task has finished (atomic outstanding-task counter — the
+// shared-memory analogue of distributed termination detection).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "steal/chase_lev_deque.hpp"
+#include "support/rng.hpp"
+
+namespace olb::steal {
+
+class WorkStealingPool {
+ public:
+  /// A task receives the pool so it can spawn() children.
+  using TaskFn = std::function<void(WorkStealingPool&)>;
+
+  explicit WorkStealingPool(unsigned num_threads =
+                                std::max(1u, std::thread::hardware_concurrency()));
+  ~WorkStealingPool();
+
+  WorkStealingPool(const WorkStealingPool&) = delete;
+  WorkStealingPool& operator=(const WorkStealingPool&) = delete;
+
+  /// Enqueues a task. From inside a task it pushes onto the local worker's
+  /// deque (owner-only fast path); from outside it goes through a locked
+  /// injection queue — a Chase-Lev deque has a single producer, so external
+  /// threads must never push into a worker's deque directly.
+  void spawn(TaskFn fn);
+
+  /// Blocks until all spawned tasks (including transitively spawned ones)
+  /// have completed. Callable from the owner thread only.
+  void wait_idle();
+
+  unsigned num_threads() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Total successful steals across the pool (for tests/benchmarks).
+  std::uint64_t steals() const { return steals_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Task {
+    TaskFn fn;
+  };
+
+  struct Worker {
+    ChaseLevDeque<Task*> deque;
+    std::thread thread;
+  };
+
+  void worker_loop(std::size_t index);
+  Task* find_task(std::size_t self, Xoshiro256& rng);
+  void run_task(Task* task);
+
+  static thread_local std::size_t tls_worker_index_;
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::atomic<std::uint64_t> outstanding_{0};
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> steals_{0};
+
+  std::mutex inject_mutex_;
+  std::deque<Task*> inject_queue_;  ///< externally spawned tasks
+
+  std::mutex idle_mutex_;
+  std::condition_variable idle_cv_;
+};
+
+}  // namespace olb::steal

@@ -1,0 +1,30 @@
+// Lightweight runtime-check macros used across the library.
+//
+// OLB_CHECK is active in all build types: protocol invariants in a
+// distributed-algorithm codebase are cheap relative to simulated work and
+// catching a violated invariant beats silently corrupting an experiment.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace olb {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const char* msg) {
+  std::fprintf(stderr, "OLB_CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace olb
+
+#define OLB_CHECK(expr)                                        \
+  do {                                                         \
+    if (!(expr)) ::olb::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define OLB_CHECK_MSG(expr, msg)                                \
+  do {                                                          \
+    if (!(expr)) ::olb::check_failed(#expr, __FILE__, __LINE__, msg); \
+  } while (0)

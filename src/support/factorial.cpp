@@ -1,0 +1,39 @@
+#include "support/factorial.hpp"
+
+#include <algorithm>
+
+namespace olb {
+
+std::uint64_t permutation_rank(std::span<const int> perm) {
+  const int s = static_cast<int>(perm.size());
+  OLB_CHECK(s <= kMaxFactorialArg);
+  std::uint64_t rank = 0;
+  for (int i = 0; i < s; ++i) {
+    // Count elements after position i that are smaller than perm[i].
+    int smaller = 0;
+    for (int j = i + 1; j < s; ++j) {
+      if (perm[j] < perm[i]) ++smaller;
+    }
+    rank += static_cast<std::uint64_t>(smaller) * factorial(s - 1 - i);
+  }
+  return rank;
+}
+
+std::vector<int> permutation_unrank(std::uint64_t rank, int s) {
+  OLB_CHECK(s >= 0 && s <= kMaxFactorialArg);
+  OLB_CHECK(rank < factorial(s));
+  std::vector<int> pool(static_cast<std::size_t>(s));
+  for (int i = 0; i < s; ++i) pool[static_cast<std::size_t>(i)] = i;
+  std::vector<int> perm;
+  perm.reserve(static_cast<std::size_t>(s));
+  for (int i = 0; i < s; ++i) {
+    const std::uint64_t f = factorial(s - 1 - i);
+    const auto idx = static_cast<std::size_t>(rank / f);
+    rank %= f;
+    perm.push_back(pool[idx]);
+    pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(idx));
+  }
+  return perm;
+}
+
+}  // namespace olb

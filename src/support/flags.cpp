@@ -1,0 +1,106 @@
+#include "support/flags.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "support/check.hpp"
+
+namespace olb {
+
+Flags& Flags::define(std::string name, std::string default_value, std::string help) {
+  OLB_CHECK_MSG(find(name) == nullptr, "duplicate flag definition");
+  entries_.push_back(Entry{std::move(name), default_value, std::move(default_value),
+                           std::move(help)});
+  return *this;
+}
+
+bool Flags::parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage(argv[0]);
+      return false;
+    }
+    if (arg.size() < 3 || arg.substr(0, 2) != "--") {
+      std::fprintf(stderr, "unexpected argument: %s\n", argv[i]);
+      print_usage(argv[0]);
+      return false;
+    }
+    arg.remove_prefix(2);
+    std::string name;
+    std::string value;
+    if (const auto eq = arg.find('='); eq != std::string_view::npos) {
+      name = std::string(arg.substr(0, eq));
+      value = std::string(arg.substr(eq + 1));
+    } else {
+      name = std::string(arg);
+      if (i + 1 < argc && std::string_view(argv[i + 1]).substr(0, 2) != "--") {
+        value = argv[++i];
+      } else {
+        value = "true";  // bare boolean flag
+      }
+    }
+    Entry* entry = find(name);
+    if (entry == nullptr) {
+      std::fprintf(stderr, "unknown flag: --%s\n", name.c_str());
+      print_usage(argv[0]);
+      return false;
+    }
+    entry->value = std::move(value);
+  }
+  return true;
+}
+
+std::string Flags::get(std::string_view name) const {
+  const Entry* entry = find(name);
+  OLB_CHECK_MSG(entry != nullptr, "flag not defined");
+  return entry->value;
+}
+
+std::int64_t Flags::get_int(std::string_view name) const {
+  return std::strtoll(get(name).c_str(), nullptr, 10);
+}
+
+double Flags::get_double(std::string_view name) const {
+  return std::strtod(get(name).c_str(), nullptr);
+}
+
+bool Flags::get_bool(std::string_view name) const {
+  const std::string v = get(name);
+  return v == "true" || v == "1" || v == "yes" || v == "on";
+}
+
+std::vector<std::int64_t> Flags::get_int_list(std::string_view name) const {
+  std::vector<std::int64_t> out;
+  const std::string v = get(name);
+  std::size_t pos = 0;
+  while (pos < v.size()) {
+    std::size_t comma = v.find(',', pos);
+    if (comma == std::string::npos) comma = v.size();
+    out.push_back(std::strtoll(v.substr(pos, comma - pos).c_str(), nullptr, 10));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+void Flags::print_usage(std::string_view program) const {
+  std::fprintf(stderr, "usage: %.*s [flags]\n", static_cast<int>(program.size()),
+               program.data());
+  for (const Entry& e : entries_) {
+    std::fprintf(stderr, "  --%-24s %s (default: %s)\n", e.name.c_str(),
+                 e.help.c_str(), e.default_value.c_str());
+  }
+}
+
+const Flags::Entry* Flags::find(std::string_view name) const {
+  for (const Entry& e : entries_) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+Flags::Entry* Flags::find(std::string_view name) {
+  return const_cast<Entry*>(static_cast<const Flags*>(this)->find(name));
+}
+
+}  // namespace olb

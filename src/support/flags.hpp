@@ -1,0 +1,49 @@
+// Tiny command-line flag parser for the bench harnesses and examples.
+//
+// Supports `--name=value` and `--name value` forms plus `--help`. Each
+// binary registers its flags up front so `--help` prints a usage table.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace olb {
+
+class Flags {
+ public:
+  /// Registers a flag with a default value and help text. Returns *this for
+  /// chaining. Must be called before parse().
+  Flags& define(std::string name, std::string default_value, std::string help);
+
+  /// Parses argv. On `--help` prints usage and returns false (caller should
+  /// exit 0). Unknown flags are a hard error (prints usage, returns false).
+  bool parse(int argc, char** argv);
+
+  std::string get(std::string_view name) const;
+  std::int64_t get_int(std::string_view name) const;
+  double get_double(std::string_view name) const;
+  bool get_bool(std::string_view name) const;
+
+  /// Comma-separated integer list, e.g. "100,200,500".
+  std::vector<std::int64_t> get_int_list(std::string_view name) const;
+
+  void print_usage(std::string_view program) const;
+
+ private:
+  struct Entry {
+    std::string name;
+    std::string value;
+    std::string default_value;
+    std::string help;
+  };
+
+  const Entry* find(std::string_view name) const;
+  Entry* find(std::string_view name);
+
+  std::vector<Entry> entries_;
+};
+
+}  // namespace olb

@@ -1,0 +1,93 @@
+// Deterministic, seedable random number generation.
+//
+// Experiments must be reproducible bit-for-bit across runs and platforms, so
+// we avoid std::mt19937/std::uniform_int_distribution (whose algorithms are
+// implementation-defined for distributions) and implement splitmix64 (for
+// seeding) and xoshiro256** (for streams), both public-domain algorithms by
+// Blackman & Vigna.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "support/check.hpp"
+
+namespace olb {
+
+/// One step of the splitmix64 generator; also a good 64-bit mixing function.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// Stateless mix of a single value (hash-style use of splitmix64).
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  std::uint64_t s = x;
+  return splitmix64(s);
+}
+
+/// xoshiro256** 1.0 — fast all-purpose 64-bit generator with 2^256 period.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words from splitmix64(seed), as recommended by the
+  /// authors (guarantees a non-zero state).
+  explicit constexpr Xoshiro256(std::uint64_t seed = 0x9d2c5680u) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  constexpr result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound), bound > 0. Uses Lemire's multiply-shift
+  /// rejection method — unbiased and implementation-independent.
+  constexpr std::uint64_t below(std::uint64_t bound) {
+    OLB_CHECK(bound > 0);
+    // 128-bit multiply; rejection zone keeps the result exactly uniform.
+    while (true) {
+      const std::uint64_t x = (*this)();
+      const __uint128_t m = static_cast<__uint128_t>(x) * bound;
+      const std::uint64_t lo = static_cast<std::uint64_t>(m);
+      if (lo >= bound || lo >= (-bound) % bound) {
+        return static_cast<std::uint64_t>(m >> 64);
+      }
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  constexpr std::int64_t uniform(std::int64_t lo, std::int64_t hi) {
+    OLB_CHECK(lo <= hi);
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(below(span));
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform01() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace olb

@@ -1,0 +1,52 @@
+// Minimal SHA-1 (FIPS 180-1) implementation.
+//
+// The UTS benchmark derives each tree node's random stream by hashing the
+// parent's 20-byte descriptor plus a 4-byte child index with SHA-1; we
+// implement the digest from scratch so the generator is self-contained and
+// bit-faithful to the reference benchmark. SHA-1 is used here purely as a
+// deterministic pseudo-random function, not for security.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace olb {
+
+using Sha1Digest = std::array<std::uint8_t, 20>;
+
+/// Incremental SHA-1 hasher.
+class Sha1 {
+ public:
+  Sha1() { reset(); }
+
+  void reset();
+  void update(std::span<const std::uint8_t> data);
+  void update(const void* data, std::size_t len) {
+    update(std::span(static_cast<const std::uint8_t*>(data), len));
+  }
+  /// Finalizes and returns the digest. The hasher must be reset() before reuse.
+  Sha1Digest finish();
+
+  /// One-shot convenience.
+  static Sha1Digest hash(std::span<const std::uint8_t> data) {
+    Sha1 h;
+    h.update(data);
+    return h.finish();
+  }
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 5> h_{};
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+/// Hex string of a digest (for tests and debugging).
+std::string to_hex(const Sha1Digest& digest);
+
+}  // namespace olb

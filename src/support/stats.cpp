@@ -1,0 +1,33 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace olb {
+
+Summary summarize(std::span<const double> xs) {
+  RunningStats acc;
+  for (double x : xs) acc.add(x);
+  Summary s;
+  s.mean = acc.mean();
+  s.stddev = acc.stddev();
+  s.min = acc.min();
+  s.max = acc.max();
+  s.count = acc.count();
+  return s;
+}
+
+double percentile(std::vector<double> xs, double p) {
+  OLB_CHECK(!xs.empty());
+  OLB_CHECK(p >= 0.0 && p <= 1.0);
+  std::sort(xs.begin(), xs.end());
+  if (xs.size() == 1) return xs.front();
+  const double pos = p * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+}  // namespace olb

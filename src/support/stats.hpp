@@ -1,0 +1,55 @@
+// Descriptive statistics for experiment reporting.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace olb {
+
+/// Welford-style online accumulator: mean, sample stddev, min, max.
+class RunningStats {
+ public:
+  void add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+
+  std::size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  /// Sample standard deviation (n-1 denominator); 0 for fewer than 2 points.
+  double stddev() const {
+    return count_ > 1 ? std::sqrt(m2_ / static_cast<double>(count_ - 1)) : 0.0;
+  }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Summary of a sample, as reported in the paper's Table I.
+struct Summary {
+  double mean = 0;
+  double stddev = 0;
+  double min = 0;
+  double max = 0;
+  std::size_t count = 0;
+};
+
+Summary summarize(std::span<const double> xs);
+
+/// p in [0,1]; linear interpolation between order statistics.
+double percentile(std::vector<double> xs, double p);
+
+}  // namespace olb

@@ -1,0 +1,39 @@
+// Column-aligned text tables and CSV emission for experiment output.
+//
+// Every bench harness prints the same rows/series the paper reports; Table
+// keeps that output readable on a terminal and machine-parsable as CSV.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace olb {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience cell formatters.
+  static std::string cell(double v, int precision = 1);
+  static std::string cell(std::int64_t v);
+  static std::string cell(std::uint64_t v);
+
+  /// Renders with aligned columns and a separator under the header.
+  void print(std::ostream& os) const;
+
+  /// Renders as CSV (no quoting — cells must not contain commas).
+  void print_csv(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace olb

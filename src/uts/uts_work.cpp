@@ -1,0 +1,59 @@
+#include "uts/uts_work.hpp"
+
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace olb::uts {
+
+std::unique_ptr<UtsWork> UtsWork::whole_tree(const Params& params,
+                                             const CostModel& costs) {
+  auto work = std::make_unique<UtsWork>(params, costs);
+  work->pending_.push_back({root_state(params), 0});
+  return work;
+}
+
+std::unique_ptr<lb::Work> UtsWork::split(double fraction) {
+  OLB_CHECK(fraction > 0.0 && fraction < 1.0);
+  if (pending_.size() < 2) return nullptr;  // a single node is indivisible
+  auto take = static_cast<std::size_t>(
+      std::llround(fraction * static_cast<double>(pending_.size())));
+  if (take == 0) take = 1;
+  if (take >= pending_.size()) take = pending_.size() - 1;
+
+  auto out = std::make_unique<UtsWork>(params_, costs_);
+  for (std::size_t i = 0; i < take; ++i) {
+    out->pending_.push_back(std::move(pending_.front()));
+    pending_.pop_front();
+  }
+  return out;
+}
+
+void UtsWork::merge(std::unique_ptr<lb::Work> other) {
+  auto* uts = dynamic_cast<UtsWork*>(other.get());
+  OLB_CHECK_MSG(uts != nullptr, "cannot merge foreign work into UtsWork");
+  for (auto& p : uts->pending_) pending_.push_back(std::move(p));
+  nodes_counted_ += uts->nodes_counted_;
+  uts->pending_.clear();
+  uts->nodes_counted_ = 0;
+}
+
+lb::StepResult UtsWork::step(std::uint64_t max_units) {
+  lb::StepResult result;
+  while (result.units_done < max_units && !pending_.empty()) {
+    const Pending item = pending_.back();
+    pending_.pop_back();
+    ++result.units_done;
+    ++nodes_counted_;
+    result.sim_cost += costs_.per_node;
+    const int kids = num_children(params_, item.state, item.depth);
+    for (int i = 0; i < kids; ++i) {
+      pending_.push_back({child_state(params_, item.state, static_cast<std::uint32_t>(i)),
+                          item.depth + 1});
+      result.sim_cost += costs_.per_child;
+    }
+  }
+  return result;
+}
+
+}  // namespace olb::uts

@@ -1,0 +1,71 @@
+// UTS adapter for the generic lb::Work interface.
+//
+// Pending (generated but unexplored) tree nodes live in a deque: DFS
+// processing pops from the back, stealing splits off the *front* — the
+// oldest, shallowest entries, which statistically root the largest subtrees
+// (the classic work-stealing convention). amount() is the deque length.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+
+#include "lb/work.hpp"
+#include "simnet/time.hpp"
+#include "uts/uts.hpp"
+
+namespace olb::uts {
+
+/// Simulated cost model for processing UTS nodes.
+struct CostModel {
+  sim::Time per_node = sim::microseconds(1);   ///< per node visited
+  sim::Time per_child = sim::microseconds(1);  ///< per child state generated
+};
+
+class UtsWork final : public lb::Work {
+ public:
+  UtsWork(Params params, CostModel costs) : params_(params), costs_(costs) {}
+
+  /// The whole tree as one pending node (the root).
+  static std::unique_ptr<UtsWork> whole_tree(const Params& params,
+                                             const CostModel& costs);
+
+  double amount() const override { return static_cast<double>(pending_.size()); }
+  bool empty() const override { return pending_.empty(); }
+  std::unique_ptr<lb::Work> split(double fraction) override;
+  void merge(std::unique_ptr<lb::Work> other) override;
+  lb::StepResult step(std::uint64_t max_units) override;
+
+  std::uint64_t nodes_counted() const { return nodes_counted_; }
+
+ private:
+  struct Pending {
+    NodeState state;
+    int depth = 0;
+  };
+
+  Params params_;
+  CostModel costs_;
+  std::deque<Pending> pending_;
+  std::uint64_t nodes_counted_ = 0;
+};
+
+/// Workload wrapper used by experiment drivers.
+class UtsWorkload final : public lb::Workload {
+ public:
+  UtsWorkload(Params params, CostModel costs) : params_(params), costs_(costs) {}
+
+  std::unique_ptr<lb::Work> make_root_work() override {
+    return UtsWork::whole_tree(params_, costs_);
+  }
+  const char* name() const override { return "UTS"; }
+
+  const Params& params() const { return params_; }
+  const CostModel& costs() const { return costs_; }
+
+ private:
+  Params params_;
+  CostModel costs_;
+};
+
+}  // namespace olb::uts

@@ -1,0 +1,392 @@
+// Tests for the flowshop/B&B substrate: Taillard generator, makespan
+// evaluation, bound soundness, interval-encoded exploration, NEH.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "bb/bb_work.hpp"
+#include "bb/bounds.hpp"
+#include "bb/flowshop.hpp"
+#include "bb/interval_bb.hpp"
+#include "support/factorial.hpp"
+#include "support/rng.hpp"
+
+namespace olb::bb {
+namespace {
+
+FlowshopInstance random_instance(int jobs, int machines, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<int> p(static_cast<std::size_t>(jobs * machines));
+  for (auto& v : p) v = static_cast<int>(rng.uniform(1, 99));
+  return FlowshopInstance("rnd", jobs, machines, std::move(p));
+}
+
+// --------------------------------------------------------------- Taillard ---
+
+TEST(Taillard, RngMatchesPublishedRecurrence) {
+  // First values of the Lehmer stream from seed 1: 16807, 282475249, ...
+  TaillardRng rng(1);
+  (void)rng.next(0, 0);
+  EXPECT_EQ(rng.state(), 16807);
+  (void)rng.next(0, 0);
+  EXPECT_EQ(rng.state(), 282475249);
+  (void)rng.next(0, 0);
+  EXPECT_EQ(rng.state(), 1622650073);
+}
+
+TEST(Taillard, ValuesAreInRange) {
+  TaillardRng rng(479340445);
+  for (int i = 0; i < 1000; ++i) {
+    const int v = rng.next(1, 99);
+    ASSERT_GE(v, 1);
+    ASSERT_LE(v, 99);
+  }
+}
+
+TEST(Taillard, InstanceGenerationIsDeterministic) {
+  const auto a = FlowshopInstance::taillard("a", 20, 20, 479340445);
+  const auto b = FlowshopInstance::taillard("b", 20, 20, 479340445);
+  for (int j = 0; j < 20; ++j) {
+    for (int k = 0; k < 20; ++k) EXPECT_EQ(a.p(j, k), b.p(j, k));
+  }
+}
+
+TEST(Taillard, ScaledInstanceIsLeadingSubmatrixOfFull) {
+  const auto full =
+      FlowshopInstance::taillard("f", 20, 20, FlowshopInstance::ta20x20_seeds()[2]);
+  const auto scaled = FlowshopInstance::ta20x20_scaled(2, 9, 7);
+  EXPECT_EQ(scaled.name(), "Ta23s");
+  for (int j = 0; j < 9; ++j) {
+    for (int k = 0; k < 7; ++k) EXPECT_EQ(scaled.p(j, k), full.p(j, k));
+  }
+}
+
+TEST(Taillard, TenSeedsAllDistinct) {
+  const auto seeds = FlowshopInstance::ta20x20_seeds();
+  ASSERT_EQ(seeds.size(), 10u);
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    for (std::size_t j = i + 1; j < seeds.size(); ++j) {
+      EXPECT_NE(seeds[i], seeds[j]);
+    }
+  }
+}
+
+// ----------------------------------------------------------------- makespan ---
+
+TEST(Flowshop, MakespanHandComputed) {
+  // 2 jobs, 2 machines: p(j0)=(3,2), p(j1)=(1,4). Order (0,1):
+  // M0: j0 [0,3], j1 [3,4]; M1: j0 [3,5], j1 [5,9] -> 9.
+  // Order (1,0): M0: j1 [0,1], j0 [1,4]; M1: j1 [1,5], j0 [5,7] -> 7.
+  FlowshopInstance inst("hand", 2, 2, {3, 1, 2, 4});  // machine-major
+  const int order01[] = {0, 1};
+  const int order10[] = {1, 0};
+  EXPECT_EQ(inst.makespan(order01), 9);
+  EXPECT_EQ(inst.makespan(order10), 7);
+}
+
+TEST(Flowshop, SingleMachineMakespanIsSum) {
+  FlowshopInstance inst("m1", 4, 1, {5, 7, 2, 9});
+  std::vector<int> perm = {2, 0, 3, 1};
+  EXPECT_EQ(inst.makespan(perm), 23);
+}
+
+TEST(Flowshop, AdvanceMatchesMakespan) {
+  const auto inst = random_instance(6, 4, 77);
+  std::vector<int> perm(6);
+  std::iota(perm.begin(), perm.end(), 0);
+  std::vector<std::int64_t> completion(4, 0);
+  for (int j : perm) inst.advance(completion, j);
+  EXPECT_EQ(completion[3], inst.makespan(perm));
+}
+
+TEST(Flowshop, TailSumsAreConsistent) {
+  const auto inst = random_instance(5, 6, 13);
+  for (int j = 0; j < 5; ++j) {
+    std::int64_t total = 0;
+    for (int k = 0; k < 6; ++k) total += inst.p(j, k);
+    EXPECT_EQ(inst.total_time(j), total);
+    EXPECT_EQ(inst.tail_after(j, 5), 0);
+    EXPECT_EQ(inst.tail_after(j, 2), inst.p(j, 3) + inst.p(j, 4) + inst.p(j, 5));
+  }
+}
+
+// --------------------------------------------------------------------- NEH ---
+
+TEST(Neh, ProducesAValidPermutation) {
+  const auto inst = random_instance(8, 5, 21);
+  auto seq = neh_heuristic(inst);
+  std::sort(seq.begin(), seq.end());
+  for (int j = 0; j < 8; ++j) EXPECT_EQ(seq[static_cast<std::size_t>(j)], j);
+}
+
+TEST(Neh, NeverWorseThanIdentityOrderOnSamples) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const auto inst = random_instance(7, 4, seed);
+    std::vector<int> identity(7);
+    std::iota(identity.begin(), identity.end(), 0);
+    EXPECT_LE(inst.makespan(neh_heuristic(inst)), inst.makespan(identity));
+  }
+}
+
+TEST(Neh, CloseToOptimumOnSmallInstances) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto inst = random_instance(7, 5, seed * 31);
+    const auto opt = brute_force_optimum(inst);
+    const auto neh = inst.makespan(neh_heuristic(inst));
+    EXPECT_LE(neh, opt + opt / 10 + 50);  // generous: NEH is a heuristic
+    EXPECT_GE(neh, opt);
+  }
+}
+
+// ------------------------------------------------------------------- bounds ---
+
+TEST(Bounds, EmptyPrefixBoundBelowOptimum) {
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    const auto inst = random_instance(6, 4, seed);
+    const auto opt = brute_force_optimum(inst);
+    std::vector<std::int64_t> completion(4, 0);
+    std::vector<int> remaining(6);
+    std::iota(remaining.begin(), remaining.end(), 0);
+    for (auto kind : {BoundKind::kOneMachine, BoundKind::kTwoMachine}) {
+      const auto lb = lower_bound(inst, completion, remaining, kind);
+      EXPECT_LE(lb, opt) << "seed " << seed;
+      EXPECT_GT(lb, 0);
+    }
+  }
+}
+
+TEST(Bounds, SoundOnRandomPrefixes) {
+  // Property: LB(prefix) <= makespan of the best completion of that prefix.
+  Xoshiro256 rng(12345);
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto inst = random_instance(6, 3, 1000 + trial);
+    // Random prefix of random length.
+    std::vector<int> jobs(6);
+    std::iota(jobs.begin(), jobs.end(), 0);
+    for (std::size_t i = jobs.size(); i > 1; --i) {
+      std::swap(jobs[i - 1], jobs[rng.below(i)]);
+    }
+    const auto prefix_len = static_cast<std::size_t>(rng.below(6));
+    std::vector<std::int64_t> completion(3, 0);
+    for (std::size_t i = 0; i < prefix_len; ++i) inst.advance(completion, jobs[i]);
+    std::vector<int> remaining(jobs.begin() + static_cast<std::ptrdiff_t>(prefix_len),
+                               jobs.end());
+    std::sort(remaining.begin(), remaining.end());
+
+    // Best completion by brute force over remaining permutations.
+    std::int64_t best = std::numeric_limits<std::int64_t>::max();
+    std::vector<int> tail = remaining;
+    do {
+      auto c = completion;
+      for (int j : tail) inst.advance(c, j);
+      best = std::min(best, c[2]);
+    } while (std::next_permutation(tail.begin(), tail.end()));
+
+    for (auto kind : {BoundKind::kOneMachine, BoundKind::kTwoMachine}) {
+      EXPECT_LE(lower_bound(inst, completion, remaining, kind), best)
+          << "trial " << trial;
+    }
+  }
+}
+
+TEST(Bounds, TwoMachineAtLeastOneMachine) {
+  for (std::uint64_t seed = 50; seed < 70; ++seed) {
+    const auto inst = random_instance(8, 5, seed);
+    std::vector<std::int64_t> completion(5, 0);
+    std::vector<int> remaining(8);
+    std::iota(remaining.begin(), remaining.end(), 0);
+    EXPECT_GE(lower_bound(inst, completion, remaining, BoundKind::kTwoMachine),
+              lower_bound(inst, completion, remaining, BoundKind::kOneMachine));
+  }
+}
+
+TEST(Bounds, CompletePrefixReturnsMakespan) {
+  const auto inst = random_instance(5, 4, 3);
+  std::vector<int> perm = {4, 2, 0, 1, 3};
+  std::vector<std::int64_t> completion(4, 0);
+  for (int j : perm) inst.advance(completion, j);
+  EXPECT_EQ(lower_bound(inst, completion, {}, BoundKind::kOneMachine),
+            inst.makespan(perm));
+}
+
+TEST(Bounds, JohnsonCmaxMatchesBruteForceOnTwoMachines) {
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    const auto inst = random_instance(6, 2, seed * 7);
+    std::vector<int> jobs(6);
+    std::iota(jobs.begin(), jobs.end(), 0);
+    EXPECT_EQ(johnson_cmax(inst, jobs, 0, 1), brute_force_optimum(inst));
+  }
+}
+
+// ------------------------------------------------------- interval explorer ---
+
+TEST(IntervalExplorer, FullIntervalFindsOptimum) {
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    const auto inst = random_instance(7, 4, seed * 3 + 1);
+    const auto opt = brute_force_optimum(inst);
+    for (auto kind : {BoundKind::kOneMachine, BoundKind::kTwoMachine}) {
+      const auto result = solve_sequential(inst, kind);
+      EXPECT_EQ(result.optimum, opt) << "seed " << seed;
+      EXPECT_EQ(inst.makespan(result.permutation), opt);
+    }
+  }
+}
+
+TEST(IntervalExplorer, DisjointPiecesCoverTheWholeSpace) {
+  // Split [0, 7!) into k pieces, explore each with an independent UB, take
+  // the min: must equal the optimum regardless of the cut points.
+  const auto inst = random_instance(7, 4, 99);
+  const auto opt = brute_force_optimum(inst);
+  auto shared = std::make_shared<const FlowshopInstance>(inst);
+  const std::uint64_t total = factorial(7);
+  Xoshiro256 rng(8);
+  for (int pieces : {2, 3, 8}) {
+    std::vector<std::uint64_t> cuts = {0, total};
+    for (int i = 1; i < pieces; ++i) cuts.push_back(rng.below(total));
+    std::sort(cuts.begin(), cuts.end());
+    std::int64_t best = std::numeric_limits<std::int64_t>::max();
+    for (std::size_t i = 0; i + 1 < cuts.size(); ++i) {
+      if (cuts[i] == cuts[i + 1]) continue;
+      IntervalExplorer explorer(shared, cuts[i], cuts[i + 1], BoundKind::kOneMachine);
+      std::int64_t ub = std::numeric_limits<std::int64_t>::max();
+      while (!explorer.done()) (void)explorer.run(1 << 16, ub, nullptr);
+      best = std::min(best, ub);
+    }
+    EXPECT_EQ(best, opt) << pieces << " pieces";
+  }
+}
+
+TEST(IntervalExplorer, InitialUpperBoundPrunesButKeepsOptimum) {
+  const auto inst = random_instance(8, 5, 5);
+  const auto cold = solve_sequential(inst, BoundKind::kOneMachine);
+  const auto warm = solve_sequential(inst, BoundKind::kOneMachine,
+                                     inst.makespan(neh_heuristic(inst)) + 1);
+  EXPECT_EQ(cold.optimum, warm.optimum);
+  EXPECT_LE(warm.nodes, cold.nodes);  // warm start can only prune more
+}
+
+TEST(IntervalExplorer, ShrinkEndNeverLosesTheOptimum) {
+  // Start a full exploration, steal the right part mid-flight, finish both
+  // halves: min of the two must be the optimum.
+  const auto inst = random_instance(7, 4, 123);
+  const auto opt = brute_force_optimum(inst);
+  auto shared = std::make_shared<const FlowshopInstance>(inst);
+  IntervalExplorer victim(shared, 0, factorial(7), BoundKind::kOneMachine);
+  std::int64_t ub1 = std::numeric_limits<std::int64_t>::max();
+  (void)victim.run(50, ub1, nullptr);  // advance a little
+  ASSERT_FALSE(victim.done());
+  const std::uint64_t mid = victim.position() + victim.remaining() / 2;
+  IntervalExplorer thief(shared, mid, victim.end(), BoundKind::kOneMachine);
+  victim.shrink_end(mid);
+  std::int64_t ub2 = std::numeric_limits<std::int64_t>::max();
+  while (!victim.done()) (void)victim.run(1 << 16, ub1, nullptr);
+  while (!thief.done()) (void)thief.run(1 << 16, ub2, nullptr);
+  EXPECT_EQ(std::min(ub1, ub2), opt);
+}
+
+TEST(IntervalExplorer, TwoMachineBoundExploresNoMoreNodes) {
+  const auto inst = random_instance(9, 5, 31);
+  const auto one = solve_sequential(inst, BoundKind::kOneMachine);
+  const auto two = solve_sequential(inst, BoundKind::kTwoMachine);
+  EXPECT_EQ(one.optimum, two.optimum);
+  EXPECT_LE(two.nodes, one.nodes);
+}
+
+TEST(IntervalExplorer, RecorderCapturesOptimalPermutation) {
+  const auto inst = random_instance(7, 3, 55);
+  const auto result = solve_sequential(inst, BoundKind::kOneMachine);
+  ASSERT_EQ(static_cast<int>(result.permutation.size()), 7);
+  EXPECT_EQ(inst.makespan(result.permutation), result.optimum);
+}
+
+// -------------------------------------------------------------- work adapter ---
+
+TEST(BBWork, SplitConservesIntervalLength) {
+  const auto inst = random_instance(8, 4, 9);
+  BBWorkload workload(inst, BoundKind::kOneMachine, CostModel{});
+  auto work = workload.make_root_work();
+  const double total = work->amount();
+  auto piece = work->split(0.25);
+  ASSERT_NE(piece, nullptr);
+  EXPECT_DOUBLE_EQ(work->amount() + piece->amount(), total);
+  EXPECT_NEAR(piece->amount(), total * 0.25, 1.0);
+}
+
+TEST(BBWork, SplitMergeStillFindsOptimum) {
+  const auto inst = random_instance(7, 4, 17);
+  const auto opt = brute_force_optimum(inst);
+  BBWorkload workload(inst, BoundKind::kOneMachine, CostModel{});
+  auto work = workload.make_root_work();
+  auto a = work->split(0.3);
+  auto b = work->split(0.5);
+  work->merge(std::move(a));
+  work->merge(std::move(b));
+  while (!work->empty()) (void)work->step(1 << 16);
+  EXPECT_EQ(workload.best().makespan(), opt);
+}
+
+TEST(BBWork, ObserveBoundPropagatesToExploration) {
+  const auto inst = random_instance(9, 5, 41);
+  // Exploring with a tight external bound must visit far fewer nodes.
+  BBWorkload cold(inst, BoundKind::kOneMachine, CostModel{});
+  auto w1 = cold.make_root_work();
+  std::uint64_t nodes_cold = 0;
+  while (!w1->empty()) nodes_cold += w1->step(1 << 16).units_done;
+
+  BBWorkload warm(inst, BoundKind::kOneMachine, CostModel{});
+  auto w2 = warm.make_root_work();
+  w2->observe_bound(cold.best().makespan() + 1);
+  std::uint64_t nodes_warm = 0;
+  while (!w2->empty()) nodes_warm += w2->step(1 << 16).units_done;
+
+  EXPECT_LT(nodes_warm, nodes_cold);
+  EXPECT_EQ(warm.best().makespan(), cold.best().makespan());
+}
+
+TEST(BBWork, StepReportsImprovedBounds) {
+  const auto inst = random_instance(7, 4, 71);
+  BBWorkload workload(inst, BoundKind::kOneMachine, CostModel{});
+  auto work = workload.make_root_work();
+  bool ever_improved = false;
+  std::int64_t last = lb::kNoBound;
+  while (!work->empty()) {
+    const auto r = work->step(64);
+    if (r.improved_bound) {
+      ever_improved = true;
+      EXPECT_LT(r.bound, last);
+      last = r.bound;
+    }
+  }
+  EXPECT_TRUE(ever_improved);
+  EXPECT_EQ(last, workload.best().makespan());
+}
+
+TEST(BBWork, IntervalTruncateDropsReassignedPart) {
+  const auto inst = random_instance(8, 4, 83);
+  BBWorkload workload(inst, BoundKind::kOneMachine, CostModel{});
+  auto work = workload.make_root_work();
+  auto* iv = dynamic_cast<lb::IntervalWork*>(work.get());
+  ASSERT_NE(iv, nullptr);
+  const std::uint64_t end = iv->interval_end();
+  iv->interval_truncate(end / 2);
+  EXPECT_EQ(iv->interval_end(), end / 2);
+  EXPECT_DOUBLE_EQ(work->amount(), static_cast<double>(end / 2));
+  // Truncating behind the position empties the work.
+  (void)work->step(10);
+  iv->interval_truncate(iv->interval_position());
+  EXPECT_TRUE(work->empty() || iv->interval_end() > iv->interval_position());
+}
+
+TEST(BBWork, CostModelCharged) {
+  const auto inst = random_instance(7, 4, 29);
+  CostModel costs;
+  costs.per_node = sim::microseconds(50);
+  BBWorkload workload(inst, BoundKind::kOneMachine, costs);
+  auto work = workload.make_root_work();
+  const auto r = work->step(100);
+  EXPECT_EQ(r.sim_cost, static_cast<sim::Time>(r.units_done) * sim::microseconds(50));
+}
+
+}  // namespace
+}  // namespace olb::bb

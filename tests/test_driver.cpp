@@ -1,0 +1,125 @@
+// Tests for the experiment driver: configuration helpers, metric
+// consistency, and the two-cluster network path used past 800 peers.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "bb/bb_work.hpp"
+#include "lb/driver.hpp"
+#include "uts/uts_work.hpp"
+
+namespace olb {
+namespace {
+
+TEST(Driver, StrategyNames) {
+  EXPECT_STREQ(lb::strategy_name(lb::Strategy::kOverlayTD), "TD");
+  EXPECT_STREQ(lb::strategy_name(lb::Strategy::kOverlayTR), "TR");
+  EXPECT_STREQ(lb::strategy_name(lb::Strategy::kOverlayBTD), "BTD");
+  EXPECT_STREQ(lb::strategy_name(lb::Strategy::kRWS), "RWS");
+  EXPECT_STREQ(lb::strategy_name(lb::Strategy::kMW), "MW");
+  EXPECT_STREQ(lb::strategy_name(lb::Strategy::kAHMW), "AHMW");
+}
+
+TEST(Driver, PaperNetworkSplitsAt800) {
+  EXPECT_EQ(lb::paper_network(100).cluster_capacity, 0);
+  EXPECT_EQ(lb::paper_network(799).cluster_capacity, 0);
+  EXPECT_EQ(lb::paper_network(800).cluster_capacity, 736);
+  EXPECT_EQ(lb::paper_network(1000).cluster_capacity, 736);
+}
+
+uts::Params small_uts() {
+  uts::Params p;
+  p.hash = uts::HashMode::kFast;
+  p.b0 = 200;
+  p.q = 0.47;
+  p.m = 2;
+  p.root_seed = 77;
+  return p;
+}
+
+TEST(Driver, MetricsAreInternallyConsistent) {
+  uts::UtsWorkload workload(small_uts(), uts::CostModel{});
+  lb::RunConfig config;
+  config.strategy = lb::Strategy::kOverlayBTD;
+  config.num_peers = 20;
+  config.net = lb::paper_network(20);
+  const auto metrics = lb::run_distributed(workload, config);
+  ASSERT_TRUE(metrics.ok);
+
+  // Per-peer message counts sum to the total.
+  ASSERT_EQ(metrics.msgs_per_peer.size(), 20u);
+  const auto sum = std::accumulate(metrics.msgs_per_peer.begin(),
+                                   metrics.msgs_per_peer.end(), std::uint64_t{0});
+  EXPECT_EQ(sum, metrics.total_messages);
+
+  // Per-type counts sum to the total as well.
+  const auto type_sum = std::accumulate(metrics.sent_by_type.begin(),
+                                        metrics.sent_by_type.end(), std::uint64_t{0});
+  EXPECT_EQ(type_sum, metrics.total_messages);
+
+  // The detection time cannot precede the last completed chunk.
+  EXPECT_GE(metrics.exec_seconds, metrics.last_compute_seconds);
+
+  // Utilisation integrates to the total compute time = seq time.
+  const auto seq = lb::run_sequential(workload);
+  double busy_seconds = 0;
+  for (double u : metrics.utilization) busy_seconds += u * 20 * 1e-3;  // 1ms buckets
+  EXPECT_NEAR(busy_seconds, seq.exec_seconds, seq.exec_seconds * 0.02 + 1e-3);
+}
+
+TEST(Driver, ParallelEfficiencyFormula) {
+  lb::RunMetrics metrics;
+  metrics.exec_seconds = 2.0;
+  EXPECT_DOUBLE_EQ(metrics.parallel_efficiency(16.0, 4), 2.0);  // super-linear ok
+  EXPECT_DOUBLE_EQ(metrics.parallel_efficiency(8.0, 4), 1.0);
+}
+
+TEST(Driver, TwoClusterScaleCompletes) {
+  // n >= 800 exercises the inter-cluster latency path of the paper layout.
+  uts::UtsWorkload workload(small_uts(), uts::CostModel{});
+  lb::RunConfig config;
+  config.strategy = lb::Strategy::kOverlayBTD;
+  config.num_peers = 820;
+  config.net = lb::paper_network(820);
+  const auto metrics = lb::run_distributed(workload, config);
+  ASSERT_TRUE(metrics.ok);
+  EXPECT_EQ(metrics.total_units, uts::count_tree(small_uts()).nodes);
+}
+
+TEST(Driver, WatchdogReportsNotOk) {
+  uts::UtsWorkload workload(small_uts(), uts::CostModel{});
+  lb::RunConfig config;
+  config.strategy = lb::Strategy::kOverlayTD;
+  config.num_peers = 16;
+  config.net = lb::paper_network(16);
+  config.event_limit = 50;  // guaranteed to trip
+  const auto metrics = lb::run_distributed(workload, config);
+  EXPECT_FALSE(metrics.ok);
+}
+
+TEST(Driver, SequentialRunnerCountsCosts) {
+  uts::CostModel costs;
+  costs.per_node = sim::microseconds(2);
+  costs.per_child = 0;
+  uts::UtsWorkload workload(small_uts(), costs);
+  const auto seq = lb::run_sequential(workload);
+  EXPECT_EQ(seq.units, uts::count_tree(small_uts()).nodes);
+  EXPECT_NEAR(seq.exec_seconds, static_cast<double>(seq.units) * 2e-6, 1e-9);
+}
+
+TEST(Driver, MwUsesDedicatedMaster) {
+  const auto inst = bb::FlowshopInstance::ta20x20_scaled(0, 9, 5);
+  bb::BBWorkload workload(inst, bb::BoundKind::kOneMachine, bb::CostModel{});
+  lb::RunConfig config;
+  config.strategy = lb::Strategy::kMW;
+  config.num_peers = 10;
+  config.net = lb::paper_network(10);
+  const auto metrics = lb::run_distributed(workload, config);
+  ASSERT_TRUE(metrics.ok);
+  // Peer 0 (the master) performs no application work.
+  EXPECT_EQ(metrics.msgs_per_peer.size(), 10u);
+  EXPECT_GT(metrics.total_units, 0u);
+}
+
+}  // namespace
+}  // namespace olb

@@ -1,0 +1,132 @@
+// Tests for the heterogeneous-cluster extension: per-actor compute speeds
+// in the engine and the capacity-weighted overlay (the paper's future work).
+#include <gtest/gtest.h>
+
+#include "bb/bb_work.hpp"
+#include "lb/driver.hpp"
+#include "simnet/engine.hpp"
+#include "uts/uts_work.hpp"
+
+namespace olb {
+namespace {
+
+// ------------------------------------------------------------ actor speed ---
+
+class OneShotComputer : public sim::Actor {
+ public:
+  sim::Time done_at = -1;
+
+ protected:
+  void on_start() override { start_compute(sim::milliseconds(10)); }
+  void on_message(sim::Message) override {}
+  void on_compute_done() override { done_at = now(); }
+};
+
+TEST(ActorSpeed, SlowPeerTakesProportionallyLonger) {
+  sim::NetworkConfig net;
+  net.latency_jitter = 0;
+  sim::Engine engine(net, 1);
+  auto fast = std::make_unique<OneShotComputer>();
+  auto slow = std::make_unique<OneShotComputer>();
+  slow->set_speed(0.25);
+  auto* fast_ptr = fast.get();
+  auto* slow_ptr = slow.get();
+  engine.add_actor(std::move(fast));
+  engine.add_actor(std::move(slow));
+  engine.run();
+  EXPECT_EQ(fast_ptr->done_at, sim::milliseconds(10));
+  EXPECT_EQ(slow_ptr->done_at, sim::milliseconds(40));
+}
+
+TEST(ActorSpeed, FasterThanNominalAlsoWorks) {
+  sim::Engine engine(sim::NetworkConfig{}, 1);
+  auto a = std::make_unique<OneShotComputer>();
+  a->set_speed(2.0);
+  auto* ptr = a.get();
+  engine.add_actor(std::move(a));
+  engine.run();
+  EXPECT_EQ(ptr->done_at, sim::milliseconds(5));
+}
+
+// ------------------------------------------------- heterogeneous clusters ---
+
+uts::Params uts_params() {
+  uts::Params p;
+  p.hash = uts::HashMode::kFast;
+  p.b0 = 300;
+  p.q = 0.485;
+  p.m = 2;
+  p.root_seed = 123;
+  return p;
+}
+
+lb::RunConfig het_config(lb::Strategy s, bool weighted) {
+  lb::RunConfig c;
+  c.strategy = s;
+  c.num_peers = 40;
+  c.net = lb::paper_network(c.num_peers);
+  c.het_fraction = 0.4;
+  c.het_slow_factor = 0.2;
+  c.capacity_weighted_overlay = weighted;
+  return c;
+}
+
+TEST(Heterogeneity, AllStrategiesStillExactUnderHeterogeneity) {
+  const auto expected = uts::count_tree(uts_params()).nodes;
+  for (auto strategy : {lb::Strategy::kOverlayTD, lb::Strategy::kOverlayBTD,
+                        lb::Strategy::kRWS}) {
+    uts::UtsWorkload workload(uts_params(), uts::CostModel{});
+    const auto metrics = lb::run_distributed(workload, het_config(strategy, false));
+    ASSERT_TRUE(metrics.ok) << lb::strategy_name(strategy);
+    EXPECT_EQ(metrics.total_units, expected) << lb::strategy_name(strategy);
+  }
+}
+
+TEST(Heterogeneity, WeightedOverlayStillExact) {
+  const auto expected = uts::count_tree(uts_params()).nodes;
+  for (auto strategy : {lb::Strategy::kOverlayTD, lb::Strategy::kOverlayBTD}) {
+    uts::UtsWorkload workload(uts_params(), uts::CostModel{});
+    const auto metrics = lb::run_distributed(workload, het_config(strategy, true));
+    ASSERT_TRUE(metrics.ok) << lb::strategy_name(strategy);
+    EXPECT_EQ(metrics.total_units, expected) << lb::strategy_name(strategy);
+  }
+}
+
+TEST(Heterogeneity, WeightedOverlayExactOnBB) {
+  const auto inst = bb::FlowshopInstance::ta20x20_scaled(3, 9, 5);
+  const auto reference = bb::solve_sequential(inst, bb::BoundKind::kOneMachine);
+  bb::BBWorkload workload(inst, bb::BoundKind::kOneMachine, bb::CostModel{});
+  const auto metrics =
+      lb::run_distributed(workload, het_config(lb::Strategy::kOverlayBTD, true));
+  ASSERT_TRUE(metrics.ok);
+  EXPECT_EQ(workload.best().makespan(), reference.optimum);
+}
+
+TEST(Heterogeneity, SlowPeersSlowDownUnweightedRuns) {
+  // Heterogeneity must cost time relative to a homogeneous cluster of the
+  // same size (the slow peers drag whatever work lands on them).
+  uts::UtsWorkload homogeneous(uts_params(), uts::CostModel{});
+  auto base = het_config(lb::Strategy::kOverlayBTD, false);
+  base.het_fraction = 0.0;
+  const auto homo = lb::run_distributed(homogeneous, base);
+  ASSERT_TRUE(homo.ok);
+
+  uts::UtsWorkload heterogeneous(uts_params(), uts::CostModel{});
+  const auto het =
+      lb::run_distributed(heterogeneous, het_config(lb::Strategy::kOverlayBTD, false));
+  ASSERT_TRUE(het.ok);
+  EXPECT_GT(het.exec_seconds, homo.exec_seconds);
+}
+
+TEST(Heterogeneity, DeterministicSlowSetPerSeed) {
+  uts::UtsWorkload a(uts_params(), uts::CostModel{});
+  uts::UtsWorkload b(uts_params(), uts::CostModel{});
+  const auto m1 = lb::run_distributed(a, het_config(lb::Strategy::kOverlayBTD, true));
+  const auto m2 = lb::run_distributed(b, het_config(lb::Strategy::kOverlayBTD, true));
+  ASSERT_TRUE(m1.ok);
+  EXPECT_EQ(m1.exec_seconds, m2.exec_seconds);
+  EXPECT_EQ(m1.total_messages, m2.total_messages);
+}
+
+}  // namespace
+}  // namespace olb

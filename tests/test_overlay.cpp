@@ -1,0 +1,118 @@
+// Unit and property tests for tree overlays (TD, TR).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "overlay/tree_overlay.hpp"
+#include "support/rng.hpp"
+
+namespace olb::overlay {
+namespace {
+
+TEST(TreeOverlay, SingletonTree) {
+  const auto t = TreeOverlay::deterministic(1, 5);
+  EXPECT_EQ(t.size(), 1);
+  EXPECT_EQ(t.parent(0), -1);
+  EXPECT_TRUE(t.children(0).empty());
+  EXPECT_EQ(t.subtree_size(0), 1u);
+  EXPECT_EQ(t.height(), 0);
+}
+
+TEST(TreeOverlay, DeterministicPacksLevelByLevel) {
+  const auto t = TreeOverlay::deterministic(13, 3);
+  // Level 0: {0}; level 1: {1,2,3}; level 2: {4..12}.
+  EXPECT_EQ(t.children(0), (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(t.children(1), (std::vector<int>{4, 5, 6}));
+  EXPECT_EQ(t.children(3), (std::vector<int>{10, 11, 12}));
+  EXPECT_EQ(t.depth(12), 2);
+  EXPECT_EQ(t.height(), 2);
+  EXPECT_EQ(t.max_degree(), 3);
+}
+
+TEST(TreeOverlay, DegreeOneIsAChain) {
+  const auto t = TreeOverlay::deterministic(6, 1);
+  for (int v = 1; v < 6; ++v) EXPECT_EQ(t.parent(v), v - 1);
+  EXPECT_EQ(t.height(), 5);
+}
+
+TEST(TreeOverlay, HigherDegreeShrinksDiameter) {
+  const int n = 500;
+  int prev_height = 1 << 30;
+  for (int dmax : {2, 5, 10}) {
+    const auto t = TreeOverlay::deterministic(n, dmax);
+    EXPECT_LT(t.height(), prev_height);
+    prev_height = t.height();
+    EXPECT_LE(t.max_degree(), dmax);
+  }
+}
+
+TEST(TreeOverlay, BfsOrderOfTDIsIdentity) {
+  const auto t = TreeOverlay::deterministic(37, 4);
+  const auto order = t.bfs_order();
+  for (int i = 0; i < 37; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(TreeOverlay, SubtreeSizesSumAtEachNode) {
+  const auto t = TreeOverlay::randomized(200, 7);
+  for (int v = 0; v < t.size(); ++v) {
+    std::uint64_t sum = 1;
+    for (int c : t.children(v)) sum += t.subtree_size(c);
+    EXPECT_EQ(sum, t.subtree_size(v));
+  }
+  EXPECT_EQ(t.subtree_size(0), 200u);
+}
+
+TEST(TreeOverlay, RandomizedIsSeedDeterministic) {
+  const auto a = TreeOverlay::randomized(100, 5);
+  const auto b = TreeOverlay::randomized(100, 5);
+  const auto c = TreeOverlay::randomized(100, 6);
+  for (int v = 1; v < 100; ++v) EXPECT_EQ(a.parent(v), b.parent(v));
+  bool any_diff = false;
+  for (int v = 1; v < 100; ++v) any_diff |= a.parent(v) != c.parent(v);
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(TreeOverlay, DistanceProperties) {
+  const auto t = TreeOverlay::deterministic(40, 3);
+  EXPECT_EQ(t.distance(5, 5), 0);
+  for (int v = 1; v < 40; ++v) {
+    EXPECT_EQ(t.distance(v, t.parent(v)), 1);
+    EXPECT_EQ(t.distance(t.parent(v), v), 1);
+    EXPECT_EQ(t.distance(0, v), t.depth(v));
+  }
+  // Two leaves in different level-1 subtrees go through the root region.
+  EXPECT_EQ(t.distance(4, 7), t.depth(4) + t.depth(7));
+}
+
+TEST(TreeOverlay, DistanceSatisfiesTriangleInequalityOnSamples) {
+  const auto t = TreeOverlay::randomized(80, 11);
+  Xoshiro256 rng(4);
+  for (int i = 0; i < 200; ++i) {
+    const int a = static_cast<int>(rng.below(80));
+    const int b = static_cast<int>(rng.below(80));
+    const int c = static_cast<int>(rng.below(80));
+    EXPECT_LE(t.distance(a, c), t.distance(a, b) + t.distance(b, c));
+  }
+}
+
+TEST(TreeOverlay, FromParentsRejectsBadInput) {
+  EXPECT_DEATH((void)TreeOverlay::from_parents({-1, 2, 1}), "parent ids");
+}
+
+TEST(TreeOverlay, BfsOrderVisitsEveryNodeOnce) {
+  const auto t = TreeOverlay::randomized(150, 9);
+  auto order = t.bfs_order();
+  ASSERT_EQ(order.size(), 150u);
+  std::sort(order.begin(), order.end());
+  for (int i = 0; i < 150; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(TreeOverlay, RandomRecursiveTreeHasLogarithmicishHeight) {
+  const auto t = TreeOverlay::randomized(1000, 17);
+  // E[height] ~ e*ln(n) ≈ 18.8 for n=1000; allow generous slack.
+  EXPECT_LT(t.height(), 40);
+  EXPECT_GT(t.height(), 5);
+}
+
+}  // namespace
+}  // namespace olb::overlay

@@ -1,0 +1,104 @@
+// End-to-end smoke tests: every strategy must complete both applications,
+// produce exact results, and terminate cleanly. Deeper per-module tests live
+// in the dedicated test files; this file is the canary.
+#include <gtest/gtest.h>
+
+#include "bb/bb_work.hpp"
+#include "lb/driver.hpp"
+#include "uts/uts_work.hpp"
+
+namespace olb {
+namespace {
+
+uts::Params small_uts() {
+  uts::Params p;
+  p.shape = uts::TreeShape::kBinomial;
+  p.hash = uts::HashMode::kFast;
+  p.b0 = 200;
+  p.q = 0.49;
+  p.m = 2;
+  p.root_seed = 42;
+  return p;
+}
+
+bb::FlowshopInstance small_instance() {
+  return bb::FlowshopInstance::ta20x20_scaled(0, 9, 6);
+}
+
+TEST(Smoke, SequentialUtsMatchesTreeCount) {
+  const auto params = small_uts();
+  const auto stats = uts::count_tree(params);
+  ASSERT_GT(stats.nodes, 1000u);
+
+  uts::UtsWorkload workload(params, uts::CostModel{});
+  const auto seq = lb::run_sequential(workload);
+  EXPECT_EQ(seq.units, stats.nodes);
+}
+
+TEST(Smoke, OverlayTDCompletesUts) {
+  const auto params = small_uts();
+  const auto expected = uts::count_tree(params).nodes;
+  uts::UtsWorkload workload(params, uts::CostModel{});
+
+  lb::RunConfig config;
+  config.strategy = lb::Strategy::kOverlayTD;
+  config.num_peers = 24;
+  config.dmax = 3;
+  config.net = lb::paper_network(config.num_peers);
+  const auto metrics = lb::run_distributed(workload, config);
+  EXPECT_TRUE(metrics.ok);
+  EXPECT_EQ(metrics.total_units, expected);
+  EXPECT_GT(metrics.exec_seconds, 0.0);
+}
+
+TEST(Smoke, OverlayBTDCompletesUts) {
+  const auto params = small_uts();
+  const auto expected = uts::count_tree(params).nodes;
+  uts::UtsWorkload workload(params, uts::CostModel{});
+
+  lb::RunConfig config;
+  config.strategy = lb::Strategy::kOverlayBTD;
+  config.num_peers = 24;
+  config.dmax = 3;
+  config.net = lb::paper_network(config.num_peers);
+  const auto metrics = lb::run_distributed(workload, config);
+  EXPECT_TRUE(metrics.ok);
+  EXPECT_EQ(metrics.total_units, expected);
+}
+
+TEST(Smoke, RwsCompletesUts) {
+  const auto params = small_uts();
+  const auto expected = uts::count_tree(params).nodes;
+  uts::UtsWorkload workload(params, uts::CostModel{});
+
+  lb::RunConfig config;
+  config.strategy = lb::Strategy::kRWS;
+  config.num_peers = 16;
+  config.net = lb::paper_network(config.num_peers);
+  const auto metrics = lb::run_distributed(workload, config);
+  EXPECT_TRUE(metrics.ok);
+  EXPECT_EQ(metrics.total_units, expected);
+}
+
+TEST(Smoke, AllStrategiesFindFlowshopOptimum) {
+  const auto inst = small_instance();
+  const std::int64_t optimum = bb::brute_force_optimum(inst);
+
+  for (const auto strategy :
+       {lb::Strategy::kOverlayTD, lb::Strategy::kOverlayTR, lb::Strategy::kOverlayBTD,
+        lb::Strategy::kRWS, lb::Strategy::kMW, lb::Strategy::kAHMW}) {
+    bb::BBWorkload workload(inst, bb::BoundKind::kOneMachine, bb::CostModel{});
+    lb::RunConfig config;
+    config.strategy = strategy;
+    config.num_peers = 20;
+    config.dmax = 4;
+    config.net = lb::paper_network(config.num_peers);
+    const auto metrics = lb::run_distributed(workload, config);
+    EXPECT_TRUE(metrics.ok) << lb::strategy_name(strategy);
+    EXPECT_EQ(metrics.best_bound, optimum) << lb::strategy_name(strategy);
+    EXPECT_EQ(workload.best().makespan(), optimum) << lb::strategy_name(strategy);
+  }
+}
+
+}  // namespace
+}  // namespace olb

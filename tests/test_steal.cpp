@@ -1,0 +1,181 @@
+// Tests for the shared-memory companion: Chase-Lev deque (single-threaded
+// semantics + concurrent stress) and the work-stealing pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+
+#include "steal/chase_lev_deque.hpp"
+#include "steal/work_stealing_pool.hpp"
+
+namespace olb::steal {
+namespace {
+
+TEST(ChaseLevDeque, LifoForOwner) {
+  ChaseLevDeque<int> d;
+  for (int i = 0; i < 10; ++i) d.push(i);
+  for (int i = 9; i >= 0; --i) {
+    const auto v = d.pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_FALSE(d.pop().has_value());
+}
+
+TEST(ChaseLevDeque, FifoForThief) {
+  ChaseLevDeque<int> d;
+  for (int i = 0; i < 10; ++i) d.push(i);
+  for (int i = 0; i < 10; ++i) {
+    const auto v = d.steal();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_FALSE(d.steal().has_value());
+}
+
+TEST(ChaseLevDeque, GrowsPastInitialCapacity) {
+  ChaseLevDeque<int> d(8);
+  for (int i = 0; i < 1000; ++i) d.push(i);
+  EXPECT_EQ(d.size(), 1000u);
+  int sum = 0;
+  while (auto v = d.pop()) sum += *v;
+  EXPECT_EQ(sum, 999 * 1000 / 2);
+}
+
+TEST(ChaseLevDeque, InterleavedOwnerAndThiefSingleThread) {
+  ChaseLevDeque<int> d;
+  d.push(1);
+  d.push(2);
+  d.push(3);
+  EXPECT_EQ(d.steal().value(), 1);  // oldest
+  EXPECT_EQ(d.pop().value(), 3);    // newest
+  EXPECT_EQ(d.pop().value(), 2);
+  EXPECT_FALSE(d.pop().has_value());
+}
+
+TEST(ChaseLevDeque, ConcurrentStealersLoseNothing) {
+  // Owner pushes N items then drains its side while thieves hammer steal();
+  // every item must be extracted exactly once.
+  constexpr int kItems = 20000;
+  constexpr int kThieves = 3;
+  ChaseLevDeque<int> d;
+  std::atomic<std::int64_t> stolen_sum{0};
+  std::atomic<int> stolen_count{0};
+  std::atomic<bool> go{false};
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> thieves;
+  for (int t = 0; t < kThieves; ++t) {
+    thieves.emplace_back([&] {
+      while (!go.load()) std::this_thread::yield();
+      while (!done.load()) {
+        if (auto v = d.steal()) {
+          stolen_sum.fetch_add(*v);
+          stolen_count.fetch_add(1);
+        }
+      }
+    });
+  }
+
+  std::int64_t owner_sum = 0;
+  int owner_count = 0;
+  go.store(true);
+  for (int i = 1; i <= kItems; ++i) {
+    d.push(i);
+    if (i % 3 == 0) {
+      if (auto v = d.pop()) {
+        owner_sum += *v;
+        ++owner_count;
+      }
+    }
+  }
+  while (auto v = d.pop()) {
+    owner_sum += *v;
+    ++owner_count;
+  }
+  // Let thieves finish any in-flight steals of remaining items.
+  while (!d.empty()) std::this_thread::yield();
+  done.store(true);
+  for (auto& t : thieves) t.join();
+
+  EXPECT_EQ(owner_count + stolen_count.load(), kItems);
+  EXPECT_EQ(owner_sum + stolen_sum.load(),
+            static_cast<std::int64_t>(kItems) * (kItems + 1) / 2);
+}
+
+// -------------------------------------------------------------------- pool ---
+
+TEST(WorkStealingPool, RunsASingleTask) {
+  std::atomic<int> ran{0};
+  {
+    WorkStealingPool pool(2);
+    pool.spawn([&](WorkStealingPool&) { ran.fetch_add(1); });
+    pool.wait_idle();
+  }
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(WorkStealingPool, RecursiveSpawnTreeSum) {
+  // Sum 1..N by recursive halving; checks transitive-completion semantics.
+  constexpr std::int64_t kN = 4096;
+  std::atomic<std::int64_t> sum{0};
+  {
+    WorkStealingPool pool(4);
+    std::function<void(WorkStealingPool&, std::int64_t, std::int64_t)> range_task =
+        [&](WorkStealingPool& p, std::int64_t lo, std::int64_t hi) {
+          if (hi - lo <= 32) {
+            std::int64_t local = 0;
+            for (std::int64_t i = lo; i < hi; ++i) local += i;
+            sum.fetch_add(local);
+            return;
+          }
+          const std::int64_t mid = lo + (hi - lo) / 2;
+          p.spawn([&range_task, lo, mid](WorkStealingPool& q) { range_task(q, lo, mid); });
+          p.spawn([&range_task, mid, hi](WorkStealingPool& q) { range_task(q, mid, hi); });
+        };
+    pool.spawn([&](WorkStealingPool& p) { range_task(p, 0, kN + 1); });
+    pool.wait_idle();
+  }
+  EXPECT_EQ(sum.load(), kN * (kN + 1) / 2);
+}
+
+TEST(WorkStealingPool, ManyIndependentTasks) {
+  std::atomic<int> count{0};
+  {
+    WorkStealingPool pool(3);
+    for (int i = 0; i < 5000; ++i) {
+      pool.spawn([&](WorkStealingPool&) { count.fetch_add(1); });
+    }
+    pool.wait_idle();
+  }
+  EXPECT_EQ(count.load(), 5000);
+}
+
+TEST(WorkStealingPool, WaitIdleIsReusable) {
+  std::atomic<int> count{0};
+  WorkStealingPool pool(2);
+  pool.spawn([&](WorkStealingPool&) { count.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 1);
+  pool.spawn([&](WorkStealingPool&) { count.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 2);
+}
+
+TEST(WorkStealingPool, SingleThreadPoolStillCompletes) {
+  std::atomic<int> count{0};
+  {
+    WorkStealingPool pool(1);
+    pool.spawn([&](WorkStealingPool& p) {
+      for (int i = 0; i < 100; ++i) {
+        p.spawn([&](WorkStealingPool&) { count.fetch_add(1); });
+      }
+    });
+    pool.wait_idle();
+  }
+  EXPECT_EQ(count.load(), 100);
+}
+
+}  // namespace
+}  // namespace olb::steal

@@ -1,0 +1,173 @@
+// Property tests on the lb::Work contract, driven through randomised
+// interleavings of split / merge / step on both application adapters.
+// These are the operations the protocols perform in arbitrary orders at
+// runtime; whatever the schedule, totals must be conserved and optima found.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "bb/bb_work.hpp"
+#include "support/rng.hpp"
+#include "uts/uts.hpp"
+#include "uts/uts_work.hpp"
+
+namespace olb {
+namespace {
+
+// Random torture schedule: maintain a pool of work fragments; repeatedly
+// pick an action (step a random fragment / split one / merge two) until all
+// fragments are exhausted. Returns total units processed.
+template <typename MakeRoot>
+std::uint64_t torture(MakeRoot make_root, std::uint64_t seed, int max_fragments) {
+  Xoshiro256 rng(seed);
+  std::vector<std::unique_ptr<lb::Work>> pool;
+  pool.push_back(make_root());
+  std::uint64_t total = 0;
+  while (!pool.empty()) {
+    const std::size_t i = static_cast<std::size_t>(rng.below(pool.size()));
+    switch (rng.below(4)) {
+      case 0:
+      case 1: {  // step (weighted: processing is the common case)
+        total += pool[i]->step(1 + rng.below(200)).units_done;
+        if (pool[i]->empty()) pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(i));
+        break;
+      }
+      case 2: {  // split
+        if (static_cast<int>(pool.size()) < max_fragments) {
+          const double fraction = 0.05 + 0.9 * rng.uniform01();
+          if (auto piece = pool[i]->split(fraction)) {
+            EXPECT_FALSE(piece->empty());
+            pool.push_back(std::move(piece));
+          }
+        }
+        break;
+      }
+      case 3: {  // merge
+        if (pool.size() >= 2) {
+          std::size_t j = static_cast<std::size_t>(rng.below(pool.size()));
+          if (j != i) {
+            pool[i]->merge(std::move(pool[j]));
+            pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(j));
+          }
+        }
+        break;
+      }
+    }
+  }
+  return total;
+}
+
+// ------------------------------------------------------------------- UTS ---
+
+class UtsTorture : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(UtsTorture, NodeCountInvariantUnderAnySchedule) {
+  uts::Params p;
+  p.hash = uts::HashMode::kFast;
+  p.b0 = 120;
+  p.q = 0.46;
+  p.m = 2;
+  p.root_seed = 321;
+  const auto expected = uts::count_tree(p).nodes;
+  const auto counted = torture(
+      [&] { return uts::UtsWork::whole_tree(p, uts::CostModel{}); }, GetParam(), 12);
+  EXPECT_EQ(counted, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UtsTorture,
+                         ::testing::Values<std::uint64_t>(1, 2, 3, 4, 5, 6, 7, 8, 9,
+                                                          10, 11, 12));
+
+// -------------------------------------------------------------------- B&B ---
+
+class BBTorture : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BBTorture, OptimumInvariantUnderAnySchedule) {
+  const auto inst =
+      bb::FlowshopInstance::ta20x20_scaled(static_cast<int>(GetParam() % 10), 9, 5);
+  const auto reference = bb::solve_sequential(inst, bb::BoundKind::kOneMachine);
+  bb::BBWorkload workload(inst, bb::BoundKind::kOneMachine, bb::CostModel{});
+  (void)torture([&] { return workload.make_root_work(); }, GetParam() * 31 + 7, 10);
+  EXPECT_EQ(workload.best().makespan(), reference.optimum);
+  EXPECT_EQ(inst.makespan(workload.best().permutation()), reference.optimum);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BBTorture,
+                         ::testing::Values<std::uint64_t>(1, 2, 3, 4, 5, 6, 7, 8, 9,
+                                                          10));
+
+// Fragments of the same B&B problem sharing bounds must never interfere
+// with exactness even when bounds arrive in arbitrary order.
+TEST(BBWorkProperties, CrossFragmentBoundExchangeKeepsOptimum) {
+  const auto inst = bb::FlowshopInstance::ta20x20_scaled(6, 9, 6);
+  const auto reference = bb::solve_sequential(inst, bb::BoundKind::kOneMachine);
+  Xoshiro256 rng(99);
+  bb::BBWorkload workload(inst, bb::BoundKind::kOneMachine, bb::CostModel{});
+  auto root = workload.make_root_work();
+  std::vector<std::unique_ptr<lb::Work>> fragments;
+  fragments.push_back(std::move(root));
+  for (int i = 0; i < 6; ++i) {
+    const std::size_t v = static_cast<std::size_t>(rng.below(fragments.size()));
+    if (auto piece = fragments[v]->split(0.4)) fragments.push_back(std::move(piece));
+  }
+  std::int64_t best_seen = lb::kNoBound;
+  bool any_left = true;
+  while (any_left) {
+    any_left = false;
+    for (auto& f : fragments) {
+      if (f->empty()) continue;
+      any_left = true;
+      const auto r = f->step(500);
+      if (r.bound < best_seen) best_seen = r.bound;
+      // Randomly gossip the best bound to another fragment.
+      const std::size_t to = static_cast<std::size_t>(rng.below(fragments.size()));
+      fragments[to]->observe_bound(best_seen);
+    }
+  }
+  EXPECT_EQ(workload.best().makespan(), reference.optimum);
+}
+
+// Splits must never create or destroy interval mass.
+TEST(BBWorkProperties, AmountConservedBySplitChains) {
+  const auto inst = bb::FlowshopInstance::ta20x20_scaled(1, 10, 5);
+  bb::BBWorkload workload(inst, bb::BoundKind::kOneMachine, bb::CostModel{});
+  auto work = workload.make_root_work();
+  const double total = work->amount();
+  Xoshiro256 rng(5);
+  std::vector<std::unique_ptr<lb::Work>> fragments;
+  fragments.push_back(std::move(work));
+  for (int i = 0; i < 20; ++i) {
+    const std::size_t v = static_cast<std::size_t>(rng.below(fragments.size()));
+    if (auto piece = fragments[v]->split(0.1 + 0.8 * rng.uniform01())) {
+      fragments.push_back(std::move(piece));
+    }
+  }
+  double sum = 0;
+  for (const auto& f : fragments) sum += f->amount();
+  EXPECT_DOUBLE_EQ(sum, total);
+}
+
+TEST(UtsWorkProperties, AmountConservedBySplitChains) {
+  uts::Params p;
+  p.hash = uts::HashMode::kFast;
+  p.b0 = 500;
+  p.q = 0.0;
+  p.root_seed = 4;
+  auto work = uts::UtsWork::whole_tree(p, uts::CostModel{});
+  (void)work->step(1);  // expand the root: amount = 500
+  const double total = work->amount();
+  Xoshiro256 rng(6);
+  std::vector<std::unique_ptr<lb::Work>> fragments;
+  fragments.push_back(std::move(work));
+  for (int i = 0; i < 15; ++i) {
+    const std::size_t v = static_cast<std::size_t>(rng.below(fragments.size()));
+    if (auto piece = fragments[v]->split(0.3)) fragments.push_back(std::move(piece));
+  }
+  double sum = 0;
+  for (const auto& f : fragments) sum += f->amount();
+  EXPECT_DOUBLE_EQ(sum, total);
+}
+
+}  // namespace
+}  // namespace olb
