@@ -1,8 +1,10 @@
 #include "bench_common.hpp"
 
 #include <cstdio>
+#include <fstream>
 
 #include "support/check.hpp"
+#include "trace/export.hpp"
 
 namespace olb::bench {
 
@@ -58,6 +60,35 @@ lb::RunMetrics run_checked(lb::Workload& workload, const lb::RunConfig& config,
 
 double sequential_seconds(lb::Workload& workload) {
   return lb::run_sequential(workload).exec_seconds;
+}
+
+void dump_trace_if_requested(const Flags& flags, lb::Workload& workload,
+                             lb::RunConfig config, const char* what) {
+  const std::string path = flags.get("trace");
+  if (path.empty()) return;
+  trace::RingTracer tracer(
+      static_cast<std::size_t>(std::max<std::int64_t>(1, flags.get_int("trace-limit"))));
+  config.tracer = &tracer;
+  const auto metrics = run_checked(workload, config, what);
+
+  std::ofstream out(path, std::ios::binary);
+  OLB_CHECK_MSG(out.good(), "cannot open --trace output path");
+  const auto events = tracer.snapshot();
+  const bool ndjson = path.size() >= 7 && path.ends_with(".ndjson");
+  if (ndjson) {
+    trace::write_ndjson(out, events);
+  } else {
+    trace::PerfettoOptions opts;
+    opts.num_actors = config.num_peers;
+    opts.work_msg_type = lb::kWork;
+    opts.type_name = lb::msg_type_name;
+    opts.handling_cost = config.net.msg_handling_cost;
+    trace::write_perfetto(out, events, opts);
+  }
+  std::printf("# trace: %s (%s, %llu events, %llu dropped) -> %s\n", what,
+              ndjson ? "ndjson" : "perfetto",
+              static_cast<unsigned long long>(metrics.trace_events),
+              static_cast<unsigned long long>(metrics.trace_dropped), path.c_str());
 }
 
 void print_preamble(const char* experiment, const std::string& notes) {

@@ -64,4 +64,13 @@ double sequential_seconds(lb::Workload& workload);
 /// Common header printed by every bench binary.
 void print_preamble(const char* experiment, const std::string& notes);
 
+/// When `--trace` was given (see olb::define_trace_flags), re-runs the
+/// (workload, config) combination with a RingTracer of `--trace-limit`
+/// events attached and writes the timeline to the requested path —
+/// NDJSON if it ends in `.ndjson`, Chrome/Perfetto trace JSON otherwise.
+/// Benches call this once on their most interesting (e.g. worst-seed) run;
+/// the measured runs themselves stay untraced. No-op without `--trace`.
+void dump_trace_if_requested(const Flags& flags, lb::Workload& workload,
+                             lb::RunConfig config, const char* what);
+
 }  // namespace olb::bench

@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
       .define("machines", std::to_string(Defaults::kBigMachines), "flowshop machines")
       .define("seed", "1", "run seed")
       .define("csv", "false", "emit CSV instead of aligned table");
+  define_trace_flags(flags);
   if (!flags.parse(argc, argv)) return 0;
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed"));
   const int machines = static_cast<int>(flags.get_int("machines"));
@@ -28,25 +29,46 @@ int main(int argc, char** argv) {
                      flags.get("jobs23") + " jobs (sizes chosen so both are "
                      "large enough for 1000 peers)");
 
-  Table table({"n", "BTD_Ta21s", "MW_Ta21s", "BTD_Ta23s", "MW_Ta23s"});
+  // The queueing-delay columns make the mechanism behind the figure visible:
+  // MW's master inbox delay explodes with n while BTD's stays flat.
+  Table table({"n", "BTD_Ta21s", "MW_Ta21s", "BTD_Ta23s", "MW_Ta23s",
+               "BTD21_qmax_ms", "MW21_qmax_ms"});
+  double worst_mw_exec = -1.0;
+  lb::RunConfig worst_mw_config;
+  int worst_mw_jobs = 0;
   for (std::int64_t n : flags.get_int_list("scales")) {
     std::vector<std::string> row = {Table::cell(n)};
+    std::vector<std::string> qd_cells;
     for (int which = 0; which < 2; ++which) {
       const int idx = which == 0 ? 0 : 2;
       const int jobs = static_cast<int>(
           flags.get_int(which == 0 ? "jobs21" : "jobs23"));
       for (auto strategy : {lb::Strategy::kOverlayBTD, lb::Strategy::kMW}) {
         auto workload = make_bb(idx, jobs, machines);
-        const auto metrics = run_checked(
-            *workload, bb_config(strategy, static_cast<int>(n), seed), "fig4");
+        const auto config = bb_config(strategy, static_cast<int>(n), seed);
+        const auto metrics = run_checked(*workload, config, "fig4");
         row.push_back(Table::cell(metrics.exec_seconds, 4));
+        if (which == 0) {
+          qd_cells.push_back(Table::cell(metrics.queueing_delay_max * 1e3, 3));
+        }
+        if (strategy == lb::Strategy::kMW &&
+            metrics.exec_seconds > worst_mw_exec) {
+          worst_mw_exec = metrics.exec_seconds;
+          worst_mw_config = config;
+          worst_mw_jobs = jobs;
+        }
       }
     }
     // Reorder: BTD21, MW21, BTD23, MW23 already in that order.
+    for (auto& cell : qd_cells) row.push_back(std::move(cell));
     table.add_row(std::move(row));
   }
   if (flags.get_bool("csv")) table.print_csv(std::cout); else table.print(std::cout);
   std::printf("\n# Expected shape (paper): MW stops improving past ~600 peers "
               "(master congestion) while BTD keeps decreasing.\n");
+  if (worst_mw_exec >= 0.0) {
+    auto workload = make_bb(0, worst_mw_jobs, machines);
+    dump_trace_if_requested(flags, *workload, worst_mw_config, "fig4 worst MW run");
+  }
   return 0;
 }

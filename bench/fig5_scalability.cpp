@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
       .define("uts_seed", std::to_string(Defaults::kUtsBigSeed), "UTS root seed")
       .define("seed", "1", "run seed")
       .define("csv", "false", "emit CSV instead of aligned tables");
+  define_trace_flags(flags);
   if (!flags.parse(argc, argv)) return 0;
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed"));
   const int machines = static_cast<int>(flags.get_int("machines"));
@@ -65,17 +66,29 @@ int main(int argc, char** argv) {
   const double uts_seq = sequential_seconds(*uts_ref);
   std::printf("== UTS binomial (b0=2000, m=2, q=0.49995, r=%s; t_seq = %.2f sim-s) ==\n",
               flags.get("uts_seed").c_str(), uts_seq);
-  Table uts_table({"n", "BTD_sec", "BTD_PE%", "RWS_sec", "RWS_PE%"});
+  Table uts_table({"n", "BTD_sec", "BTD_PE%", "RWS_sec", "RWS_PE%", "BTD_qmean_us"});
+  double worst_btd_pe = 2.0;
+  lb::RunConfig worst_btd_config;
   for (std::int64_t n : flags.get_int_list("uts_scales")) {
     std::vector<std::string> row = {Table::cell(n)};
+    std::string qd_cell;
     for (auto strategy : {lb::Strategy::kOverlayBTD, lb::Strategy::kRWS}) {
       auto workload = make_uts(static_cast<std::uint32_t>(flags.get_int("uts_seed")));
-      const auto metrics = run_checked(
-          *workload, uts_config(strategy, static_cast<int>(n), seed), "fig5 uts");
+      const auto config = uts_config(strategy, static_cast<int>(n), seed);
+      const auto metrics = run_checked(*workload, config, "fig5 uts");
       row.push_back(Table::cell(metrics.exec_seconds, 4));
-      row.push_back(Table::cell(
-          100.0 * metrics.parallel_efficiency(uts_seq, static_cast<int>(n)), 1));
+      const double pe =
+          metrics.parallel_efficiency(uts_seq, static_cast<int>(n));
+      row.push_back(Table::cell(100.0 * pe, 1));
+      if (strategy == lb::Strategy::kOverlayBTD) {
+        qd_cell = Table::cell(metrics.queueing_delay_mean * 1e6, 3);
+        if (pe < worst_btd_pe) {
+          worst_btd_pe = pe;
+          worst_btd_config = config;
+        }
+      }
     }
+    row.push_back(std::move(qd_cell));
     uts_table.add_row(std::move(row));
   }
   if (csv) uts_table.print_csv(std::cout); else uts_table.print(std::cout);
@@ -83,5 +96,10 @@ int main(int argc, char** argv) {
               "RWS's drops at the largest scales. Note (EXPERIMENTS.md): with "
               "scaled instances the absolute PE at the largest n is capped by "
               "the workload's frontier size, not the protocol.\n");
+  if (worst_btd_pe <= 1.0) {
+    auto workload = make_uts(static_cast<std::uint32_t>(flags.get_int("uts_seed")));
+    dump_trace_if_requested(flags, *workload, worst_btd_config,
+                            "fig5 worst-PE UTS BTD run");
+  }
   return 0;
 }

@@ -44,6 +44,7 @@ double AhmwPeer::grain_fraction() const {
 
 void AhmwPeer::became_idle() {
   if (terminated_) return;
+  emit_trace(trace::EventKind::kIdleBegin);
   maybe_detach();
   if (terminated_ || request_outstanding_) return;
   if (is_root()) return;  // the top master only waits for its subtree
@@ -53,6 +54,7 @@ void AhmwPeer::became_idle() {
 void AhmwPeer::pull_from_parent() {
   if (terminated_ || request_outstanding_ || holds_work()) return;
   request_outstanding_ = true;
+  emit_trace(trace::EventKind::kRequest, tree_->parent(id()), kMWRequest);
   send(tree_->parent(id()), make_msg(kMWRequest));
 }
 
@@ -65,17 +67,18 @@ void AhmwPeer::steal_from_sibling() {
   const int target =
       level_peers_[rng().below(static_cast<std::uint64_t>(level_peers_.size()))];
   request_outstanding_ = true;
+  emit_trace(trace::EventKind::kRequest, target, kSteal);
   send(target, make_msg(kSteal));
 }
 
 void AhmwPeer::arm_retry() {
   if (retry_armed_ || terminated_) return;
   retry_armed_ = true;
-  set_timer(config_.retry_delay, kRetryTimer);
+  set_timer(config_.retry_delay, kAhmwRetryTimer);
 }
 
 void AhmwPeer::on_timer(std::int64_t tag) {
-  OLB_CHECK(tag == kRetryTimer);
+  OLB_CHECK(tag == kAhmwRetryTimer);
   retry_armed_ = false;
   if (terminated_ || holds_work() || request_outstanding_) return;
   if (!is_root()) pull_from_parent();
@@ -116,8 +119,12 @@ void AhmwPeer::on_message(sim::Message m) {
   switch (m.type) {
     case kMWRequest: {  // a child pulls a level-grain piece
       if (holds_work()) {
-        if (auto w = split_work(grain_fraction())) {
+        const double fraction = grain_fraction();
+        if (auto w = split_work(fraction)) {
           ds_.on_work_sent();
+          emit_trace(trace::EventKind::kServe, m.src, kMWRequest,
+                     trace::fraction_ppm(fraction),
+                     static_cast<std::int64_t>(w->amount()));
           auto reply = make_msg(kWork);
           reply.payload = std::make_unique<WorkPayload>(std::move(w));
           send(m.src, std::move(reply));
@@ -131,6 +138,9 @@ void AhmwPeer::on_message(sim::Message m) {
       if (holds_work()) {
         if (auto w = split_work(0.5)) {
           ds_.on_work_sent();
+          emit_trace(trace::EventKind::kServe, m.src, kSteal,
+                     trace::fraction_ppm(0.5),
+                     static_cast<std::int64_t>(w->amount()));
           auto reply = make_msg(kWork);
           reply.payload = std::make_unique<WorkPayload>(std::move(w));
           send(m.src, std::move(reply));
@@ -153,6 +163,7 @@ void AhmwPeer::on_message(sim::Message m) {
     }
     case kWork: {
       request_outstanding_ = false;
+      emit_trace(trace::EventKind::kIdleEnd, m.src, m.type);
       if (ds_.on_work_received(m.src)) send(m.src, make_msg(kSignal));
       auto* payload = static_cast<WorkPayload*>(m.payload.get());
       acquire_work(std::move(payload->work));

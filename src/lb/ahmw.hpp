@@ -79,7 +79,6 @@ class AhmwPeer final : public PeerBase {
   bool retry_armed_ = false;
   sim::Time done_time_ = -1;
 
-  static constexpr std::int64_t kRetryTimer = 1;
 };
 
 }  // namespace olb::lb

@@ -11,6 +11,7 @@
 #include "simnet/engine.hpp"
 #include "support/check.hpp"
 #include "support/rng.hpp"
+#include "trace/export.hpp"
 
 namespace olb::lb {
 
@@ -167,6 +168,8 @@ BuiltCluster build_cluster(sim::Engine& engine, Workload& workload,
 
 RunMetrics run_distributed(Workload& workload, const RunConfig& config) {
   sim::Engine engine(config.net, config.seed);
+  engine.set_tracer(config.tracer);
+  engine.enable_queue_delay_stats();
   BuiltCluster built = build_cluster(engine, workload, config);
 
   const auto result = engine.run(config.time_limit, config.event_limit);
@@ -225,6 +228,21 @@ RunMetrics run_distributed(Workload& workload, const RunConfig& config) {
 
   for (int i = 0; i < engine.num_actors(); ++i) {
     metrics.msgs_per_peer.push_back(engine.stats(i).msgs_sent);
+  }
+
+  metrics.queueing_delay_mean =
+      engine.queueing_delay_mean() / 1e9;  // ns -> s, without truncating
+  metrics.queueing_delay_max = sim::to_seconds(engine.queueing_delay_max());
+
+  if (config.tracer != nullptr) {
+    const auto events = config.tracer->snapshot();
+    metrics.trace_events = events.size();
+    metrics.trace_dropped = config.tracer->dropped();
+    const trace::Timeline tl =
+        trace::derive_timeline(events, sim::Engine::kBusyBucket, kWork);
+    metrics.work_in_flight = tl.work_in_flight;
+    metrics.idle_peers = tl.idle_peers;
+    metrics.pending_depth = tl.pending_depth;
   }
   return metrics;
 }

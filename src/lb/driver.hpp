@@ -10,6 +10,7 @@
 #include "lb/overlay_lb.hpp"
 #include "lb/work.hpp"
 #include "simnet/network.hpp"
+#include "trace/trace.hpp"
 
 namespace olb::lb {
 
@@ -55,6 +56,12 @@ struct RunConfig {
   /// Watchdogs: a correct run quiesces long before either limit.
   sim::Time time_limit = sim::seconds(100000.0);
   std::uint64_t event_limit = 400'000'000;
+
+  /// Optional trace sink (not owned). When set, the engine and every peer
+  /// record structured events into it and RunMetrics gains the derived
+  /// timelines below. Null (the default) costs one predicted branch per
+  /// would-be event.
+  trace::TraceSink* tracer = nullptr;
 };
 
 struct RunMetrics {
@@ -74,6 +81,19 @@ struct RunMetrics {
   std::int64_t best_bound = kNoBound;
   std::uint64_t events = 0;
   bool ok = false;  ///< quiesced, protocol terminated, no work left anywhere
+
+  /// Inbox queueing delay (seconds a message waits between arrival and
+  /// service) — always measured; the MW master's collapse shows up here.
+  double queueing_delay_mean = 0.0;
+  double queueing_delay_max = 0.0;
+
+  /// Filled only when RunConfig::tracer is set: number of recorded /
+  /// dropped events and per-1 ms-bucket derived time series.
+  std::uint64_t trace_events = 0;
+  std::uint64_t trace_dropped = 0;
+  std::vector<double> work_in_flight;  ///< mean kWork msgs in flight
+  std::vector<double> idle_peers;      ///< peers inside an idle episode
+  std::vector<double> pending_depth;   ///< mean parked-request depth
 
   /// Parallel efficiency against a sequential execution time (seconds).
   double parallel_efficiency(double seq_seconds, int num_peers) const {

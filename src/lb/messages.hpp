@@ -44,6 +44,41 @@ enum MsgType : int {
   kNumMsgTypes = 17,
 };
 
+/// Display name of a message type (trace exporters, debug output).
+inline const char* msg_type_name(int type) {
+  switch (type) {
+    case kSizeUp: return "size_up";
+    case kSizeDown: return "size_down";
+    case kReqDown: return "req_down";
+    case kReqUp: return "req_up";
+    case kReqBridge: return "req_bridge";
+    case kNoWork: return "no_work";
+    case kWork: return "work";
+    case kTerminate: return "terminate";
+    case kProbe: return "probe";
+    case kProbeAck: return "probe_ack";
+    case kBound: return "bound";
+    case kSteal: return "steal";
+    case kStealFail: return "steal_fail";
+    case kSignal: return "signal";
+    case kMWRequest: return "mw_request";
+    case kMWCheckpoint: return "mw_checkpoint";
+    case kMWSplitNotify: return "mw_split_notify";
+    default: return nullptr;
+  }
+}
+
+/// Timer tags, namespaced per subsystem (high byte = subsystem) so a timer
+/// added to a shared base class — e.g. a future periodic trace-flush in
+/// PeerBase — can never alias a protocol timer of a subclass.
+enum TimerTag : std::int64_t {
+  kOverlayRetryTimer = 0x0101,
+  kRwsRetryTimer = 0x0201,
+  kMwCheckpointTimer = 0x0301,
+  kAhmwRetryTimer = 0x0401,
+  kTraceFlushTimer = 0x0501,  ///< reserved for the trace layer
+};
+
 /// Payload of kProbe / kProbeAck (termination waves in bridge mode).
 struct ProbePayload final : sim::MsgPayload {
   std::uint64_t probe_id = 0;

@@ -32,6 +32,8 @@ void MwMaster::on_request(int worker) {
   drop_entry_of(worker);
   parked_.push_back(worker);
   serve_parked();
+  emit_trace(trace::EventKind::kQueueDepth, -1, 0,
+             static_cast<std::int64_t>(parked_.size()));
   maybe_terminate();
 }
 
@@ -59,6 +61,8 @@ void MwMaster::serve_parked() {
     }
     parked_.erase(parked_.begin());
     pool_.push_back(Entry{worker, begin, end});
+    emit_trace(trace::EventKind::kServe, worker, kMWRequest, 0,
+               static_cast<std::int64_t>(end - begin));
     auto work = factory_->make_interval_work(begin, end);
     if (bound_ != kNoBound) work->observe_bound(bound_);
     sim::Message m(kWork, bound_);
@@ -118,6 +122,8 @@ void MwWorker::on_start() { request_work(); }
 void MwWorker::request_work() {
   if (request_outstanding_ || terminated_) return;
   request_outstanding_ = true;
+  emit_trace(trace::EventKind::kIdleBegin);
+  emit_trace(trace::EventKind::kRequest, kMasterId, kMWRequest);
   send(kMasterId, sim::Message(kMWRequest, bound_));
 }
 
@@ -129,7 +135,7 @@ void MwWorker::diffuse_bound() {
 }
 
 void MwWorker::on_timer(std::int64_t tag) {
-  OLB_CHECK(tag == kCheckpointTimer);
+  OLB_CHECK(tag == kMwCheckpointTimer);
   checkpoint_armed_ = false;
   if (terminated_ || !holds_work()) return;
   const auto* iv = dynamic_cast<const IntervalWork*>(work_.get());
@@ -137,7 +143,7 @@ void MwWorker::on_timer(std::int64_t tag) {
   send(kMasterId, sim::Message(kMWCheckpoint, bound_,
                                static_cast<std::int64_t>(iv->interval_position())));
   checkpoint_armed_ = true;
-  set_timer(config_.checkpoint_period, kCheckpointTimer);
+  set_timer(config_.checkpoint_period, kMwCheckpointTimer);
 }
 
 void MwWorker::on_message(sim::Message m) {
@@ -149,11 +155,12 @@ void MwWorker::on_message(sim::Message m) {
   switch (m.type) {
     case kWork: {
       request_outstanding_ = false;
+      emit_trace(trace::EventKind::kIdleEnd, m.src, m.type);
       auto* payload = static_cast<WorkPayload*>(m.payload.get());
       acquire_work(std::move(payload->work));
       if (!checkpoint_armed_) {
         checkpoint_armed_ = true;
-        set_timer(config_.checkpoint_period, kCheckpointTimer);
+        set_timer(config_.checkpoint_period, kMwCheckpointTimer);
       }
       continue_processing();
       break;

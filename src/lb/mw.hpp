@@ -83,7 +83,6 @@ class MwWorker final : public PeerBase {
 
  private:
   static constexpr int kMasterId = 0;
-  static constexpr std::int64_t kCheckpointTimer = 1;
 
   void request_work();
 

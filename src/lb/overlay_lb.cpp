@@ -30,6 +30,23 @@ bool OverlayPeer::locally_quiet() const {
   return idle_ && !holds_work() && !computing();
 }
 
+void OverlayPeer::trace_queue_depth() {
+  const auto depth =
+      static_cast<std::int64_t>(
+          std::count(pending_child_.begin(), pending_child_.end(), true)) +
+      static_cast<std::int64_t>(pending_bridges_.size());
+  emit_trace(trace::EventKind::kQueueDepth, -1, 0, depth);
+}
+
+void OverlayPeer::send_work(int dst, std::unique_ptr<Work> w, int req_type,
+                            double fraction) {
+  emit_trace(trace::EventKind::kServe, dst, req_type, trace::fraction_ppm(fraction),
+             static_cast<std::int64_t>(w->amount()));
+  auto msg = make_msg(kWork, req_type == kReqBridge ? 1 : 0);
+  msg.payload = std::make_unique<WorkPayload>(std::move(w));
+  send(dst, std::move(msg));
+}
+
 // ---------------------------------------------------------------- setup ---
 
 void OverlayPeer::on_start() {
@@ -92,6 +109,7 @@ void OverlayPeer::became_idle() { start_idle_episode(); }
 
 void OverlayPeer::start_idle_episode() {
   if (terminated_ || !ready_ || holds_work() || computing()) return;
+  if (!idle_) emit_trace(trace::EventKind::kIdleBegin, -1, 0, episode_ + 1);
   idle_ = true;
   ++episode_;
   up_requested_ = false;
@@ -118,6 +136,7 @@ void OverlayPeer::send_bridge_request() {
   } while (u == id());
   bridge_target_ = u;
   bridge_sent_at_ = now();
+  emit_trace(trace::EventKind::kRequest, u, kReqBridge);
   send(u, make_msg(kReqBridge, static_cast<std::int64_t>(my_size_)));
 }
 
@@ -144,6 +163,7 @@ void OverlayPeer::advance_down() {
       continue;  // became pending since the phase started: known idle
     }
     awaiting_child_ = c;
+    emit_trace(trace::EventKind::kRequest, c, kReqDown);
     send(c, make_msg(kReqDown, 0, episode_));
     return;
   }
@@ -172,18 +192,19 @@ void OverlayPeer::maybe_send_up() {
 void OverlayPeer::arm_retry_timer() {
   if (retry_timer_armed_) return;
   retry_timer_armed_ = true;
-  set_timer(config_.retry_delay, kRetryTimer);
+  set_timer(config_.retry_delay, kOverlayRetryTimer);
 }
 
 void OverlayPeer::send_up_request() {
   up_requested_ = true;
+  emit_trace(trace::EventKind::kRequest, parent(), kReqUp);
   last_sent_agg_ = {agg_sent(), agg_recv()};
   send(parent(), make_msg(kReqUp, static_cast<std::int64_t>(last_sent_agg_.first),
                           static_cast<std::int64_t>(last_sent_agg_.second)));
 }
 
 void OverlayPeer::on_timer(std::int64_t tag) {
-  OLB_CHECK(tag == kRetryTimer);
+  OLB_CHECK(tag == kOverlayRetryTimer);
   retry_timer_armed_ = false;
   if (terminated_ || !idle_ || awaiting_child_ != -1 || holds_work()) return;
   send_bridge_request();
@@ -224,13 +245,13 @@ double OverlayPeer::fraction_for_bridge(std::uint64_t requester_size) const {
 
 void OverlayPeer::on_req_down(const sim::Message& m) {
   if (holds_work()) {
-    if (auto w = split_work(fraction_for_parent())) {
-      auto reply = make_msg(kWork, 0);
-      reply.payload = std::make_unique<WorkPayload>(std::move(w));
-      send(m.src, std::move(reply));
+    const double fraction = fraction_for_parent();
+    if (auto w = split_work(fraction)) {
+      send_work(m.src, std::move(w), kReqDown, fraction);
       return;
     }
   }
+  emit_trace(trace::EventKind::kNoServe, m.src, kReqDown);
   send(m.src, make_msg(kNoWork, 0, m.c));
 }
 
@@ -240,14 +261,15 @@ void OverlayPeer::on_req_up(const sim::Message& m) {
   child_agg_[idx] = {static_cast<std::uint64_t>(m.b), static_cast<std::uint64_t>(m.c)};
 
   if (holds_work()) {
-    if (auto w = split_work(fraction_for_child(idx))) {
+    const double fraction = fraction_for_child(idx);
+    if (auto w = split_work(fraction)) {
       pending_child_[idx] = false;
-      auto reply = make_msg(kWork, 0);
-      reply.payload = std::make_unique<WorkPayload>(std::move(w));
-      send(m.src, std::move(reply));
+      send_work(m.src, std::move(w), kReqUp, fraction);
     }
+    trace_queue_depth();
     return;  // unsplittable: the child stays pending, retried after chunks
   }
+  trace_queue_depth();
 
   if (is_root()) {
     if (probe_outstanding_) {
@@ -270,18 +292,19 @@ void OverlayPeer::on_req_up(const sim::Message& m) {
 
 void OverlayPeer::on_req_bridge(const sim::Message& m) {
   if (holds_work()) {
-    if (auto w = split_work(fraction_for_bridge(static_cast<std::uint64_t>(m.b)))) {
+    const double fraction = fraction_for_bridge(static_cast<std::uint64_t>(m.b));
+    if (auto w = split_work(fraction)) {
       ++bridge_sent_;
-      auto reply = make_msg(kWork, 1);
-      reply.payload = std::make_unique<WorkPayload>(std::move(w));
-      send(m.src, std::move(reply));
+      send_work(m.src, std::move(w), kReqBridge, fraction);
       return;
     }
   }
+  emit_trace(trace::EventKind::kNoServe, m.src, kReqBridge);
   for (const auto& [peer, size] : pending_bridges_) {
     if (peer == m.src) return;  // already pending here
   }
   pending_bridges_.emplace_back(m.src, static_cast<std::uint64_t>(m.b));
+  trace_queue_depth();
 }
 
 void OverlayPeer::on_work(sim::Message m) {
@@ -289,6 +312,7 @@ void OverlayPeer::on_work(sim::Message m) {
   if (m.b == 1) ++bridge_recv_;
   if (probe_acks_missing_ > 0) probe_dirty_ = true;
   if (m.b == 1 && m.src == bridge_target_) bridge_target_ = -1;
+  if (idle_) emit_trace(trace::EventKind::kIdleEnd, m.src, m.type, episode_);
   idle_ = false;
   awaiting_child_ = -1;
   auto* payload = static_cast<WorkPayload*>(m.payload.get());
@@ -300,25 +324,33 @@ void OverlayPeer::on_work(sim::Message m) {
 
 void OverlayPeer::serve_pending() {
   if (!holds_work()) return;
+  bool served_any = false;
   for (std::size_t i = 0; i < children_.size(); ++i) {
     if (!pending_child_[i]) continue;
-    auto w = split_work(fraction_for_child(i));
-    if (w == nullptr) return;  // too small to divide further right now
+    const double fraction = fraction_for_child(i);
+    auto w = split_work(fraction);
+    if (w == nullptr) {
+      if (served_any) trace_queue_depth();
+      return;  // too small to divide further right now
+    }
     pending_child_[i] = false;
-    auto msg = make_msg(kWork, 0);
-    msg.payload = std::make_unique<WorkPayload>(std::move(w));
-    send(children_[i], std::move(msg));
+    served_any = true;
+    send_work(children_[i], std::move(w), kReqUp, fraction);
   }
   while (!pending_bridges_.empty()) {
     const auto [peer, size] = pending_bridges_.front();
-    auto w = split_work(fraction_for_bridge(size));
-    if (w == nullptr) return;
+    const double fraction = fraction_for_bridge(size);
+    auto w = split_work(fraction);
+    if (w == nullptr) {
+      if (served_any) trace_queue_depth();
+      return;
+    }
     pending_bridges_.erase(pending_bridges_.begin());
     ++bridge_sent_;
-    auto msg = make_msg(kWork, 1);
-    msg.payload = std::make_unique<WorkPayload>(std::move(w));
-    send(peer, std::move(msg));
+    served_any = true;
+    send_work(peer, std::move(w), kReqBridge, fraction);
   }
+  if (served_any) trace_queue_depth();
 }
 
 void OverlayPeer::after_chunk() { serve_pending(); }
@@ -380,6 +412,8 @@ void OverlayPeer::launch_probe() {
   probe_r_ = bridge_recv_;
   probe_dirty_ = false;
   probe_acks_missing_ = static_cast<int>(children_.size());
+  emit_trace(trace::EventKind::kProbeWave, -1, 0,
+             static_cast<std::int64_t>(cur_probe_));
   if (probe_acks_missing_ == 0) {
     finish_probe_at_root(probe_s_, probe_r_, probe_dirty_);
     return;
@@ -461,6 +495,10 @@ void OverlayPeer::on_probe_ack(sim::Message m) {
 void OverlayPeer::finish_probe_at_root(std::uint64_t s, std::uint64_t r, bool dirty) {
   probe_outstanding_ = false;
   const bool still_quiet = locally_quiet() && all_children_pending();
+  const bool clean = !dirty && still_quiet && s == r;
+  emit_trace(trace::EventKind::kProbeWave, -1, clean ? 1 : 2,
+             static_cast<std::int64_t>(cur_probe_),
+             static_cast<std::int64_t>(s) - static_cast<std::int64_t>(r));
   if (!dirty && still_quiet && s == r) {
     if (have_clean_probe_ && clean_s_ == s && clean_r_ == r) {
       // Mattern four-counter rule: two consecutive clean waves with
@@ -485,6 +523,7 @@ void OverlayPeer::declare_termination() {
   OLB_CHECK(is_root());
   terminated_ = true;
   done_time_ = now();
+  emit_trace(trace::EventKind::kTerminated);
   for (int c : children_) send(c, make_msg(kTerminate));
 }
 
@@ -493,6 +532,7 @@ void OverlayPeer::on_terminate() {
   OLB_CHECK_MSG(!computing(), "terminate reached a peer still computing");
   terminated_ = true;
   done_time_ = now();
+  emit_trace(trace::EventKind::kTerminated);
   idle_ = false;
   pending_bridges_.clear();
   for (int c : children_) send(c, make_msg(kTerminate));

@@ -119,6 +119,8 @@ class OverlayPeer final : public PeerBase {
   void on_req_bridge(const sim::Message& m);
   void on_work(sim::Message m);
   void serve_pending();
+  void send_work(int dst, std::unique_ptr<Work> w, int req_type, double fraction);
+  void trace_queue_depth();
   double apply_policy(double proportional) const;
   double fraction_for_child(std::size_t child_idx) const;
   double fraction_for_parent() const;
@@ -195,8 +197,6 @@ class OverlayPeer final : public PeerBase {
   bool recheck_after_probe_ = false;
 
   sim::Time done_time_ = -1;
-
-  static constexpr std::int64_t kRetryTimer = 1;
 };
 
 }  // namespace olb::lb

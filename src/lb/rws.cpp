@@ -19,6 +19,7 @@ void RwsPeer::on_start() {
 
 void RwsPeer::became_idle() {
   if (terminated_) return;
+  emit_trace(trace::EventKind::kIdleBegin);
   maybe_detach();
   if (!terminated_) try_steal();
 }
@@ -35,6 +36,7 @@ void RwsPeer::try_steal() {
     victim = static_cast<int>(rng().below(static_cast<std::uint64_t>(n)));
   } while (victim == id());
   steal_outstanding_ = true;
+  emit_trace(trace::EventKind::kRequest, victim, kSteal);
   send(victim, make_msg(kSteal));
 }
 
@@ -63,7 +65,7 @@ void RwsPeer::diffuse_bound() {
 }
 
 void RwsPeer::on_timer(std::int64_t tag) {
-  OLB_CHECK(tag == kRetryTimer);
+  OLB_CHECK(tag == kRwsRetryTimer);
   if (!terminated_ && !holds_work() && !steal_outstanding_) try_steal();
 }
 
@@ -78,12 +80,16 @@ void RwsPeer::on_message(sim::Message m) {
       if (holds_work()) {
         if (auto w = split_work(config_.steal_fraction)) {
           ds_.on_work_sent();
+          emit_trace(trace::EventKind::kServe, m.src, kSteal,
+                     trace::fraction_ppm(config_.steal_fraction),
+                     static_cast<std::int64_t>(w->amount()));
           auto reply = make_msg(kWork);
           reply.payload = std::make_unique<WorkPayload>(std::move(w));
           send(m.src, std::move(reply));
           break;
         }
       }
+      emit_trace(trace::EventKind::kNoServe, m.src, kSteal);
       send(m.src, make_msg(kStealFail));
       break;
     }
@@ -91,7 +97,7 @@ void RwsPeer::on_message(sim::Message m) {
       steal_outstanding_ = false;
       if (holds_work()) break;  // engaged meanwhile via another transfer
       if (config_.retry_delay > 0) {
-        set_timer(config_.retry_delay, kRetryTimer);
+        set_timer(config_.retry_delay, kRwsRetryTimer);
       } else {
         try_steal();
       }
@@ -99,6 +105,7 @@ void RwsPeer::on_message(sim::Message m) {
     }
     case kWork: {
       steal_outstanding_ = false;
+      emit_trace(trace::EventKind::kIdleEnd, m.src, m.type);
       if (ds_.on_work_received(m.src)) send(m.src, make_msg(kSignal));
       auto* payload = static_cast<WorkPayload*>(m.payload.get());
       acquire_work(std::move(payload->work));

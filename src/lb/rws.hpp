@@ -56,8 +56,6 @@ class RwsPeer final : public PeerBase {
   DsTermination ds_;
   bool steal_outstanding_ = false;
   sim::Time done_time_ = -1;
-
-  static constexpr std::int64_t kRetryTimer = 1;
 };
 
 }  // namespace olb::lb

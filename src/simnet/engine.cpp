@@ -17,6 +17,13 @@ void Actor::start_compute(Time duration) {
   compute_pending_ = true;
   stats_.compute_time += duration;
   engine_->record_busy(base, duration);
+  trace::emit(engine_->tracer_, base, trace::EventKind::kComputeSpan, id_, -1, 0,
+              duration);
+}
+
+void Actor::emit_trace(trace::EventKind kind, int peer, int type, std::int64_t a,
+                       std::int64_t b) {
+  trace::emit(engine_->tracer_, engine_->now_, kind, id_, peer, type, a, b);
 }
 
 void Engine::record_busy(Time start, Time duration) {
@@ -27,10 +34,11 @@ void Engine::record_busy(Time start, Time duration) {
 
 void Actor::set_timer(Time delay, std::int64_t tag) {
   OLB_CHECK(delay >= 0);
+  trace::emit(engine_->tracer_, engine_->now(), trace::EventKind::kTimerSet, id_,
+              -1, 0, tag, delay);
   Message m(kTimerMsgType, tag);
   m.src = id_;
   m.dst = id_;
-  m.sent_at = engine_->now();
   Event e;
   e.time = engine_->now() + delay;
   e.seq = engine_->next_seq_++;
@@ -68,7 +76,6 @@ void Engine::send_from(Actor& from, int dst, Message m) {
   OLB_CHECK_MSG(m.type >= 0, "application message types must be >= 0");
   m.src = from.id_;
   m.dst = dst;
-  m.sent_at = now_;
   ++from.stats_.msgs_sent;
   ++total_messages_;
   const auto type_idx = static_cast<std::size_t>(m.type);
@@ -76,9 +83,18 @@ void Engine::send_from(Actor& from, int dst, Message m) {
     from.stats_.sent_by_type.resize(type_idx + 1, 0);
   }
   ++from.stats_.sent_by_type[type_idx];
+  const Time latency = network_.latency(from.id_, dst);
+  if (trace::kTraceCompiled && tracer_ != nullptr) [[unlikely]] {
+    // The id store lives under the tracer check: writing a bit-field is a
+    // read-modify-write of the whole type/id unit, too costly for a field
+    // nothing reads in untraced runs.
+    m.id = static_cast<std::uint32_t>(total_messages_);
+    trace::emit(tracer_, now_, trace::EventKind::kMsgSend, from.id_, dst, m.type,
+                static_cast<std::int64_t>(m.id), latency);
+  }
 
   Event e;
-  e.time = now_ + network_.latency(from.id_, dst);
+  e.time = now_ + latency;
   e.seq = next_seq_++;
   e.dst = dst;
   e.kind = Event::Kind::kArrival;
@@ -127,12 +143,53 @@ void Engine::service(Actor& a, Time t) {
   }
 }
 
-Engine::RunResult Engine::run(Time time_limit, std::uint64_t event_limit) {
-  running_ = true;
-  for (auto& a : actors_) {
-    if (!a->started_ && !a->wake_pending_) schedule_wake(*a, 0);
+// Keep this in lockstep with service() above: same dispatch, plus trace
+// emission and queueing-delay accounting. run() picks one loop flavour up
+// front so an untraced run's event loop is byte-for-byte the plain one.
+void Engine::service_instrumented(Actor& a, Time t) {
+  OLB_CHECK(t >= a.busy_until_);
+
+  if (!a.started_) {
+    a.started_ = true;
+    a.on_start();
+  } else if (!a.inbox_.empty()) {
+    Message m = std::move(a.inbox_.front());
+    a.inbox_.pop_front();
+    ++a.stats_.msgs_received;
+    a.busy_until_ = t + config_.msg_handling_cost;
+    a.stats_.overhead_time += config_.msg_handling_cost;
+    if (m.type == kTimerMsgType) {
+      trace::emit(tracer_, t, trace::EventKind::kTimerFire, a.id_, -1, 0, m.a,
+                  t - m.arrived_at);
+      a.on_timer(m.a);
+    } else {
+      if (measure_queue_delay_) {
+        const Time inbox_wait = t - m.arrived_at;
+        queue_delay_sum_ += inbox_wait;
+        ++queue_delay_samples_;
+        if (inbox_wait > queue_delay_max_) queue_delay_max_ = inbox_wait;
+      }
+      trace::emit(tracer_, t, trace::EventKind::kMsgDeliver, a.id_, m.src,
+                  m.type, static_cast<std::int64_t>(m.id), t - m.arrived_at);
+      a.on_message(std::move(m));
+    }
+  } else if (a.compute_pending_) {
+    a.compute_pending_ = false;
+    a.on_compute_done();
   }
 
+  if (!a.inbox_.empty() || a.compute_pending_) {
+    schedule_wake(a, a.busy_until_ > t ? a.busy_until_ : t);
+  } else if (a.started_) {
+    // Nothing queued and no compute outstanding: the actor goes idle once
+    // its current busy period (if any) drains.
+    trace::emit(tracer_, a.busy_until_ > t ? a.busy_until_ : t,
+                trace::EventKind::kActorIdle, a.id_);
+  }
+}
+
+template <bool Instrumented>
+Engine::RunResult Engine::run_loop(Time time_limit, std::uint64_t event_limit) {
   RunResult result;
   while (!queue_.empty()) {
     if (queue_.peek().time > time_limit || result.events >= event_limit) {
@@ -145,6 +202,7 @@ Engine::RunResult Engine::run(Time time_limit, std::uint64_t event_limit) {
     Actor& a = *actors_[static_cast<std::size_t>(e.dst)];
     switch (e.kind) {
       case Event::Kind::kArrival:
+        if constexpr (Instrumented) e.msg.arrived_at = now_;
         a.inbox_.push_back(std::move(e.msg));
         if (!a.wake_pending_) {
           schedule_wake(a, a.busy_until_ > now_ ? a.busy_until_ : now_);
@@ -152,12 +210,25 @@ Engine::RunResult Engine::run(Time time_limit, std::uint64_t event_limit) {
         break;
       case Event::Kind::kWake:
         a.wake_pending_ = false;
-        service(a, now_);
+        if constexpr (Instrumented) {
+          service_instrumented(a, now_);
+        } else {
+          service(a, now_);
+        }
         break;
     }
   }
   result.quiesced = true;
   return result;
+}
+
+Engine::RunResult Engine::run(Time time_limit, std::uint64_t event_limit) {
+  running_ = true;
+  for (auto& a : actors_) {
+    if (!a->started_ && !a->wake_pending_) schedule_wake(*a, 0);
+  }
+  return instrumented_ ? run_loop<true>(time_limit, event_limit)
+                       : run_loop<false>(time_limit, event_limit);
 }
 
 }  // namespace olb::sim

@@ -28,6 +28,7 @@
 #include "simnet/time.hpp"
 #include "support/check.hpp"
 #include "support/rng.hpp"
+#include "trace/trace.hpp"
 
 namespace olb::sim {
 
@@ -92,6 +93,10 @@ class Actor {
   Xoshiro256& rng() { return rng_; }
   Engine& engine() { return *engine_; }
   const ActorStats& stats() const { return stats_; }
+  /// Records a protocol-level trace event on this actor's track (no-op
+  /// unless a tracer is attached to the engine).
+  void emit_trace(trace::EventKind kind, int peer = -1, int type = 0,
+                  std::int64_t a = 0, std::int64_t b = 0);
 
  private:
   friend class Engine;
@@ -145,12 +150,42 @@ class Engine {
   static constexpr Time kBusyBucket = milliseconds(1);
   const std::vector<Time>& busy_histogram() const { return busy_buckets_; }
 
+  /// Attaches a trace sink (not owned; must outlive run()). nullptr (the
+  /// default) disables tracing at the cost of one branch per event site.
+  /// Attaching a tracer also turns on queueing-delay accounting.
+  void set_tracer(trace::TraceSink* tracer) {
+    tracer_ = tracer;
+    if (tracer != nullptr) measure_queue_delay_ = true;
+    instrumented_ = tracer_ != nullptr || measure_queue_delay_;
+  }
+  trace::TraceSink* tracer() const { return tracer_; }
+
+  /// Queueing-delay accounting: how long application messages sat in an
+  /// inbox behind a busy actor before being handled — the paper's
+  /// Master-Worker collapse is exactly this number exploding at the master.
+  /// Off by default to keep the raw event loop at full speed; the lb driver
+  /// switches it on for every run.
+  void enable_queue_delay_stats() {
+    measure_queue_delay_ = true;
+    instrumented_ = true;
+  }
+  Time queueing_delay_max() const { return queue_delay_max_; }
+  double queueing_delay_mean() const {
+    return queue_delay_samples_ > 0
+               ? static_cast<double>(queue_delay_sum_) /
+                     static_cast<double>(queue_delay_samples_)
+               : 0.0;
+  }
+
  private:
   friend class Actor;
 
   void send_from(Actor& from, int dst, Message m);
   void schedule_wake(Actor& a, Time at);
   void service(Actor& a, Time t);
+  void service_instrumented(Actor& a, Time t);
+  template <bool Instrumented>
+  RunResult run_loop(Time time_limit, std::uint64_t event_limit);
 
   void record_busy(Time start, Time duration);
 
@@ -164,6 +199,14 @@ class Engine {
   std::uint64_t total_messages_ = 0;
   Time now_ = 0;
   bool running_ = false;
+  // Tracing / queueing-delay state lives after the event-loop hot members so
+  // attaching the subsystem does not shift their cache-line layout.
+  trace::TraceSink* tracer_ = nullptr;
+  bool instrumented_ = false;  ///< tracer_ != nullptr || measure_queue_delay_
+  bool measure_queue_delay_ = false;
+  Time queue_delay_sum_ = 0;
+  Time queue_delay_max_ = 0;
+  std::uint64_t queue_delay_samples_ = 0;
 };
 
 }  // namespace olb::sim

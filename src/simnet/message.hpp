@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <memory>
 
 #include "simnet/time.hpp"
@@ -21,15 +22,20 @@ struct MsgPayload {
 
 struct Message {
   int type = 0;
+  /// Engine-assigned sequence number; pairs the send/deliver trace events of
+  /// one message (32 bits keep Message at its pre-tracing size — ids recycle
+  /// after 2^32 sends, far beyond any run's event watchdog). Only written
+  /// when a tracer is attached; 0 otherwise.
+  std::uint32_t id = 0;
   std::int64_t a = 0;
   std::int64_t b = 0;
   std::int64_t c = 0;
   std::unique_ptr<MsgPayload> payload;
 
-  // Filled in by the engine on send.
+  // Filled in by the engine on send / arrival.
   int src = -1;
   int dst = -1;
-  Time sent_at = 0;
+  Time arrived_at = 0;  ///< when the message entered the receiver's inbox
 
   Message() = default;
   Message(int type_, std::int64_t a_ = 0, std::int64_t b_ = 0, std::int64_t c_ = 0)
@@ -40,6 +46,8 @@ struct Message {
   Message(const Message&) = delete;
   Message& operator=(const Message&) = delete;
 };
+static_assert(sizeof(Message::type) + sizeof(Message::id) == 8,
+              "type/id must form one 8-byte leading unit");
 
 /// Message type tag reserved by the engine for timer expiry. Application
 /// message types must be >= 0.

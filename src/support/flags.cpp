@@ -92,6 +92,14 @@ void Flags::print_usage(std::string_view program) const {
   }
 }
 
+Flags& define_trace_flags(Flags& flags) {
+  return flags
+      .define("trace", "",
+              "dump a run timeline here (.ndjson -> NDJSON, else Perfetto)")
+      .define("trace-limit", "2000000",
+              "ring-buffer capacity: keep the last N trace events");
+}
+
 const Flags::Entry* Flags::find(std::string_view name) const {
   for (const Entry& e : entries_) {
     if (e.name == name) return &e;

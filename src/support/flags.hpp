@@ -46,4 +46,11 @@ class Flags {
   std::vector<Entry> entries_;
 };
 
+/// Registers the shared tracing flags (`--trace=<path>` and
+/// `--trace-limit=<events>`) used by every bench and example that can dump
+/// a run timeline. An empty `--trace` path (the default) disables tracing.
+/// Paths ending in `.ndjson` select the NDJSON exporter; anything else gets
+/// Chrome/Perfetto trace JSON.
+Flags& define_trace_flags(Flags& flags);
+
 }  // namespace olb

@@ -49,7 +49,8 @@ struct Summary {
 
 Summary summarize(std::span<const double> xs);
 
-/// p in [0,1]; linear interpolation between order statistics.
+/// p in [0,1]; linear interpolation between order statistics. An empty
+/// sample yields 0 (matching Summary's all-zero convention).
 double percentile(std::vector<double> xs, double p);
 
 }  // namespace olb

@@ -1,0 +1,56 @@
+// Trace exporters and derived time-series.
+//
+//  * write_ndjson   — one JSON object per event, one per line; all-integer
+//                     fields, so two runs of the same (config, seed) produce
+//                     byte-identical files (asserted by tests/test_trace).
+//  * write_perfetto — Chrome trace-event JSON loadable in Perfetto
+//                     (https://ui.perfetto.dev) or chrome://tracing: one
+//                     named track per peer, "X" slices for compute spans and
+//                     message handling, flow arrows (s/f) for work
+//                     transfers, instants for idle episodes and probes, and
+//                     global counter tracks (idle peers, pending requests,
+//                     work in flight).
+//  * derive_timeline — bucketed series (work-in-flight, idle-peer count,
+//                     pending-request depth) that lb::RunMetrics carries
+//                     alongside the utilization histogram.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <span>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace olb::trace {
+
+/// Maps an application message-type tag to a display name; may return
+/// nullptr (the exporter then prints "msg/<type>").
+using TypeNameFn = const char* (*)(int type);
+
+void write_ndjson(std::ostream& os, std::span<const TraceEvent> events);
+
+struct PerfettoOptions {
+  int num_actors = 0;          ///< tracks to pre-name (0 = infer from events)
+  int work_msg_type = -1;      ///< message type drawn as flow arrows (-1 = none)
+  TypeNameFn type_name = nullptr;
+  /// Receiver busy time per message (NetworkConfig::msg_handling_cost);
+  /// rendered as the duration of message-handling slices.
+  sim::Time handling_cost = sim::microseconds(5);
+};
+
+void write_perfetto(std::ostream& os, std::span<const TraceEvent> events,
+                    const PerfettoOptions& options);
+
+/// Derived per-bucket series; each vector has one sample per `bucket` of
+/// simulated time (value observed at the end of the bucket).
+struct Timeline {
+  std::vector<double> work_in_flight;  ///< work messages sent, not yet delivered
+  std::vector<double> idle_peers;      ///< peers inside an idle episode
+  std::vector<double> pending_depth;   ///< parked work requests across all peers
+};
+
+Timeline derive_timeline(std::span<const TraceEvent> events, sim::Time bucket,
+                         int work_msg_type);
+
+}  // namespace olb::trace

@@ -1,0 +1,192 @@
+// Structured protocol tracing: every run becomes an explorable timeline.
+//
+// The simulation engine and the protocol peers emit TraceEvents into a
+// TraceSink attached to the engine (none by default — tracing costs one
+// predicted-not-taken branch per event site when off, and can be compiled
+// out entirely with -DOLB_TRACE_DISABLED). Two sinks are provided:
+//
+//  * VectorTracer — unbounded, for explorers and tests;
+//  * RingTracer   — bounded ring that overwrites the oldest events and
+//                   counts drops, for always-on tracing of long runs.
+//
+// Events are plain integers (kind, actor, peer, type, a, b) so a trace is a
+// pure function of (actors, config, seed) exactly like the run itself —
+// tests assert byte-identical NDJSON across repeated runs. Exporters to
+// Chrome/Perfetto JSON and NDJSON live in trace/export.hpp.
+//
+// Field conventions per kind (a/b are per-kind payloads):
+//
+//  kind          | actor      | peer      | type       | a            | b
+//  --------------+------------+-----------+------------+--------------+---------
+//  kMsgSend      | sender     | dst       | msg type   | msg id       | latency
+//  kMsgDeliver   | receiver   | src       | msg type   | msg id       | inbox wait
+//  kComputeSpan  | actor      | —         | —          | duration     | units
+//  kTimerSet     | actor      | —         | —          | tag          | delay
+//  kTimerFire    | actor      | —         | —          | tag          | —
+//  kActorIdle    | actor      | —         | —          | —            | —
+//  kIdleBegin    | peer       | —         | —          | episode      | —
+//  kIdleEnd      | peer       | work src  | —          | episode      | —
+//  kRequest      | requester  | target    | msg type   | —            | —
+//  kServe        | server     | requester | msg type   | fraction ppm | amount
+//  kNoServe      | server     | requester | msg type   | —            | —
+//  kQueueDepth   | peer       | —         | —          | depth        | —
+//  kProbeWave    | root       | —         | 0/1/2 (*)  | probe id     | —
+//  kTerminated   | peer       | —         | —          | —            | —
+//
+//  (*) 0 = wave launched, 1 = wave came back clean, 2 = wave came back dirty.
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+#include <vector>
+
+#include "simnet/time.hpp"
+#include "support/check.hpp"
+
+namespace olb::trace {
+
+/// Compile-time kill switch: with -DOLB_TRACE_DISABLED every emit() call is
+/// an empty inline and the tracer pointer is never consulted.
+#ifdef OLB_TRACE_DISABLED
+inline constexpr bool kTraceCompiled = false;
+#else
+inline constexpr bool kTraceCompiled = true;
+#endif
+
+enum class EventKind : std::uint8_t {
+  // --- engine level ---
+  kMsgSend = 0,
+  kMsgDeliver,
+  kComputeSpan,
+  kTimerSet,
+  kTimerFire,
+  kActorIdle,
+  // --- protocol level ---
+  kIdleBegin,
+  kIdleEnd,
+  kRequest,
+  kServe,
+  kNoServe,
+  kQueueDepth,
+  kProbeWave,
+  kTerminated,
+};
+
+inline const char* kind_name(EventKind k) {
+  switch (k) {
+    case EventKind::kMsgSend: return "msg_send";
+    case EventKind::kMsgDeliver: return "msg_deliver";
+    case EventKind::kComputeSpan: return "compute";
+    case EventKind::kTimerSet: return "timer_set";
+    case EventKind::kTimerFire: return "timer_fire";
+    case EventKind::kActorIdle: return "actor_idle";
+    case EventKind::kIdleBegin: return "idle_begin";
+    case EventKind::kIdleEnd: return "idle_end";
+    case EventKind::kRequest: return "request";
+    case EventKind::kServe: return "serve";
+    case EventKind::kNoServe: return "no_serve";
+    case EventKind::kQueueDepth: return "queue_depth";
+    case EventKind::kProbeWave: return "probe_wave";
+    case EventKind::kTerminated: return "terminated";
+  }
+  return "?";
+}
+
+struct TraceEvent {
+  sim::Time time = 0;
+  EventKind kind = EventKind::kMsgSend;
+  std::int32_t actor = -1;  ///< the track the event belongs to
+  std::int32_t peer = -1;   ///< other endpoint, -1 when not applicable
+  std::int32_t type = 0;    ///< message type / request kind / wave result
+  std::int64_t a = 0;       ///< per-kind payload, see table above
+  std::int64_t b = 0;       ///< per-kind payload, see table above
+};
+
+/// Served fractions travel as parts-per-million so events stay all-integer
+/// (and therefore bit-reproducible across platforms).
+inline std::int64_t fraction_ppm(double fraction) {
+  return static_cast<std::int64_t>(std::llround(fraction * 1e6));
+}
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+
+  virtual void record(const TraceEvent& e) = 0;
+
+  /// Events lost to capacity limits (0 for unbounded sinks).
+  virtual std::uint64_t dropped() const { return 0; }
+
+  /// The retained events, oldest first.
+  virtual std::vector<TraceEvent> snapshot() const = 0;
+};
+
+/// Unbounded sink; the default choice for explorers and tests.
+class VectorTracer final : public TraceSink {
+ public:
+  void record(const TraceEvent& e) override { events_.push_back(e); }
+  std::vector<TraceEvent> snapshot() const override { return events_; }
+  std::size_t size() const { return events_.size(); }
+  const std::vector<TraceEvent>& events() const { return events_; }
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+/// Bounded ring: keeps the *last* `capacity` events (the interesting tail of
+/// a long run) and counts what it had to drop.
+class RingTracer final : public TraceSink {
+ public:
+  explicit RingTracer(std::size_t capacity) : capacity_(capacity) {
+    OLB_CHECK(capacity_ > 0);
+    events_.reserve(capacity_);
+  }
+
+  void record(const TraceEvent& e) override {
+    if (events_.size() < capacity_) {
+      events_.push_back(e);
+      return;
+    }
+    events_[head_] = e;
+    head_ = (head_ + 1) % capacity_;
+    ++dropped_;
+  }
+
+  std::uint64_t dropped() const override { return dropped_; }
+
+  std::vector<TraceEvent> snapshot() const override {
+    std::vector<TraceEvent> out;
+    out.reserve(events_.size());
+    for (std::size_t i = 0; i < events_.size(); ++i) {
+      out.push_back(events_[(head_ + i) % events_.size()]);
+    }
+    return out;
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  std::size_t capacity_;
+  std::size_t head_ = 0;  ///< oldest retained event once the ring is full
+  std::uint64_t dropped_ = 0;
+  std::vector<TraceEvent> events_;
+};
+
+/// The one emission point: a null sink (the default) costs a single
+/// predicted branch — the fields are plain scalars so the TraceEvent is
+/// only materialised on the cold path. With OLB_TRACE_DISABLED the whole
+/// call folds to nothing.
+inline void emit(TraceSink* sink, sim::Time time, EventKind kind,
+                 std::int32_t actor, std::int32_t peer = -1,
+                 std::int32_t type = 0, std::int64_t a = 0, std::int64_t b = 0) {
+  if constexpr (kTraceCompiled) {
+    if (sink != nullptr) [[unlikely]] {
+      sink->record(TraceEvent{time, kind, actor, peer, type, a, b});
+    }
+  } else {
+    (void)sink, (void)time, (void)kind, (void)actor, (void)peer, (void)type;
+    (void)a, (void)b;
+  }
+}
+
+}  // namespace olb::trace

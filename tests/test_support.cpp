@@ -157,6 +157,18 @@ TEST(Stats, EmptyStatsAreZero) {
   EXPECT_DOUBLE_EQ(acc.max(), 0.0);
 }
 
+TEST(Stats, EmptySampleYieldsZeroSummaryAndPercentile) {
+  const Summary s = summarize({});
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, 0.0);
+  EXPECT_DOUBLE_EQ(s.max, 0.0);
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(percentile({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(percentile({}, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile({}, 1.0), 0.0);
+}
+
 TEST(Stats, PercentileInterpolates) {
   std::vector<double> xs = {1, 2, 3, 4, 5};
   EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);

@@ -1,0 +1,196 @@
+// Tests for the structured tracing subsystem: sink semantics (RingTracer
+// overflow), determinism of the NDJSON export across identical runs, the
+// shape of the Perfetto export, and the trace-derived RunMetrics fields.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+
+#include "lb/driver.hpp"
+#include "lb/messages.hpp"
+#include "simnet/engine.hpp"
+#include "trace/export.hpp"
+#include "trace/trace.hpp"
+#include "uts/uts_work.hpp"
+
+namespace olb {
+namespace {
+
+// ------------------------------------------------------------------ sinks ---
+
+TEST(RingTracer, KeepsTheLastCapacityEventsAndCountsDrops) {
+  trace::RingTracer ring(4);
+  for (int i = 0; i < 10; ++i) {
+    ring.record({sim::Time{i}, trace::EventKind::kRequest, 0, -1, 0, i, 0});
+  }
+  EXPECT_EQ(ring.dropped(), 6u);
+  const auto events = ring.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[static_cast<std::size_t>(i)].a, 6 + i) << "oldest-first";
+  }
+}
+
+TEST(RingTracer, NoDropsBelowCapacity) {
+  trace::RingTracer ring(8);
+  for (int i = 0; i < 5; ++i) {
+    ring.record({sim::Time{i}, trace::EventKind::kServe, 1, 2, 0, i, 0});
+  }
+  EXPECT_EQ(ring.dropped(), 0u);
+  EXPECT_EQ(ring.snapshot().size(), 5u);
+}
+
+TEST(Trace, FractionPpmIsStable) {
+  EXPECT_EQ(trace::fraction_ppm(0.5), 500000);
+  EXPECT_EQ(trace::fraction_ppm(0.0), 0);
+  EXPECT_EQ(trace::fraction_ppm(1.0), 1000000);
+}
+
+// ------------------------------------------------------------ determinism ---
+
+uts::Params tiny_uts() {
+  uts::Params p;
+  p.hash = uts::HashMode::kFast;
+  p.b0 = 200;
+  p.q = 0.47;
+  p.m = 2;
+  p.root_seed = 77;
+  return p;
+}
+
+lb::RunConfig tiny_config(trace::TraceSink* tracer) {
+  lb::RunConfig config;
+  config.strategy = lb::Strategy::kOverlayBTD;
+  config.num_peers = 16;
+  config.net = lb::paper_network(16);
+  config.seed = 3;
+  config.tracer = tracer;
+  return config;
+}
+
+std::string traced_ndjson(lb::RunMetrics* metrics_out = nullptr) {
+  uts::UtsWorkload workload(tiny_uts(), uts::CostModel{});
+  trace::VectorTracer tracer;
+  const auto metrics = lb::run_distributed(workload, tiny_config(&tracer));
+  EXPECT_TRUE(metrics.ok);
+  if (metrics_out != nullptr) *metrics_out = metrics;
+  std::ostringstream os;
+  trace::write_ndjson(os, tracer.snapshot());
+  return os.str();
+}
+
+TEST(Trace, NdjsonIsByteIdenticalAcrossIdenticalRuns) {
+  const std::string first = traced_ndjson();
+  const std::string second = traced_ndjson();
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
+TEST(Trace, TracingDoesNotPerturbTheRun) {
+  uts::UtsWorkload untraced_workload(tiny_uts(), uts::CostModel{});
+  const auto untraced =
+      lb::run_distributed(untraced_workload, tiny_config(nullptr));
+  lb::RunMetrics traced;
+  (void)traced_ndjson(&traced);
+  EXPECT_EQ(untraced.total_units, traced.total_units);
+  EXPECT_EQ(untraced.total_messages, traced.total_messages);
+  EXPECT_DOUBLE_EQ(untraced.exec_seconds, traced.exec_seconds);
+}
+
+// ---------------------------------------------------------------- exports ---
+
+TEST(Trace, PerfettoExportHasTracksSlicesAndFlows) {
+  uts::UtsWorkload workload(tiny_uts(), uts::CostModel{});
+  trace::VectorTracer tracer;
+  const auto config = tiny_config(&tracer);
+  const auto metrics = lb::run_distributed(workload, config);
+  ASSERT_TRUE(metrics.ok);
+
+  std::ostringstream os;
+  trace::PerfettoOptions opts;
+  opts.num_actors = config.num_peers;
+  opts.work_msg_type = lb::kWork;
+  opts.type_name = lb::msg_type_name;
+  opts.handling_cost = config.net.msg_handling_cost;
+  trace::write_perfetto(os, tracer.snapshot(), opts);
+  const std::string json = os.str();
+
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos) << "complete slices";
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos) << "flow start";
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos) << "flow end";
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos) << "counters";
+  EXPECT_NE(json.find("\"name\":\"compute\""), std::string::npos);
+  // Balanced braces/brackets is a cheap structural-validity proxy.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+// -------------------------------------------------------- derived metrics ---
+
+TEST(Trace, RunMetricsGainQueueingDelayAndTimelines) {
+  lb::RunMetrics metrics;
+  (void)traced_ndjson(&metrics);
+  EXPECT_GT(metrics.queueing_delay_mean, 0.0);
+  EXPECT_GE(metrics.queueing_delay_max, metrics.queueing_delay_mean);
+  EXPECT_GT(metrics.trace_events, 0u);
+  EXPECT_EQ(metrics.trace_dropped, 0u);
+  EXPECT_FALSE(metrics.work_in_flight.empty());
+  EXPECT_FALSE(metrics.idle_peers.empty());
+  EXPECT_FALSE(metrics.pending_depth.empty());
+  EXPECT_EQ(metrics.work_in_flight.size(), metrics.idle_peers.size());
+  EXPECT_EQ(metrics.work_in_flight.size(), metrics.pending_depth.size());
+}
+
+TEST(Trace, QueueingDelayIsMeasuredWithoutATracerToo) {
+  uts::UtsWorkload workload(tiny_uts(), uts::CostModel{});
+  const auto metrics = lb::run_distributed(workload, tiny_config(nullptr));
+  ASSERT_TRUE(metrics.ok);
+  EXPECT_GT(metrics.queueing_delay_mean, 0.0);
+  EXPECT_GE(metrics.queueing_delay_max, metrics.queueing_delay_mean);
+  EXPECT_EQ(metrics.trace_events, 0u);
+  EXPECT_TRUE(metrics.work_in_flight.empty());
+}
+
+TEST(Trace, TinyRingTracerDropsButStillExports) {
+  uts::UtsWorkload workload(tiny_uts(), uts::CostModel{});
+  trace::RingTracer tracer(64);
+  const auto metrics = lb::run_distributed(workload, tiny_config(&tracer));
+  ASSERT_TRUE(metrics.ok);
+  EXPECT_EQ(metrics.trace_events, 64u);
+  EXPECT_GT(metrics.trace_dropped, 0u);
+  std::ostringstream os;
+  trace::write_ndjson(os, tracer.snapshot());
+  EXPECT_FALSE(os.str().empty());
+}
+
+// --------------------------------------------------------------- timeline ---
+
+TEST(Trace, DeriveTimelineCountsWorkInFlightAndIdlePeers) {
+  using trace::EventKind;
+  const sim::Time ms = sim::milliseconds(1);
+  std::vector<trace::TraceEvent> events = {
+      {0, EventKind::kIdleBegin, 1, -1, 0, 1, 0},
+      {0, EventKind::kMsgSend, 0, 1, lb::kWork, 7, 0},
+      {ms / 2, EventKind::kQueueDepth, 0, -1, 0, 3, 0},
+      {2 * ms, EventKind::kMsgDeliver, 1, 0, lb::kWork, 7, 0},
+      {2 * ms, EventKind::kIdleEnd, 1, 0, 0, 1, 0},
+      {3 * ms, EventKind::kQueueDepth, 0, -1, 0, 0, 0},
+  };
+  const auto tl = trace::derive_timeline(events, ms, lb::kWork);
+  ASSERT_EQ(tl.work_in_flight.size(), 4u);
+  EXPECT_DOUBLE_EQ(tl.work_in_flight[0], 1.0);  // sent in bucket 0 ...
+  EXPECT_DOUBLE_EQ(tl.work_in_flight[1], 1.0);
+  EXPECT_DOUBLE_EQ(tl.work_in_flight[2], 0.0);  // ... delivered at 2 ms
+  EXPECT_DOUBLE_EQ(tl.idle_peers[1], 1.0);
+  EXPECT_DOUBLE_EQ(tl.idle_peers[2], 0.0);
+  EXPECT_DOUBLE_EQ(tl.pending_depth[1], 3.0);
+  EXPECT_DOUBLE_EQ(tl.pending_depth[3], 0.0);
+}
+
+}  // namespace
+}  // namespace olb
