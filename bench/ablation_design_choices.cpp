@@ -21,17 +21,14 @@ lb::RunMetrics run_one(const lb::RunConfig& config, int jobs, int machines) {
 
 int main(int argc, char** argv) {
   Flags flags;
-  flags.define("peers", "200", "cluster size")
-      .define("jobs", std::to_string(Defaults::kSmallJobs), "flowshop jobs")
-      .define("machines", std::to_string(Defaults::kSmallMachines), "flowshop machines")
-      .define("seed", "1", "run seed")
-      .define("csv", "false", "emit CSV instead of aligned tables");
+  define_run_flags(flags);
   if (!flags.parse(argc, argv)) return 0;
-  const int n = static_cast<int>(flags.get_int("peers"));
-  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed"));
-  const int jobs = static_cast<int>(flags.get_int("jobs"));
-  const int machines = static_cast<int>(flags.get_int("machines"));
-  const bool csv = flags.get_bool("csv");
+  const RunFlags rf = parse_run_flags(flags);
+  const int n = rf.peers;
+  const auto seed = rf.seed;
+  const int jobs = rf.jobs;
+  const int machines = rf.machines;
+  const bool csv = rf.csv;
 
   print_preamble("Ablations: design knobs of the overlay protocol",
                  "B&B Ta21s, BTD at 200 peers unless stated");
@@ -57,7 +54,7 @@ int main(int argc, char** argv) {
     Table t({"patience_us", "exec_sec", "bridge_requests"});
     for (std::int64_t us : {75, 300, 1200, 100000}) {
       auto config = bb_config(lb::Strategy::kOverlayBTD, n, seed);
-      config.overlay_bridge_patience = sim::microseconds(us);
+      config.overlay.bridge_patience = sim::microseconds(us);
       const auto m = run_one(config, jobs, machines);
       t.add_row({Table::cell(us), Table::cell(m.exec_seconds, 4),
                  Table::cell(m.sent_by_type[lb::kReqBridge])});
@@ -109,8 +106,8 @@ int main(int argc, char** argv) {
                                {"proportional", lb::SplitPolicy::kSubtreeProportional, 0}};
     for (const Policy& p : policies) {
       auto config = bb_config(lb::Strategy::kOverlayTD, n, seed);
-      config.split = p.split;
-      config.split_fixed_units = p.units;
+      config.overlay.split = p.split;
+      config.overlay.split_fixed_units = p.units;
       config.min_split_amount = 1;  // let tiny grains actually happen
       const auto m = run_one(config, jobs, machines);
       t.add_row({p.label, Table::cell(m.exec_seconds, 4),
@@ -128,9 +125,9 @@ int main(int argc, char** argv) {
       auto config = bb_config(mode == 2 ? lb::Strategy::kRWS
                                         : lb::Strategy::kOverlayBTD,
                               n, seed);
-      config.het_fraction = 0.3;
-      config.het_slow_factor = 0.25;
-      config.capacity_weighted_overlay = mode == 1;
+      config.het.fraction = 0.3;
+      config.het.slow_factor = 0.25;
+      config.het.capacity_weighted = mode == 1;
       const auto m = run_one(config, jobs, machines);
       t.add_row({mode == 0   ? "BTD, unweighted overlay"
                  : mode == 1 ? "BTD, capacity-weighted overlay"

@@ -4,9 +4,72 @@
 #include <fstream>
 
 #include "support/check.hpp"
+#include "support/rng.hpp"
 #include "trace/export.hpp"
 
 namespace olb::bench {
+
+Flags& define_run_flags(Flags& flags, const RunFlagSpec& spec) {
+  if (spec.peers != nullptr) flags.define("peers", spec.peers, "cluster size");
+  if (spec.instance) {
+    flags.define("jobs", std::to_string(spec.jobs), "flowshop jobs")
+        .define("machines", std::to_string(spec.machines), "flowshop machines");
+  }
+  if (spec.seed) flags.define("seed", "1", "run seed");
+  if (spec.csv) flags.define("csv", "false", "emit CSV instead of aligned tables");
+  return flags;
+}
+
+RunFlags parse_run_flags(const Flags& flags) {
+  RunFlags rf;
+  if (flags.has("peers")) rf.peers = static_cast<int>(flags.get_int("peers"));
+  if (flags.has("jobs")) rf.jobs = static_cast<int>(flags.get_int("jobs"));
+  if (flags.has("machines")) rf.machines = static_cast<int>(flags.get_int("machines"));
+  if (flags.has("seed")) rf.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  if (flags.has("csv")) rf.csv = flags.get_bool("csv");
+  return rf;
+}
+
+lb::Strategy parse_strategy_flag(const Flags& flags, const char* flag) {
+  const std::string name = flags.get(flag);
+  lb::Strategy s;
+  if (!lb::strategy_from_name(name, &s)) {
+    std::fprintf(stderr, "FATAL: unknown --%s '%s' (use %s)\n", flag, name.c_str(),
+                 lb::strategy_names().c_str());
+    std::abort();
+  }
+  return s;
+}
+
+Flags& define_fault_flags(Flags& flags) {
+  return flags.define("drop", "0", "P(control message dropped)")
+      .define("dup", "0", "P(control message duplicated)")
+      .define("spike", "0", "P(message hit by a latency spike)")
+      .define("spike-ms", "2", "latency-spike magnitude (ms)")
+      .define("crashes", "0", "number of random crash victims")
+      .define("crash-from-ms", "1", "crash window start (ms)")
+      .define("crash-to-ms", "10", "crash window end (ms)")
+      .define("fault-salt", "0", "extra key for the fault RNG stream");
+}
+
+sim::FaultPlan parse_fault_flags(const Flags& flags, int num_peers) {
+  const int crashes = static_cast<int>(flags.get_int("crashes"));
+  const auto salt = static_cast<std::uint64_t>(flags.get_int("fault-salt"));
+  auto ms = [](double v) { return static_cast<sim::Time>(v * 1e6); };
+  sim::FaultPlan plan;
+  if (crashes > 0) {
+    plan = sim::make_random_crashes(crashes, num_peers,
+                                    ms(flags.get_double("crash-from-ms")),
+                                    ms(flags.get_double("crash-to-ms")),
+                                    mix64(salt ^ 0xfa01));
+  }
+  plan.link.drop_prob = flags.get_double("drop");
+  plan.link.dup_prob = flags.get_double("dup");
+  plan.link.spike_prob = flags.get_double("spike");
+  plan.link.spike_latency = ms(flags.get_double("spike-ms"));
+  plan.salt = salt;
+  return plan;
+}
 
 std::unique_ptr<bb::BBWorkload> make_bb(int index, int jobs, int machines) {
   return std::make_unique<bb::BBWorkload>(

@@ -40,6 +40,48 @@ struct Defaults {
   static constexpr std::uint64_t kChunkUTS = 64;
 };
 
+/// Which of the shared run flags a binary wants, and their defaults.
+/// Members set to nullptr / false suppress the corresponding flag entirely
+/// (e.g. the scaling sweeps take `--scales`, not `--peers`).
+struct RunFlagSpec {
+  const char* peers = "200";  ///< default for --peers; nullptr = no flag
+  bool instance = true;       ///< --jobs / --machines (scaled flowshop)
+  int jobs = Defaults::kSmallJobs;
+  int machines = Defaults::kSmallMachines;
+  bool seed = true;  ///< --seed
+  bool csv = true;   ///< --csv
+};
+
+/// Registers the flags shared by the bench mains according to `spec`.
+Flags& define_run_flags(Flags& flags, const RunFlagSpec& spec = {});
+
+/// The parsed values. Fields whose flag was suppressed keep these zeros.
+struct RunFlags {
+  int peers = 0;
+  int jobs = 0;
+  int machines = 0;
+  std::uint64_t seed = 1;
+  bool csv = false;
+};
+
+/// Reads back whichever of the shared flags were defined.
+RunFlags parse_run_flags(const Flags& flags);
+
+/// Parses `--<flag>` through lb::strategy_from_name, aborting with the
+/// list of valid names on a typo.
+lb::Strategy parse_strategy_flag(const Flags& flags, const char* flag = "strategy");
+
+/// Registers the shared fault-injection flags: --drop / --dup / --spike
+/// (per-message probabilities), --spike-ms, --crashes (random victims),
+/// --crash-from-ms / --crash-to-ms (the crash window) and --fault-salt.
+/// All-zero defaults mean the resulting plan is disabled.
+Flags& define_fault_flags(Flags& flags);
+
+/// Builds the FaultPlan the fault flags describe. Crash victims are drawn
+/// by sim::make_random_crashes (peer 0 is never a victim), keyed by
+/// --fault-salt so sweeps can vary the pattern independently of the seed.
+sim::FaultPlan parse_fault_flags(const Flags& flags, int num_peers);
+
 /// B&B workload on the scaled analogue of Ta(21+index).
 std::unique_ptr<bb::BBWorkload> make_bb(int index, int jobs, int machines);
 

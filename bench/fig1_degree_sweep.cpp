@@ -13,19 +13,16 @@ using namespace olb::bench;
 
 int main(int argc, char** argv) {
   Flags flags;
-  flags.define("peers", "500", "cluster size")
-      .define("dmax_min", "2", "smallest degree")
+  define_run_flags(flags, {.peers = "500"});
+  flags.define("dmax_min", "2", "smallest degree")
       .define("dmax_max", "10", "largest degree")
-      .define("jobs", std::to_string(Defaults::kSmallJobs), "flowshop jobs")
-      .define("machines", std::to_string(Defaults::kSmallMachines), "flowshop machines")
-      .define("seed", "1", "run seed")
-      .define("hist_buckets", "25", "peer-id buckets for the message histogram")
-      .define("csv", "false", "emit CSV instead of aligned tables");
+      .define("hist_buckets", "25", "peer-id buckets for the message histogram");
   if (!flags.parse(argc, argv)) return 0;
-  const int n = static_cast<int>(flags.get_int("peers"));
-  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed"));
-  const int jobs = static_cast<int>(flags.get_int("jobs"));
-  const int machines = static_cast<int>(flags.get_int("machines"));
+  const RunFlags rf = parse_run_flags(flags);
+  const int n = rf.peers;
+  const auto seed = rf.seed;
+  const int jobs = rf.jobs;
+  const int machines = rf.machines;
 
   print_preamble("Fig 1: TD degree sweep at 500 peers",
                  "top: exec time vs dmax; bottom: per-peer messages (BFS ids)");

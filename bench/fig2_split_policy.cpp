@@ -13,17 +13,14 @@ using namespace olb::bench;
 
 int main(int argc, char** argv) {
   Flags flags;
-  flags.define("peers", "200", "cluster size for the B&B part")
-      .define("jobs", std::to_string(Defaults::kSmallJobs), "flowshop jobs")
-      .define("machines", std::to_string(Defaults::kSmallMachines), "flowshop machines")
-      .define("uts_seed", std::to_string(Defaults::kUtsSmallSeed), "UTS root seed")
-      .define("uts_scales", "16,32,48,64,80,96,112,128", "UTS peer counts")
-      .define("seed", "1", "run seed")
-      .define("csv", "false", "emit CSV instead of aligned tables");
+  define_run_flags(flags);
+  flags.define("uts_seed", std::to_string(Defaults::kUtsSmallSeed), "UTS root seed")
+      .define("uts_scales", "16,32,48,64,80,96,112,128", "UTS peer counts");
   if (!flags.parse(argc, argv)) return 0;
-  const int n = static_cast<int>(flags.get_int("peers"));
-  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed"));
-  const bool csv = flags.get_bool("csv");
+  const RunFlags rf = parse_run_flags(flags);
+  const int n = rf.peers;
+  const auto seed = rf.seed;
+  const bool csv = rf.csv;
 
   print_preamble("Fig 2: subtree-proportional vs steal-half (TD, dmax=10)", "");
 
@@ -35,7 +32,7 @@ int main(int argc, char** argv) {
       auto workload = make_bb(idx, static_cast<int>(flags.get_int("jobs")),
                               static_cast<int>(flags.get_int("machines")));
       auto config = bb_config(lb::Strategy::kOverlayTD, n, seed);
-      config.split = policy == 0 ? lb::SplitPolicy::kSubtreeProportional
+      config.overlay.split = policy == 0 ? lb::SplitPolicy::kSubtreeProportional
                                  : lb::SplitPolicy::kHalf;
       const auto metrics = run_checked(*workload, config, "fig2 bb");
       secs[policy] = metrics.exec_seconds;
@@ -56,7 +53,7 @@ int main(int argc, char** argv) {
     for (int policy = 0; policy < 2; ++policy) {
       auto workload = make_uts(static_cast<std::uint32_t>(flags.get_int("uts_seed")));
       auto config = uts_config(lb::Strategy::kOverlayTD, static_cast<int>(un), seed);
-      config.split = policy == 0 ? lb::SplitPolicy::kSubtreeProportional
+      config.overlay.split = policy == 0 ? lb::SplitPolicy::kSubtreeProportional
                                  : lb::SplitPolicy::kHalf;
       secs[policy] = run_checked(*workload, config, "fig2 uts").exec_seconds;
     }

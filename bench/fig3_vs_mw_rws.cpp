@@ -10,16 +10,13 @@ using namespace olb::bench;
 
 int main(int argc, char** argv) {
   Flags flags;
-  flags.define("peers", "200", "cluster size")
-      .define("jobs", std::to_string(Defaults::kSmallJobs), "flowshop jobs")
-      .define("machines", std::to_string(Defaults::kSmallMachines), "flowshop machines")
-      .define("seed", "1", "run seed")
-      .define("csv", "false", "emit CSV instead of aligned table");
+  define_run_flags(flags);
   if (!flags.parse(argc, argv)) return 0;
-  const int n = static_cast<int>(flags.get_int("peers"));
-  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed"));
-  const int jobs = static_cast<int>(flags.get_int("jobs"));
-  const int machines = static_cast<int>(flags.get_int("machines"));
+  const RunFlags rf = parse_run_flags(flags);
+  const int n = rf.peers;
+  const auto seed = rf.seed;
+  const int jobs = rf.jobs;
+  const int machines = rf.machines;
 
   print_preamble("Fig 3: BTD vs RWS vs MW at 200 peers (B&B)", "");
 
@@ -47,7 +44,7 @@ int main(int argc, char** argv) {
   table.add_row({"TOTAL", Table::cell(totals[0], 4), Table::cell(totals[1], 4),
                  Table::cell(totals[2], 4),
                  "BTD wins " + std::to_string(btd_wins) + "/10"});
-  if (flags.get_bool("csv")) table.print_csv(std::cout); else table.print(std::cout);
+  if (rf.csv) table.print_csv(std::cout); else table.print(std::cout);
   std::printf("\n# Expected shape (paper): BTD best on ~7/10 instances; MW very "
               "competitive at this scale (often beating RWS).\n");
   return 0;

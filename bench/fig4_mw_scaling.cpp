@@ -13,15 +13,15 @@ using namespace olb::bench;
 
 int main(int argc, char** argv) {
   Flags flags;
+  define_run_flags(flags,
+                   {.peers = nullptr, .instance = false});
   flags.define("scales", "200,400,600,800,1000", "peer counts")
       .define("jobs21", std::to_string(Defaults::kBigJobs), "jobs for Ta21s")
       .define("jobs23", std::to_string(Defaults::kBig23Jobs), "jobs for Ta23s")
-      .define("machines", std::to_string(Defaults::kBigMachines), "flowshop machines")
-      .define("seed", "1", "run seed")
-      .define("csv", "false", "emit CSV instead of aligned table");
+      .define("machines", std::to_string(Defaults::kBigMachines), "flowshop machines");
   define_trace_flags(flags);
   if (!flags.parse(argc, argv)) return 0;
-  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  const auto seed = parse_run_flags(flags).seed;
   const int machines = static_cast<int>(flags.get_int("machines"));
 
   print_preamble("Fig 4: BTD vs MW scaling on Ta21s / Ta23s",

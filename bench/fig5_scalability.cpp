@@ -13,19 +13,19 @@ using namespace olb::bench;
 
 int main(int argc, char** argv) {
   Flags flags;
+  define_run_flags(flags, {.peers = nullptr, .instance = false});
   flags.define("scales", "200,400,600,800,1000", "B&B peer counts")
       .define("uts_scales", "128,192,256,320,384,448,512", "UTS peer counts")
       .define("jobs21", std::to_string(Defaults::kBigJobs), "jobs for Ta21s")
       .define("jobs23", std::to_string(Defaults::kBig23Jobs), "jobs for Ta23s")
       .define("machines", std::to_string(Defaults::kBigMachines), "flowshop machines")
-      .define("uts_seed", std::to_string(Defaults::kUtsBigSeed), "UTS root seed")
-      .define("seed", "1", "run seed")
-      .define("csv", "false", "emit CSV instead of aligned tables");
+      .define("uts_seed", std::to_string(Defaults::kUtsBigSeed), "UTS root seed");
   define_trace_flags(flags);
   if (!flags.parse(argc, argv)) return 0;
-  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  const RunFlags rf = parse_run_flags(flags);
+  const auto seed = rf.seed;
   const int machines = static_cast<int>(flags.get_int("machines"));
-  const bool csv = flags.get_bool("csv");
+  const bool csv = rf.csv;
 
   print_preamble("Fig 5: BTD vs RWS — execution time and parallel efficiency",
                  "top: B&B Ta21s/Ta23s; bottom: UTS binomial");

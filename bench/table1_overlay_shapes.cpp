@@ -30,12 +30,10 @@ const Shape kShapes[] = {
 
 int main(int argc, char** argv) {
   Flags flags;
+  define_run_flags(flags, {.peers = nullptr, .seed = false});
   flags.define("trials", "10", "seeds per configuration")
       .define("scales", "100,200", "comma-separated peer counts")
-      .define("jobs", std::to_string(Defaults::kSmallJobs), "flowshop jobs")
-      .define("machines", std::to_string(Defaults::kSmallMachines), "flowshop machines")
-      .define("uts_seed", std::to_string(Defaults::kUtsBigSeed), "UTS root seed")
-      .define("csv", "false", "emit CSV instead of aligned table");
+      .define("uts_seed", std::to_string(Defaults::kUtsBigSeed), "UTS root seed");
   if (!flags.parse(argc, argv)) return 0;
   const auto trials = static_cast<std::uint64_t>(flags.get_int("trials"));
 

@@ -11,16 +11,13 @@ using namespace olb::bench;
 
 int main(int argc, char** argv) {
   Flags flags;
-  flags.define("peers", "200", "cluster size")
-      .define("jobs", std::to_string(Defaults::kSmallJobs), "flowshop jobs")
-      .define("machines", std::to_string(Defaults::kSmallMachines), "flowshop machines")
-      .define("seed", "1", "run seed")
-      .define("csv", "false", "emit CSV instead of aligned table");
+  define_run_flags(flags);
   if (!flags.parse(argc, argv)) return 0;
-  const int n = static_cast<int>(flags.get_int("peers"));
-  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed"));
-  const int jobs = static_cast<int>(flags.get_int("jobs"));
-  const int machines = static_cast<int>(flags.get_int("machines"));
+  const RunFlags rf = parse_run_flags(flags);
+  const int n = rf.peers;
+  const auto seed = rf.seed;
+  const int jobs = rf.jobs;
+  const int machines = rf.machines;
 
   print_preamble("Table II: TD / BTD vs AHMW at 200 peers (B&B)",
                  "all overlays use degree 10, as both papers recommend");

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "bb/bb_work.hpp"
+#include "bench_common.hpp"
 #include "lb/driver.hpp"
 #include "support/flags.hpp"
 
@@ -18,7 +19,7 @@ int main(int argc, char** argv) {
   flags.define("instance", "21", "Taillard 20x20 instance number (21..30)")
       .define("jobs", "12", "jobs kept from the full instance (<= 20)")
       .define("machines", "8", "machines kept from the full instance (<= 20)")
-      .define("strategy", "btd", "td | tr | btd | rws | mw | ahmw")
+      .define("strategy", "btd", lb::strategy_names())
       .define("peers", "200", "simulated cluster size")
       .define("dmax", "10", "overlay degree")
       .define("two_machine_bound", "false", "use the stronger LB2 bound")
@@ -44,18 +45,7 @@ int main(int argc, char** argv) {
   }
   bb::BBWorkload workload(inst, kind, bb::CostModel{}, initial_ub);
 
-  lb::Strategy strategy = lb::Strategy::kOverlayBTD;
-  const std::string s = flags.get("strategy");
-  if (s == "td") strategy = lb::Strategy::kOverlayTD;
-  else if (s == "tr") strategy = lb::Strategy::kOverlayTR;
-  else if (s == "btd") strategy = lb::Strategy::kOverlayBTD;
-  else if (s == "rws") strategy = lb::Strategy::kRWS;
-  else if (s == "mw") strategy = lb::Strategy::kMW;
-  else if (s == "ahmw") strategy = lb::Strategy::kAHMW;
-  else {
-    std::fprintf(stderr, "unknown strategy: %s\n", s.c_str());
-    return 1;
-  }
+  const lb::Strategy strategy = bench::parse_strategy_flag(flags);
 
   lb::RunConfig config;
   config.strategy = strategy;

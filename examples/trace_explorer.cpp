@@ -18,6 +18,7 @@
 #include "lb/messages.hpp"
 #include "simnet/engine.hpp"
 #include "support/check.hpp"
+#include "bench_common.hpp"
 #include "support/flags.hpp"
 #include "trace/export.hpp"
 #include "uts/uts_work.hpp"
@@ -25,16 +26,6 @@
 using namespace olb;
 
 namespace {
-
-lb::Strategy parse_strategy(const std::string& s) {
-  for (auto candidate :
-       {lb::Strategy::kOverlayTD, lb::Strategy::kOverlayTR,
-        lb::Strategy::kOverlayBTD, lb::Strategy::kRWS, lb::Strategy::kMW,
-        lb::Strategy::kAHMW}) {
-    if (s == lb::strategy_name(candidate)) return candidate;
-  }
-  OLB_CHECK_MSG(false, "unknown --strategy (use TD, TR, BTD, RWS, MW or AHMW)");
-}
 
 std::unique_ptr<lb::Workload> make_workload(const std::string& kind) {
   if (kind == "uts") {
@@ -60,21 +51,47 @@ std::unique_ptr<lb::Workload> make_workload(const std::string& kind) {
 int main(int argc, char** argv) {
   Flags flags;
   flags.define("workload", "uts", "workload kind: uts | bb")
-      .define("strategy", "BTD", "TD | TR | BTD | RWS | MW | AHMW")
+      .define("strategy", "BTD", lb::strategy_names())
       .define("peers", "100", "simulated cluster size")
       .define("dmax", "10", "overlay tree degree")
       .define("seed", "1", "run seed")
       .define("out", "trace.json", "Perfetto/Chrome trace output path")
       .define("ndjson", "", "also write raw events as NDJSON here");
+  bench::define_fault_flags(flags);
   if (!flags.parse(argc, argv)) return 0;
 
   auto workload = make_workload(flags.get("workload"));
   lb::RunConfig config;
-  config.strategy = parse_strategy(flags.get("strategy"));
+  if (!lb::strategy_from_name(flags.get("strategy"), &config.strategy)) {
+    std::fprintf(stderr, "unknown --strategy '%s' (use %s)\n",
+                 flags.get("strategy").c_str(), lb::strategy_names().c_str());
+    return 1;
+  }
   config.num_peers = static_cast<int>(flags.get_int("peers"));
   config.dmax = static_cast<int>(flags.get_int("dmax"));
   config.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
   config.net = lb::paper_network(config.num_peers);
+  config.faults = bench::parse_fault_flags(flags, config.num_peers);
+
+  // Open every output before the (possibly long) run, so a bad path fails
+  // in milliseconds instead of after the simulation.
+  const std::string out_path = flags.get("out");
+  std::ofstream out(out_path, std::ios::binary);
+  if (!out.good()) {
+    std::fprintf(stderr, "cannot open --out path '%s' for writing\n",
+                 out_path.c_str());
+    return 1;
+  }
+  const std::string nd_path = flags.get("ndjson");
+  std::ofstream nd_out;
+  if (!nd_path.empty()) {
+    nd_out.open(nd_path, std::ios::binary);
+    if (!nd_out.good()) {
+      std::fprintf(stderr, "cannot open --ndjson path '%s' for writing\n",
+                   nd_path.c_str());
+      return 1;
+    }
+  }
 
   trace::VectorTracer tracer;
   config.tracer = &tracer;
@@ -85,10 +102,7 @@ int main(int argc, char** argv) {
   }
 
   const auto events = tracer.snapshot();
-  const std::string out_path = flags.get("out");
   {
-    std::ofstream out(out_path, std::ios::binary);
-    OLB_CHECK_MSG(out.good(), "cannot open --out path");
     trace::PerfettoOptions opts;
     opts.num_actors = config.num_peers;
     opts.work_msg_type = lb::kWork;
@@ -96,11 +110,7 @@ int main(int argc, char** argv) {
     opts.handling_cost = config.net.msg_handling_cost;
     trace::write_perfetto(out, events, opts);
   }
-  if (const std::string nd_path = flags.get("ndjson"); !nd_path.empty()) {
-    std::ofstream out(nd_path, std::ios::binary);
-    OLB_CHECK_MSG(out.good(), "cannot open --ndjson path");
-    trace::write_ndjson(out, events);
-  }
+  if (!nd_path.empty()) trace::write_ndjson(nd_out, events);
 
   std::printf("%s on %s, %d peers, seed %llu:\n", flags.get("strategy").c_str(),
               flags.get("workload").c_str(), config.num_peers,

@@ -16,12 +16,20 @@
 //
 // Termination: Dijkstra-Scholten rooted at the top master, which then
 // broadcasts kTerminate down the hierarchy.
+//
+// Fault tolerance (config.fault_tolerant, set by the driver iff a FaultPlan
+// is enabled; only *leaf* crashes are supported — the driver rejects master
+// victims): pulls and steals time out and are retried, Dijkstra–Scholten is
+// replaced by the top master's poll termination (lease_termination.hpp),
+// and terminated peers answer straggler pulls with kTerminate so a dropped
+// broadcast cannot strand a worker.
 #pragma once
 
 #include <memory>
 #include <vector>
 
 #include "lb/ds_termination.hpp"
+#include "lb/lease_termination.hpp"
 #include "lb/peer_base.hpp"
 #include "overlay/tree_overlay.hpp"
 
@@ -37,6 +45,13 @@ struct AhmwConfig {
   double total_amount = 0.0;
   /// Pause before re-polling after a failed pull.
   sim::Time retry_delay = sim::microseconds(500);
+
+  // --- fault tolerance (driver sets these iff a FaultPlan is enabled) ---
+  bool fault_tolerant = false;
+  /// An unanswered pull/steal is abandoned and retried after this long.
+  sim::Time request_timeout = sim::milliseconds(1);
+  /// Poll-termination cadence; must exceed the maximum message lifetime.
+  sim::Time lease_interval = sim::milliseconds(2);
 };
 
 class AhmwPeer final : public PeerBase {
@@ -47,11 +62,14 @@ class AhmwPeer final : public PeerBase {
 
   bool protocol_terminated() const { return terminated_; }
   sim::Time done_time() const { return done_time_; }
+  /// Number of crashed peers this peer has been notified about.
+  int known_crashes() const { return crash_epoch_; }
 
  protected:
   void on_start() override;
   void on_message(sim::Message m) override;
   void on_timer(std::int64_t tag) override;
+  void on_peer_down(int peer) override;
   void became_idle() override;
   void diffuse_bound() override;
 
@@ -61,10 +79,14 @@ class AhmwPeer final : public PeerBase {
 
   void pull_from_parent();
   void steal_from_sibling();
+  void send_request(int target, int type);
   void arm_retry();
   void maybe_detach();
   void declare_termination();
   double grain_fraction() const;
+  bool passive() const { return !holds_work() && !computing(); }
+  void on_poll_tick();
+  void conclude_poll();
 
   sim::Message make_msg(int type, std::int64_t b = 0, std::int64_t c = 0) const {
     return sim::Message(type, bound_, b, c);
@@ -79,6 +101,15 @@ class AhmwPeer final : public PeerBase {
   bool retry_armed_ = false;
   sim::Time done_time_ = -1;
 
+  // fault-tolerance state
+  std::vector<char> peer_down_;
+  int crash_epoch_ = 0;
+  int request_target_ = -1;
+  std::int64_t req_seq_ = 0;  ///< generation of the request-timeout timer
+  std::uint64_t work_sent_ = 0;
+  std::uint64_t work_recv_ = 0;
+  TermPoll poll_;              ///< top master only
+  std::uint64_t poll_round_ = 0;
 };
 
 }  // namespace olb::lb

@@ -1,6 +1,7 @@
 #include "lb/driver.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <memory>
 
 #include "lb/ahmw.hpp"
@@ -27,6 +28,88 @@ const char* strategy_name(Strategy s) {
   return "?";
 }
 
+const std::vector<Strategy>& all_strategies() {
+  static const std::vector<Strategy> kAll = {
+      Strategy::kOverlayTD, Strategy::kOverlayTR, Strategy::kOverlayBTD,
+      Strategy::kRWS,       Strategy::kMW,        Strategy::kAHMW,
+  };
+  return kAll;
+}
+
+bool strategy_from_name(std::string_view name, Strategy* out) {
+  auto eq = [](std::string_view a, std::string_view b) {
+    if (a.size() != b.size()) return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (std::toupper(static_cast<unsigned char>(a[i])) !=
+          std::toupper(static_cast<unsigned char>(b[i]))) {
+        return false;
+      }
+    }
+    return true;
+  };
+  for (Strategy s : all_strategies()) {
+    if (eq(name, strategy_name(s))) {
+      *out = s;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string strategy_names() {
+  std::string names;
+  for (Strategy s : all_strategies()) {
+    if (!names.empty()) names += '|';
+    names += strategy_name(s);
+  }
+  return names;
+}
+
+int rws_initiator(std::uint64_t seed, int num_peers) {
+  return static_cast<int>(mix64(seed ^ 0x7277u) %
+                          static_cast<std::uint64_t>(num_peers));
+}
+
+void validate_faults_for_strategy(const RunConfig& config) {
+  if (!config.faults.enabled()) return;
+  config.faults.validate(config.num_peers);
+  if (config.faults.crashes.empty()) return;
+  switch (config.strategy) {
+    case Strategy::kOverlayTD:
+    case Strategy::kOverlayTR:
+    case Strategy::kOverlayBTD:
+      for (const auto& c : config.faults.crashes) {
+        OLB_CHECK_MSG(c.peer != 0, "the overlay root (peer 0) cannot crash");
+      }
+      break;
+    case Strategy::kRWS: {
+      const int initiator = rws_initiator(config.seed, config.num_peers);
+      for (const auto& c : config.faults.crashes) {
+        OLB_CHECK_MSG(c.peer != initiator,
+                      "the RWS initiator cannot crash (see rws_initiator())");
+      }
+      break;
+    }
+    case Strategy::kMW:
+      OLB_CHECK_MSG(static_cast<int>(config.faults.crashes.size()) <=
+                        config.num_peers - 2,
+                    "MW needs at least one surviving worker");
+      for (const auto& c : config.faults.crashes) {
+        OLB_CHECK_MSG(c.peer != 0, "the MW master (peer 0) cannot crash");
+      }
+      break;
+    case Strategy::kAHMW: {
+      const auto tree =
+          overlay::TreeOverlay::deterministic(config.num_peers, config.dmax);
+      for (const auto& c : config.faults.crashes) {
+        OLB_CHECK_MSG(c.peer != 0 && tree.children(c.peer).empty(),
+                      "AHMW only tolerates leaf crashes");
+      }
+      break;
+    }
+  }
+}
+
 sim::NetworkConfig paper_network(int num_peers) {
   sim::NetworkConfig net;
   net.cluster_capacity = num_peers >= 800 ? 736 : 0;
@@ -49,6 +132,32 @@ SequentialMetrics run_sequential(Workload& workload) {
 
 namespace {
 
+/// Fault-tolerant request/lease timing, derived from the worst-case round
+/// trip unless overridden. The lease interval must dominate the maximum
+/// message lifetime (see lease_termination.hpp); 4x RTT gives slack for
+/// the serve-time between request and reply.
+struct FtTiming {
+  sim::Time request_timeout = 0;
+  sim::Time lease_interval = 0;
+};
+
+FtTiming ft_timing(const RunConfig& config) {
+  const sim::Time base = config.net.cluster_capacity > 0
+                             ? config.net.inter_latency
+                             : config.net.intra_latency;
+  const sim::Time max_lat =
+      sim::max_message_latency(base, config.net.latency_jitter, config.faults);
+  const sim::Time rtt = 2 * (max_lat + config.net.msg_handling_cost);
+  FtTiming t;
+  t.request_timeout = config.overlay.request_timeout > 0
+                          ? config.overlay.request_timeout
+                          : std::max<sim::Time>(sim::milliseconds(1), 4 * rtt);
+  t.lease_interval = config.overlay.lease_interval > 0
+                         ? config.overlay.lease_interval
+                         : std::max<sim::Time>(sim::milliseconds(2), 4 * rtt);
+  return t;
+}
+
 struct BuiltCluster {
   std::vector<PeerBase*> peers;          ///< all PeerBase-derived actors
   MwMaster* mw_master = nullptr;         ///< set for Strategy::kMW
@@ -65,17 +174,20 @@ BuiltCluster build_cluster(sim::Engine& engine, Workload& workload,
   PeerConfig peer_config{config.chunk_units, config.diffuse_bounds,
                          config.min_split_amount};
 
+  const bool ft = config.faults.enabled();
+  const FtTiming timing = ft_timing(config);
+
   // Heterogeneity: a seeded subset of peers is slow.
   std::vector<double> speeds(static_cast<std::size_t>(n), 1.0);
-  if (config.het_fraction > 0.0) {
-    OLB_CHECK(config.het_slow_factor > 0.0);
+  if (config.het.fraction > 0.0) {
+    OLB_CHECK(config.het.slow_factor > 0.0);
     Xoshiro256 het_rng(mix64(config.seed ^ 0x6865746full));
     for (auto& s : speeds) {
-      if (het_rng.uniform01() < config.het_fraction) s = config.het_slow_factor;
+      if (het_rng.uniform01() < config.het.fraction) s = config.het.slow_factor;
     }
   }
   auto weight_of = [&](int i) -> std::uint64_t {
-    if (!config.capacity_weighted_overlay) return 1;
+    if (!config.het.capacity_weighted) return 1;
     // Integer capacity weights proportional to relative speed (x100).
     return std::max<std::uint64_t>(
         1, static_cast<std::uint64_t>(speeds[static_cast<std::size_t>(i)] * 100.0));
@@ -92,11 +204,14 @@ BuiltCluster build_cluster(sim::Engine& engine, Workload& workload,
       OverlayConfig oc;
       oc.peer = peer_config;
       oc.use_bridges = config.strategy == Strategy::kOverlayBTD;
-      oc.split = config.split;
-      oc.fixed_units = config.split_fixed_units;
-      oc.retry_delay = config.overlay_retry_delay;
-      oc.bridge_patience = config.overlay_bridge_patience;
-      oc.capacity_weighted = config.capacity_weighted_overlay;
+      oc.split = config.overlay.split;
+      oc.fixed_units = config.overlay.split_fixed_units;
+      oc.retry_delay = config.overlay.retry_delay;
+      oc.bridge_patience = config.overlay.bridge_patience;
+      oc.capacity_weighted = config.het.capacity_weighted;
+      oc.fault_tolerant = ft;
+      oc.request_timeout = timing.request_timeout;
+      oc.lease_interval = timing.lease_interval;
       for (int i = 0; i < n; ++i) {
         auto peer = std::make_unique<OverlayPeer>(
             tree, oc, i == 0 ? workload.make_root_work() : nullptr, weight_of(i));
@@ -109,9 +224,11 @@ BuiltCluster build_cluster(sim::Engine& engine, Workload& workload,
     case Strategy::kRWS: {
       RwsConfig rc;
       rc.peer = peer_config;
+      rc.fault_tolerant = ft;
+      rc.request_timeout = timing.request_timeout;
+      rc.lease_interval = timing.lease_interval;
       // The paper pushes the application to a random node for RWS.
-      const int initiator = static_cast<int>(
-          mix64(config.seed ^ 0x7277u) % static_cast<std::uint64_t>(n));
+      const int initiator = rws_initiator(config.seed, n);
       for (int i = 0; i < n; ++i) {
         auto peer = std::make_unique<RwsPeer>(
             rc, i == initiator ? workload.make_root_work() : nullptr);
@@ -128,6 +245,8 @@ BuiltCluster build_cluster(sim::Engine& engine, Workload& workload,
       MwConfig mc;
       mc.peer = peer_config;
       mc.checkpoint_period = config.mw_checkpoint_period;
+      mc.fault_tolerant = ft;
+      mc.request_timeout = timing.request_timeout;
       auto master = std::make_unique<MwMaster>(mc, factory);
       built.mw_master = master.get();
       engine.add_actor(std::move(master));
@@ -148,6 +267,9 @@ BuiltCluster build_cluster(sim::Engine& engine, Workload& workload,
       ac.hierarchy_degree = config.dmax;
       ac.decomposition_base = config.ahmw_decomposition;
       ac.total_amount = static_cast<double>(factory->interval_total());
+      ac.fault_tolerant = ft;
+      ac.request_timeout = timing.request_timeout;
+      ac.lease_interval = timing.lease_interval;
       for (int i = 0; i < n; ++i) {
         auto peer = std::make_unique<AhmwPeer>(
             tree, ac, i == 0 ? workload.make_root_work() : nullptr);
@@ -167,12 +289,14 @@ BuiltCluster build_cluster(sim::Engine& engine, Workload& workload,
 }  // namespace
 
 RunMetrics run_distributed(Workload& workload, const RunConfig& config) {
+  validate_faults_for_strategy(config);
   sim::Engine engine(config.net, config.seed);
   engine.set_tracer(config.tracer);
   engine.enable_queue_delay_stats();
   BuiltCluster built = build_cluster(engine, workload, config);
+  if (config.faults.enabled()) engine.set_faults(config.faults);
 
-  const auto result = engine.run(config.time_limit, config.event_limit);
+  const auto result = engine.run(config.limits.time_limit, config.limits.event_limit);
 
   RunMetrics metrics;
   metrics.events = result.events;
@@ -200,6 +324,10 @@ RunMetrics run_distributed(Workload& workload, const RunConfig& config) {
     metrics.total_units += peer->units_done();
     metrics.best_bound = std::min(metrics.best_bound, peer->best_bound());
     last_compute = std::max(last_compute, peer->last_active());
+    metrics.retries += peer->retries();
+    // A crashed peer neither finishes its work nor hears kTerminate; the
+    // work it held is accounted in work_lost_units instead.
+    if (engine.peer_crashed(peer->id())) continue;
     if (peer->holds_work() || !peer->saw_terminate()) all_done = false;
   }
   metrics.last_compute_seconds = sim::to_seconds(last_compute);
@@ -233,6 +361,15 @@ RunMetrics run_distributed(Workload& workload, const RunConfig& config) {
   metrics.queueing_delay_mean =
       engine.queueing_delay_mean() / 1e9;  // ns -> s, without truncating
   metrics.queueing_delay_max = sim::to_seconds(engine.queueing_delay_max());
+
+  metrics.msgs_dropped = engine.msgs_dropped();
+  metrics.msgs_duplicated = engine.msgs_duplicated();
+  metrics.latency_spikes = engine.latency_spikes();
+  metrics.work_bounced = engine.work_bounced();
+  metrics.work_lost_units = engine.work_lost_units();
+  for (int i = 0; i < engine.num_actors(); ++i) {
+    if (engine.peer_crashed(i)) ++metrics.peers_crashed;
+  }
 
   if (config.tracer != nullptr) {
     const auto events = config.tracer->snapshot();

@@ -5,10 +5,12 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "lb/overlay_lb.hpp"
 #include "lb/work.hpp"
+#include "simnet/faults.hpp"
 #include "simnet/network.hpp"
 #include "trace/trace.hpp"
 
@@ -25,12 +27,50 @@ enum class Strategy {
 
 const char* strategy_name(Strategy s);
 
+/// Registry: every Strategy value, in display order.
+const std::vector<Strategy>& all_strategies();
+
+/// Case-insensitive lookup by display name ("btd", "RWS", ...). Returns
+/// false (leaving *out untouched) for unknown names.
+bool strategy_from_name(std::string_view name, Strategy* out);
+
+/// "TD|TR|BTD|RWS|MW|AHMW" — for flag help strings and error messages.
+std::string strategy_names();
+
+/// Overlay protocol tuning (see OverlayConfig for semantics).
+struct OverlayTuning {
+  SplitPolicy split = SplitPolicy::kSubtreeProportional;
+  std::uint64_t split_fixed_units = 1;  ///< k for SplitPolicy::kFixedUnits
+  sim::Time retry_delay = sim::microseconds(100);
+  sim::Time bridge_patience = sim::microseconds(300);
+  /// Fault-tolerant request/lease timing; 0 means "derive from the network
+  /// and fault plan" (4x the worst-case round trip). Only used when the
+  /// run's FaultPlan is enabled.
+  sim::Time request_timeout = 0;
+  sim::Time lease_interval = 0;
+};
+
+/// Heterogeneous-cluster extension (the paper's future work): a seeded
+/// `fraction` of peers run at `slow_factor` x nominal compute speed
+/// (0 disables). With `capacity_weighted` the overlay's converge-cast sums
+/// speed-proportional capacity weights, so subtree-proportional sharing
+/// routes work towards compute power.
+struct Heterogeneity {
+  double fraction = 0.0;
+  double slow_factor = 1.0;
+  bool capacity_weighted = false;
+};
+
+/// Watchdogs: a correct run quiesces long before either limit.
+struct Limits {
+  sim::Time time_limit = sim::seconds(100000.0);
+  std::uint64_t event_limit = 400'000'000;
+};
+
 struct RunConfig {
   Strategy strategy = Strategy::kOverlayBTD;
   int num_peers = 100;
   int dmax = 10;  ///< degree of TD/BTD (and of the AHMW hierarchy)
-  SplitPolicy split = SplitPolicy::kSubtreeProportional;
-  std::uint64_t split_fixed_units = 1;  ///< k for SplitPolicy::kFixedUnits
   std::uint64_t seed = 1;
   sim::NetworkConfig net;
   std::uint64_t chunk_units = 64;
@@ -40,22 +80,15 @@ struct RunConfig {
   sim::Time mw_checkpoint_period = sim::milliseconds(2);
   double ahmw_decomposition = 30.0;
 
-  /// Overlay protocol tuning (see OverlayConfig for semantics).
-  sim::Time overlay_retry_delay = sim::microseconds(100);
-  sim::Time overlay_bridge_patience = sim::microseconds(300);
+  OverlayTuning overlay;
+  Heterogeneity het;
+  Limits limits;
 
-  /// --- heterogeneous-cluster extension (the paper's future work) ---
-  /// A seeded `het_fraction` of peers run at `het_slow_factor` x nominal
-  /// compute speed (0 disables). With `capacity_weighted_overlay` the
-  /// overlay's converge-cast sums speed-proportional capacity weights, so
-  /// subtree-proportional sharing routes work towards compute power.
-  double het_fraction = 0.0;
-  double het_slow_factor = 1.0;
-  bool capacity_weighted_overlay = false;
-
-  /// Watchdogs: a correct run quiesces long before either limit.
-  sim::Time time_limit = sim::seconds(100000.0);
-  std::uint64_t event_limit = 400'000'000;
+  /// Fault injection (default-constructed = disabled = exactly the
+  /// fault-free run). When enabled() the driver switches every protocol
+  /// into its fault-tolerant mode and validates crash victims against the
+  /// strategy (see validate_for_strategy below).
+  sim::FaultPlan faults;
 
   /// Optional trace sink (not owned). When set, the engine and every peer
   /// record structured events into it and RunMetrics gains the derived
@@ -63,6 +96,18 @@ struct RunConfig {
   /// would-be event.
   trace::TraceSink* tracer = nullptr;
 };
+
+/// The peer that receives the initial work under Strategy::kRWS ("the
+/// paper pushes the application to a random node"). Exposed so fault plans
+/// can avoid crashing it — RWS cannot survive losing its initiator.
+int rws_initiator(std::uint64_t seed, int num_peers);
+
+/// Aborts (OLB_CHECK) unless every crash victim in config.faults is
+/// recoverable under config.strategy: overlays and MW must keep peer 0
+/// (root / master), RWS must keep the initiator, MW must keep at least one
+/// worker, and AHMW only tolerates leaf crashes. Called by run_distributed;
+/// exposed for sweeps that want to pre-filter plans.
+void validate_faults_for_strategy(const RunConfig& config);
 
 struct RunMetrics {
   /// Simulated seconds until the protocol *detected* completion.
@@ -81,6 +126,17 @@ struct RunMetrics {
   std::int64_t best_bound = kNoBound;
   std::uint64_t events = 0;
   bool ok = false;  ///< quiesced, protocol terminated, no work left anywhere
+
+  /// --- fault accounting (all zero for fault-free runs) ---
+  std::uint64_t msgs_dropped = 0;     ///< control messages destroyed by links
+  std::uint64_t msgs_duplicated = 0;  ///< control messages delivered twice
+  std::uint64_t latency_spikes = 0;
+  std::uint64_t work_bounced = 0;  ///< payloads returned off crashed peers
+  std::uint64_t peers_crashed = 0;
+  std::uint64_t retries = 0;  ///< protocol-level request retransmissions
+  /// Work units destroyed by crashes (held by the victim, or bounced with
+  /// no live sender). Zero means the run explored the full problem.
+  double work_lost_units = 0.0;
 
   /// Inbox queueing delay (seconds a message waits between arrival and
   /// service) — always measured; the MW master's collapse shows up here.

@@ -1,0 +1,109 @@
+// Lease-style poll termination for the flat protocols under fault injection.
+//
+// Dijkstra–Scholten bookkeeping is not fault-tolerant: a lost kSignal hangs
+// the diffusing computation forever and a duplicated one underflows a
+// deficit counter. Rather than patch DS, the fault-tolerant RWS and AHMW
+// variants replace it with an initiator-led poll — Mattern's four-counter
+// method over a star:
+//
+//   every lease interval the initiator broadcasts kTermProbe(round); each
+//   live peer replies kTermAck carrying (passive?, cumulative work
+//   transfers sent, cumulative work transfers received).
+//
+// The initiator declares termination after two *completed, all-passive*
+// rounds that are one lease apart and agree exactly on the summed counters
+// and on the number of known crashes. Why this is safe: the lease interval
+// exceeds the maximum one-message lifetime, so a work transfer in flight
+// during round k lands before round k+1 is polled and bumps the receiver's
+// counter — two identical lease-separated snapshots therefore prove no
+// transfer was in flight between them. When no peer has crashed the global
+// counters must additionally balance (sent == recv); a crashed peer takes
+// its counter contributions with it, so after crashes only cross-round
+// stability (at an unchanged crash count) is required. Duplicate probes or
+// acks are absorbed by per-peer dedup; lost ones simply leave a round
+// incomplete, superseded at the next lease tick.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace olb::lb {
+
+class TermPoll {
+ public:
+  /// Starts (or restarts) a poll round. `expected_acks` is the number of
+  /// live peers being polled (excluding the initiator itself).
+  void begin_round(std::uint64_t round, int num_peers, int expected_acks) {
+    round_ = round;
+    expected_ = expected_acks;
+    responded_.assign(static_cast<std::size_t>(num_peers), 0);
+    acks_ = 0;
+    sum_sent_ = 0;
+    sum_recv_ = 0;
+    all_passive_ = true;
+  }
+
+  std::uint64_t round() const { return round_; }
+
+  /// Feeds one kTermAck; returns true iff it just completed the round.
+  /// Stale-round and duplicate acks are ignored.
+  bool on_ack(std::uint64_t round, int peer, bool passive, std::uint64_t sent,
+              std::uint64_t recv) {
+    if (round != round_ || responded_.empty()) return false;
+    const auto idx = static_cast<std::size_t>(peer);
+    if (idx >= responded_.size() || responded_[idx] != 0) return false;
+    responded_[idx] = 1;
+    ++acks_;
+    all_passive_ = all_passive_ && passive;
+    sum_sent_ += sent;
+    sum_recv_ += recv;
+    return acks_ == expected_;
+  }
+
+  bool all_passive() const { return all_passive_; }
+
+  /// Call after a completed round, adding the initiator's own state.
+  /// Returns true when the termination condition described above is met.
+  bool conclude(bool self_passive, std::uint64_t self_sent,
+                std::uint64_t self_recv, int crash_count) {
+    if (!all_passive_ || !self_passive) {
+      have_prev_ = false;
+      return false;
+    }
+    const Snapshot cur{sum_sent_ + self_sent, sum_recv_ + self_recv, crash_count};
+    if (crash_count == 0 && cur.sent != cur.recv) {
+      have_prev_ = false;
+      return false;
+    }
+    if (have_prev_ && prev_.sent == cur.sent && prev_.recv == cur.recv &&
+        prev_.crashes == cur.crashes) {
+      return true;
+    }
+    prev_ = cur;
+    have_prev_ = true;
+    return false;
+  }
+
+  /// Forgets the previous clean round (call when a new crash is learned:
+  /// snapshots across a crash boundary are not comparable).
+  void invalidate() { have_prev_ = false; }
+
+ private:
+  struct Snapshot {
+    std::uint64_t sent = 0;
+    std::uint64_t recv = 0;
+    int crashes = 0;
+  };
+
+  std::uint64_t round_ = 0;
+  int expected_ = 0;
+  int acks_ = 0;
+  std::uint64_t sum_sent_ = 0;
+  std::uint64_t sum_recv_ = 0;
+  bool all_passive_ = true;
+  std::vector<char> responded_;
+  Snapshot prev_;
+  bool have_prev_ = false;
+};
+
+}  // namespace olb::lb

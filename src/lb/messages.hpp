@@ -41,7 +41,11 @@ enum MsgType : int {
   kMWCheckpoint = 15,  ///< worker -> master progress update; b = position
   kMWSplitNotify = 16, ///< master -> owner: your interval shrank to b
 
-  kNumMsgTypes = 17,
+  // --- fault-tolerant poll termination (RWS/AHMW under fault injection) ---
+  kTermProbe = 17,  ///< initiator polls every live peer; b = round
+  kTermAck = 18,    ///< reply; b = (round << 1) | passive, c = packed counters
+
+  kNumMsgTypes = 19,
 };
 
 /// Display name of a message type (trace exporters, debug output).
@@ -64,6 +68,8 @@ inline const char* msg_type_name(int type) {
     case kMWRequest: return "mw_request";
     case kMWCheckpoint: return "mw_checkpoint";
     case kMWSplitNotify: return "mw_split_notify";
+    case kTermProbe: return "term_probe";
+    case kTermAck: return "term_ack";
     default: return nullptr;
   }
 }
@@ -77,7 +83,22 @@ enum TimerTag : std::int64_t {
   kMwCheckpointTimer = 0x0301,
   kAhmwRetryTimer = 0x0401,
   kTraceFlushTimer = 0x0501,  ///< reserved for the trace layer
+
+  // --- fault-tolerance timers (armed only when a FaultPlan is enabled; a
+  // fault-free run never sets any of them). Several encode a generation
+  // counter in the bits above kTimerTagShift so stale timers self-cancel.
+  kOverlayReqTimeoutTimer = 0x0102,  ///< kReqDown went unanswered
+  kOverlaySetupTimer = 0x0103,       ///< kSizeUp retransmit until ready
+  kOverlayLeaseTimer = 0x0104,       ///< root re-probe / peer lease refresh
+  kRwsStealTimeoutTimer = 0x0202,    ///< kSteal went unanswered
+  kRwsTermPollTimer = 0x0203,        ///< initiator poll-termination cadence
+  kMwRequestTimeoutTimer = 0x0302,   ///< kMWRequest retransmit
+  kAhmwRequestTimeoutTimer = 0x0402, ///< kMWRequest/kSteal retransmit
 };
+
+/// Bits above this shift carry per-timer generation counters.
+inline constexpr int kTimerTagShift = 16;
+inline constexpr std::int64_t kTimerTagMask = (std::int64_t{1} << kTimerTagShift) - 1;
 
 /// Payload of kProbe / kProbeAck (termination waves in bridge mode).
 struct ProbePayload final : sim::MsgPayload {
@@ -85,6 +106,31 @@ struct ProbePayload final : sim::MsgPayload {
   std::uint64_t bridge_sent = 0;
   std::uint64_t bridge_recv = 0;
   bool dirty = false;  ///< some node in the subtree was active
+  /// Max crash-epoch (count of known crashed peers) over the wave; the
+  /// fault-tolerant root only terminates when two lease-separated waves
+  /// agree on it (no crash was learned between them).
+  int crash_epoch = 0;
 };
+
+/// Packing helpers for kTermAck (poll termination under faults): field b
+/// carries (round, passive), field c the sender's cumulative work-transfer
+/// counters (32 bits each suffice: counters grow by at most one per
+/// transfer and runs are event-capped far below 2^32).
+inline std::int64_t pack_term_ack_b(std::uint64_t round, bool passive) {
+  return static_cast<std::int64_t>((round << 1) | (passive ? 1u : 0u));
+}
+inline std::int64_t pack_term_ack_c(std::uint64_t sent, std::uint64_t recv) {
+  return static_cast<std::int64_t>((sent << 32) | (recv & 0xffffffffull));
+}
+inline std::uint64_t term_ack_round(std::int64_t b) {
+  return static_cast<std::uint64_t>(b) >> 1;
+}
+inline bool term_ack_passive(std::int64_t b) { return (b & 1) != 0; }
+inline std::uint64_t term_ack_sent(std::int64_t c) {
+  return static_cast<std::uint64_t>(c) >> 32;
+}
+inline std::uint64_t term_ack_recv(std::int64_t c) {
+  return static_cast<std::uint64_t>(c) & 0xffffffffull;
+}
 
 }  // namespace olb::lb

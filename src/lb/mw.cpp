@@ -14,6 +14,15 @@ MwMaster::MwMaster(MwConfig config, IntervalWorkload* factory)
                 "MW requires an interval-encoded workload (B&B)");
 }
 
+void MwMaster::on_start() {
+  if (config_.fault_tolerant) {
+    const auto n = static_cast<std::size_t>(engine().num_actors());
+    worker_down_.assign(n, 0);
+    request_epoch_.assign(n, -1);
+    served_epoch_.assign(n, -1);
+  }
+}
+
 MwMaster::Entry* MwMaster::largest_entry() {
   Entry* best = nullptr;
   for (Entry& e : pool_) {
@@ -27,7 +36,17 @@ void MwMaster::drop_entry_of(int worker) {
   std::erase_if(pool_, [worker](const Entry& e) { return e.owner == worker; });
 }
 
-void MwMaster::on_request(int worker) {
+void MwMaster::on_request(int worker, std::int64_t epoch) {
+  if (config_.fault_tolerant) {
+    // Retransmit of a request we already answered (the kWork is, or was, in
+    // flight) or of one still parked — the epoch disambiguates both from a
+    // genuinely new request.
+    if (epoch == served_epoch_[worker]) return;
+    if (std::find(parked_.begin(), parked_.end(), worker) != parked_.end()) {
+      return;
+    }
+    request_epoch_[worker] = epoch;
+  }
   // A request implies the worker's interval is exhausted.
   drop_entry_of(worker);
   parked_.push_back(worker);
@@ -48,19 +67,36 @@ void MwMaster::serve_parked() {
       begin = 0;
       end = factory_->interval_total();
     } else {
-      Entry* victim = largest_entry();
-      if (victim == nullptr || victim->length() < 2) return;  // nothing to split
-      const std::uint64_t mid = victim->begin + victim->length() / 2;
-      begin = mid;
-      end = victim->end;
-      victim->end = mid;
-      if (victim->owner >= 0) {
-        send(victim->owner, sim::Message(kMWSplitNotify, bound_,
-                                         static_cast<std::int64_t>(mid)));
+      // Reclaimed intervals of crashed workers are served whole: nobody is
+      // exploring them, so halving would strand the remainder (and a
+      // length-1 orphan could never be split at all).
+      Entry* orphan = nullptr;
+      if (config_.fault_tolerant) {
+        for (Entry& e : pool_) {
+          if (e.owner >= 0 || e.length() == 0) continue;
+          if (orphan == nullptr || e.length() > orphan->length()) orphan = &e;
+        }
+      }
+      if (orphan != nullptr) {
+        begin = orphan->begin;
+        end = orphan->end;
+        orphan->end = orphan->begin;  // now empty; harmless in the pool
+      } else {
+        Entry* victim = largest_entry();
+        if (victim == nullptr || victim->length() < 2) return;  // nothing to split
+        const std::uint64_t mid = victim->begin + victim->length() / 2;
+        begin = mid;
+        end = victim->end;
+        victim->end = mid;
+        if (victim->owner >= 0) {
+          send(victim->owner, sim::Message(kMWSplitNotify, bound_,
+                                           static_cast<std::int64_t>(mid)));
+        }
       }
     }
     parked_.erase(parked_.begin());
     pool_.push_back(Entry{worker, begin, end});
+    if (config_.fault_tolerant) served_epoch_[worker] = request_epoch_[worker];
     emit_trace(trace::EventKind::kServe, worker, kMWRequest, 0,
                static_cast<std::int64_t>(end - begin));
     auto work = factory_->make_interval_work(begin, end);
@@ -74,19 +110,39 @@ void MwMaster::serve_parked() {
 void MwMaster::maybe_terminate() {
   if (terminated_) return;
   if (!assigned_initial_) return;  // no worker ever asked: impossible in runs
-  if (static_cast<int>(parked_.size()) != engine().num_actors() - 1) return;
+  const int live_workers = engine().num_actors() - 1 - crashed_workers_;
+  if (static_cast<int>(parked_.size()) != live_workers) return;
   for (const Entry& e : pool_) OLB_CHECK(e.length() == 0);
   terminated_ = true;
   done_time_ = now();
   for (int w = 1; w < engine().num_actors(); ++w) {
+    if (config_.fault_tolerant && worker_down_[w] != 0) continue;
     send(w, sim::Message(kTerminate, bound_));
   }
 }
 
 void MwMaster::broadcast_bound(int except) {
   for (int w = 1; w < engine().num_actors(); ++w) {
+    if (config_.fault_tolerant && worker_down_[w] != 0) continue;
     if (w != except) send(w, sim::Message(kBound, bound_));
   }
+}
+
+void MwMaster::on_peer_down(int peer) {
+  OLB_CHECK(config_.fault_tolerant);
+  const auto idx = static_cast<std::size_t>(peer);
+  if (idx >= worker_down_.size() || worker_down_[idx] != 0) return;
+  worker_down_[idx] = 1;
+  ++crashed_workers_;
+  if (terminated_) return;
+  parked_.erase(std::remove(parked_.begin(), parked_.end(), peer), parked_.end());
+  // Reclaim the crashed worker's interval as of its last checkpoint; it is
+  // re-served whole, and B&B re-exploration is idempotent.
+  for (Entry& e : pool_) {
+    if (e.owner == peer) e.owner = -1;
+  }
+  serve_parked();  // the reclaimed interval may feed parked workers
+  maybe_terminate();
 }
 
 void MwMaster::on_message(sim::Message m) {
@@ -94,9 +150,22 @@ void MwMaster::on_message(sim::Message m) {
     bound_ = m.a;
     broadcast_bound(m.src);
   }
+  if (config_.fault_tolerant) {
+    if (m.src >= 0 && m.src < static_cast<int>(worker_down_.size()) &&
+        worker_down_[m.src] != 0 && m.type != kWork) {
+      return;  // in-flight message of a dead worker
+    }
+    if (terminated_) {
+      if (m.type == kMWRequest) {
+        // The worker missed the broadcast (dropped kTerminate).
+        send(m.src, sim::Message(kTerminate, bound_));
+      }
+      return;
+    }
+  }
   switch (m.type) {
     case kMWRequest:
-      on_request(m.src);
+      on_request(m.src, m.b);
       break;
     case kMWCheckpoint: {
       const auto pos = static_cast<std::uint64_t>(m.b);
@@ -110,6 +179,11 @@ void MwMaster::on_message(sim::Message m) {
     }
     case kBound:
       break;  // bound already absorbed above
+    case kWork:
+      // Work bounced off a crashed worker. Discard: the reclaimed pool
+      // entry still covers this interval and will be re-served.
+      OLB_CHECK_MSG(config_.fault_tolerant, "unexpected kWork at MwMaster");
+      break;
     default:
       OLB_CHECK_MSG(false, "unexpected message type for MwMaster");
   }
@@ -124,7 +198,14 @@ void MwWorker::request_work() {
   request_outstanding_ = true;
   emit_trace(trace::EventKind::kIdleBegin);
   emit_trace(trace::EventKind::kRequest, kMasterId, kMWRequest);
-  send(kMasterId, sim::Message(kMWRequest, bound_));
+  if (config_.fault_tolerant) {
+    ++req_epoch_;
+    send(kMasterId, sim::Message(kMWRequest, bound_, req_epoch_));
+    set_timer(config_.request_timeout,
+              kMwRequestTimeoutTimer | (req_epoch_ << kTimerTagShift));
+  } else {
+    send(kMasterId, sim::Message(kMWRequest, bound_));
+  }
 }
 
 void MwWorker::became_idle() { request_work(); }
@@ -135,15 +216,30 @@ void MwWorker::diffuse_bound() {
 }
 
 void MwWorker::on_timer(std::int64_t tag) {
-  OLB_CHECK(tag == kMwCheckpointTimer);
-  checkpoint_armed_ = false;
-  if (terminated_ || !holds_work()) return;
-  const auto* iv = dynamic_cast<const IntervalWork*>(work_.get());
-  OLB_CHECK(iv != nullptr);
-  send(kMasterId, sim::Message(kMWCheckpoint, bound_,
-                               static_cast<std::int64_t>(iv->interval_position())));
-  checkpoint_armed_ = true;
-  set_timer(config_.checkpoint_period, kMwCheckpointTimer);
+  switch (tag & kTimerTagMask) {
+    case kMwCheckpointTimer: {
+      checkpoint_armed_ = false;
+      if (terminated_ || !holds_work()) return;
+      const auto* iv = dynamic_cast<const IntervalWork*>(work_.get());
+      OLB_CHECK(iv != nullptr);
+      send(kMasterId,
+           sim::Message(kMWCheckpoint, bound_,
+                        static_cast<std::int64_t>(iv->interval_position())));
+      checkpoint_armed_ = true;
+      set_timer(config_.checkpoint_period, kMwCheckpointTimer);
+      return;
+    }
+    case kMwRequestTimeoutTimer:
+      if (terminated_ || !request_outstanding_) return;
+      if ((tag >> kTimerTagShift) != req_epoch_) return;  // answered
+      count_retry(kMasterId, kMWRequest, req_epoch_);
+      send(kMasterId, sim::Message(kMWRequest, bound_, req_epoch_));
+      set_timer(config_.request_timeout,
+                kMwRequestTimeoutTimer | (req_epoch_ << kTimerTagShift));
+      return;
+    default:
+      OLB_CHECK_MSG(false, "unexpected timer tag for MwWorker");
+  }
 }
 
 void MwWorker::on_message(sim::Message m) {

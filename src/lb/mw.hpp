@@ -14,6 +14,16 @@
 // All coordination flows through the master, whose per-message service time
 // makes it a queueing hot spot — competitive at 200 cores, collapsing past
 // ~600 (the paper's Fig. 4), both of which emerge from the simulation.
+//
+// Fault tolerance (config.fault_tolerant, set by the driver iff a FaultPlan
+// is enabled; master crashes are rejected by the driver): worker requests
+// carry an epoch and are retransmitted until served — the master ignores
+// epochs it already answered, disambiguating retransmits from new requests.
+// A crashed worker's pool entry is reclaimed (owner cleared, position as of
+// its last checkpoint) and later served *whole* to the next requester;
+// work bounced off the crashed worker is discarded at the master because
+// the reclaimed entry still covers the interval — re-exploration from the
+// checkpoint is idempotent. Termination counts live workers only.
 #pragma once
 
 #include <memory>
@@ -27,6 +37,11 @@ namespace olb::lb {
 struct MwConfig {
   PeerConfig peer;
   sim::Time checkpoint_period = sim::milliseconds(2);
+
+  // --- fault tolerance (driver sets these iff a FaultPlan is enabled) ---
+  bool fault_tolerant = false;
+  /// An unanswered kMWRequest is retransmitted after this long.
+  sim::Time request_timeout = sim::milliseconds(1);
 };
 
 /// The master: peer 0. Does not explore; owns the interval pool.
@@ -39,8 +54,9 @@ class MwMaster final : public sim::Actor {
   std::int64_t best_bound() const { return bound_; }
 
  protected:
-  void on_start() override {}
+  void on_start() override;
   void on_message(sim::Message m) override;
+  void on_peer_down(int peer) override;
 
  private:
   struct Entry {
@@ -50,7 +66,7 @@ class MwMaster final : public sim::Actor {
     std::uint64_t length() const { return end > begin ? end - begin : 0; }
   };
 
-  void on_request(int worker);
+  void on_request(int worker, std::int64_t epoch);
   void serve_parked();
   void drop_entry_of(int worker);
   Entry* largest_entry();
@@ -65,6 +81,12 @@ class MwMaster final : public sim::Actor {
   std::int64_t bound_ = kNoBound;
   bool terminated_ = false;
   sim::Time done_time_ = -1;
+
+  // fault-tolerance state
+  std::vector<char> worker_down_;
+  int crashed_workers_ = 0;
+  std::vector<std::int64_t> request_epoch_;  ///< latest epoch requested
+  std::vector<std::int64_t> served_epoch_;   ///< latest epoch answered
 };
 
 /// A worker: explores intervals, checkpoints, requests when empty.
@@ -89,6 +111,7 @@ class MwWorker final : public PeerBase {
   MwConfig config_;
   bool request_outstanding_ = false;
   bool checkpoint_armed_ = false;
+  std::int64_t req_epoch_ = 0;  ///< fault tolerance: current request epoch
 };
 
 }  // namespace olb::lb

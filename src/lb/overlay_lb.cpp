@@ -18,7 +18,7 @@ std::size_t OverlayPeer::child_index(int child_id) const {
   for (std::size_t i = 0; i < children_.size(); ++i) {
     if (children_[i] == child_id) return i;
   }
-  OLB_CHECK_MSG(false, "message from a non-child peer");
+  return kNpos;
 }
 
 bool OverlayPeer::all_children_pending() const {
@@ -42,6 +42,7 @@ void OverlayPeer::send_work(int dst, std::unique_ptr<Work> w, int req_type,
                             double fraction) {
   emit_trace(trace::EventKind::kServe, dst, req_type, trace::fraction_ppm(fraction),
              static_cast<std::int64_t>(w->amount()));
+  if (config_.fault_tolerant) ++ft_sent_;
   auto msg = make_msg(kWork, req_type == kReqBridge ? 1 : 0);
   msg.payload = std::make_unique<WorkPayload>(std::move(w));
   send(dst, std::move(msg));
@@ -51,6 +52,8 @@ void OverlayPeer::send_work(int dst, std::unique_ptr<Work> w, int req_type,
 
 void OverlayPeer::on_start() {
   OLB_CHECK((initial_work_ != nullptr) == is_root());
+  parent_ = is_root() ? -1 : tree_->parent(id());
+  peer_down_.assign(static_cast<std::size_t>(engine().num_actors()), 0);
   children_ = tree_->children(id());
   child_size_.assign(children_.size(), 0);
   pending_child_.assign(children_.size(), false);
@@ -65,18 +68,42 @@ void OverlayPeer::on_start() {
       send(parent(), make_msg(kSizeUp, static_cast<std::int64_t>(my_size_)));
     }
   }
+  if (config_.fault_tolerant && !is_root()) {
+    // Retransmit kSizeUp until the start signal arrives (covers a dropped
+    // converge-cast message in either direction).
+    set_timer(config_.request_timeout, kOverlaySetupTimer);
+  }
 }
 
 void OverlayPeer::on_size_up(const sim::Message& m) {
-  const std::size_t idx = child_index(m.src);
-  OLB_CHECK(child_size_[idx] == 0);
+  std::size_t idx = child_index(m.src);
+  if (idx == kNpos) {
+    OLB_CHECK_MSG(config_.fault_tolerant, "message from a non-child peer");
+    idx = adopt_child(m.src, 0);
+  }
+  // A duplicated or retransmitted kSizeUp is a refresh: update the size and
+  // re-send the start signal if we already have it.
+  const bool refresh = ready_ || child_size_[idx] != 0;
+  OLB_CHECK_MSG(config_.fault_tolerant || !refresh, "duplicate kSizeUp");
   child_size_[idx] = static_cast<std::uint64_t>(m.b);
+  if (refresh) {
+    if (ready_) {
+      send(m.src, make_msg(kSizeDown, static_cast<std::int64_t>(my_size_)));
+    }
+    return;
+  }
   if (--sizes_missing_ > 0) return;
+  finish_converge_cast();
+}
+
+void OverlayPeer::finish_converge_cast() {
   my_size_ = weight_;
   for (std::uint64_t s : child_size_) my_size_ += s;
   // The distributed converge-cast must agree with the static overlay
-  // (capacity weights deliberately diverge from plain node counts).
-  OLB_CHECK(config_.capacity_weighted || my_size_ == tree_->subtree_size(id()));
+  // (capacity weights deliberately diverge from plain node counts; crashes
+  // remove peers from the count).
+  OLB_CHECK(config_.capacity_weighted || config_.fault_tolerant ||
+            my_size_ == tree_->subtree_size(id()));
   if (is_root()) {
     become_ready();
   } else {
@@ -86,6 +113,7 @@ void OverlayPeer::on_size_up(const sim::Message& m) {
 
 void OverlayPeer::on_size_down(const sim::Message& m) {
   parent_size_ = static_cast<std::uint64_t>(m.b);
+  if (ready_) return;  // duplicated start signal (fault-tolerant refresh)
   become_ready();
 }
 
@@ -94,6 +122,9 @@ void OverlayPeer::become_ready() {
   ready_ = true;
   for (int c : children_) {
     send(c, make_msg(kSizeDown, static_cast<std::int64_t>(my_size_)));
+  }
+  if (config_.fault_tolerant) {
+    set_timer(config_.lease_interval, kOverlayLeaseTimer);
   }
   if (is_root()) {
     OLB_CHECK(acquire_work(std::move(initial_work_)));
@@ -120,6 +151,7 @@ void OverlayPeer::start_idle_episode() {
 void OverlayPeer::send_bridge_request() {
   const int n = engine().num_actors();
   if (!config_.use_bridges || n < 2) return;
+  if (config_.fault_tolerant && crash_epoch_ >= n - 1) return;  // no live partner
   // At most one bridge request is ever parked: if the previous partner has
   // not served us yet it still will the moment it acquires work (idle peers
   // cooperate by chaining parked requests — the paper's "logical cluster of
@@ -133,7 +165,7 @@ void OverlayPeer::send_bridge_request() {
   int u;
   do {
     u = static_cast<int>(rng().below(static_cast<std::uint64_t>(n)));
-  } while (u == id());
+  } while (u == id() || (config_.fault_tolerant && peer_down_[u] != 0));
   bridge_target_ = u;
   bridge_sent_at_ = now();
   emit_trace(trace::EventKind::kRequest, u, kReqBridge);
@@ -158,13 +190,21 @@ void OverlayPeer::advance_down() {
   if (!idle_ || terminated_) return;
   while (down_pos_ < down_order_.size()) {
     const int c = down_order_[down_pos_];
-    if (pending_child_[child_index(c)]) {
+    const std::size_t idx = child_index(c);
+    if (idx == kNpos || pending_child_[idx]) {
       ++down_pos_;
-      continue;  // became pending since the phase started: known idle
+      continue;  // became pending (or crashed) since the phase started
     }
     awaiting_child_ = c;
     emit_trace(trace::EventKind::kRequest, c, kReqDown);
     send(c, make_msg(kReqDown, 0, episode_));
+    if (config_.fault_tolerant) {
+      // A lost kReqDown or kNoWork would park this peer forever; after the
+      // timeout the silence is treated as kNoWork. The sequence number in
+      // the tag voids timers whose request was in fact answered.
+      set_timer(config_.request_timeout,
+                kOverlayReqTimeoutTimer | (++down_req_seq_ << kTimerTagShift));
+    }
     return;
   }
   awaiting_child_ = -1;
@@ -204,11 +244,36 @@ void OverlayPeer::send_up_request() {
 }
 
 void OverlayPeer::on_timer(std::int64_t tag) {
-  OLB_CHECK(tag == kOverlayRetryTimer);
-  retry_timer_armed_ = false;
-  if (terminated_ || !idle_ || awaiting_child_ != -1 || holds_work()) return;
-  send_bridge_request();
-  start_down_phase();
+  switch (tag & kTimerTagMask) {
+    case kOverlayRetryTimer:
+      retry_timer_armed_ = false;
+      if (terminated_ || !idle_ || awaiting_child_ != -1 || holds_work()) return;
+      send_bridge_request();
+      start_down_phase();
+      return;
+    case kOverlayReqTimeoutTimer: {
+      if (terminated_ || !idle_ || awaiting_child_ == -1) return;
+      if ((tag >> kTimerTagShift) != down_req_seq_) return;  // answered
+      count_retry(awaiting_child_, kReqDown, down_req_seq_);
+      awaiting_child_ = -1;
+      ++down_pos_;
+      advance_down();
+      return;
+    }
+    case kOverlaySetupTimer:
+      if (ready_ || terminated_) return;  // setup done: stop retransmitting
+      if (my_size_ != 0) {
+        count_retry(parent(), kSizeUp, 0);
+        send(parent(), make_msg(kSizeUp, static_cast<std::int64_t>(my_size_)));
+      }
+      set_timer(config_.request_timeout, kOverlaySetupTimer);
+      return;
+    case kOverlayLeaseTimer:
+      on_lease_tick();
+      return;
+    default:
+      OLB_CHECK_MSG(false, "unexpected timer tag for OverlayPeer");
+  }
 }
 
 // -------------------------------------------------------------- serving ---
@@ -256,7 +321,11 @@ void OverlayPeer::on_req_down(const sim::Message& m) {
 }
 
 void OverlayPeer::on_req_up(const sim::Message& m) {
-  const std::size_t idx = child_index(m.src);
+  std::size_t idx = child_index(m.src);
+  if (idx == kNpos) {
+    OLB_CHECK_MSG(config_.fault_tolerant, "message from a non-child peer");
+    idx = adopt_child(m.src, tree_->subtree_size(m.src));
+  }
   pending_child_[idx] = true;
   child_agg_[idx] = {static_cast<std::uint64_t>(m.b), static_cast<std::uint64_t>(m.c)};
 
@@ -309,6 +378,7 @@ void OverlayPeer::on_req_bridge(const sim::Message& m) {
 
 void OverlayPeer::on_work(sim::Message m) {
   OLB_CHECK_MSG(!terminated_, "work arrived after termination was declared");
+  if (config_.fault_tolerant) ++ft_recv_;
   if (m.b == 1) ++bridge_recv_;
   if (probe_acks_missing_ > 0) probe_dirty_ = true;
   if (m.b == 1 && m.src == bridge_target_) bridge_target_ = -1;
@@ -372,16 +442,143 @@ void OverlayPeer::on_bound_msg(const sim::Message& m) {
   }
 }
 
+// ------------------------------------------------------- fault recovery ---
+
+int OverlayPeer::nearest_live_ancestor(int peer_id) const {
+  // Root crashes are rejected by the driver, so the walk terminates.
+  OLB_CHECK(peer_id != tree_->root());
+  int p = tree_->parent(peer_id);
+  while (p != tree_->root() && peer_down_[static_cast<std::size_t>(p)] != 0) {
+    p = tree_->parent(p);
+  }
+  return p;
+}
+
+std::size_t OverlayPeer::adopt_child(int peer_id, std::uint64_t size_hint) {
+  children_.push_back(peer_id);
+  child_size_.push_back(size_hint);
+  pending_child_.push_back(false);
+  child_agg_.emplace_back(0, 0);
+  if (!ready_ && size_hint == 0) ++sizes_missing_;
+  return children_.size() - 1;
+}
+
+void OverlayPeer::rebuild_children() {
+  const int n = engine().num_actors();
+  std::vector<int> now_children;
+  for (int j = 0; j < n; ++j) {
+    if (j == id() || j == tree_->root()) continue;  // the root has no parent
+    if (peer_down_[static_cast<std::size_t>(j)] != 0) continue;
+    if (nearest_live_ancestor(j) == id()) now_children.push_back(j);
+  }
+  std::vector<std::uint64_t> sizes;
+  std::vector<bool> pending;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> aggs;
+  sizes.reserve(now_children.size());
+  pending.reserve(now_children.size());
+  aggs.reserve(now_children.size());
+  for (int j : now_children) {
+    const std::size_t old = child_index(j);
+    if (old != kNpos) {
+      sizes.push_back(child_size_[old]);
+      pending.push_back(pending_child_[old]);
+      aggs.push_back(child_agg_[old]);
+    } else {
+      // Adopted orphan. The static subtree size is a placeholder split
+      // weight until its kSizeUp refresh arrives; starting non-pending
+      // blocks termination until the orphan re-requests upwards.
+      sizes.push_back(tree_->subtree_size(j));
+      pending.push_back(false);
+      aggs.emplace_back(0, 0);
+    }
+  }
+  children_ = std::move(now_children);
+  child_size_ = std::move(sizes);
+  pending_child_ = std::move(pending);
+  child_agg_ = std::move(aggs);
+  if (!ready_) {
+    sizes_missing_ = static_cast<int>(
+        std::count(child_size_.begin(), child_size_.end(), std::uint64_t{0}));
+    // Removing a crashed child can complete the converge-cast by itself.
+    if (sizes_missing_ == 0 && my_size_ == 0) finish_converge_cast();
+  }
+}
+
+void OverlayPeer::on_peer_down(int peer) {
+  OLB_CHECK(config_.fault_tolerant);
+  const auto pidx = static_cast<std::size_t>(peer);
+  if (pidx >= peer_down_.size() || peer_down_[pidx] != 0) return;
+  peer_down_[pidx] = 1;
+  ++crash_epoch_;
+  if (terminated_) return;
+  if (is_root()) have_clean_probe_ = false;  // wave pairs must share an epoch
+  if (bridge_target_ == peer) bridge_target_ = -1;
+  pending_bridges_.erase(
+      std::remove_if(pending_bridges_.begin(), pending_bridges_.end(),
+                     [peer](const auto& pb) { return pb.first == peer; }),
+      pending_bridges_.end());
+  const int old_parent = parent_;
+  if (!is_root()) parent_ = nearest_live_ancestor(id());
+  rebuild_children();
+  if (!is_root() && parent_ != old_parent) {
+    emit_trace(trace::EventKind::kReparent, parent_, 0, old_parent);
+    // Split weights for the new parent are approximations until sizes are
+    // refreshed; exactness only affects balance quality, not correctness.
+    parent_size_ = tree_->subtree_size(parent_);
+    if (my_size_ != 0) {
+      send(parent_, make_msg(kSizeUp, static_cast<std::int64_t>(my_size_)));
+    }
+    // Our subtree-finished signal (if any) died with the old parent.
+    if (idle_ && up_requested_) send_up_request();
+  }
+  if (awaiting_child_ == peer) {
+    // The pending downward request can never be answered now.
+    awaiting_child_ = -1;
+    ++down_pos_;
+    ++down_req_seq_;  // void the outstanding timeout
+    advance_down();
+  }
+  if (idle_ && awaiting_child_ == -1 && !terminated_) arm_retry_timer();
+}
+
+void OverlayPeer::on_lease_tick() {
+  if (terminated_) return;  // no re-arm: the timer dies with the protocol
+  if (is_root()) {
+    if (probe_outstanding_ &&
+        now() - probe_launched_at_ >= config_.lease_interval) {
+      // The wave lost a message (or its relay crashed); abandon it.
+      count_retry(-1, kProbe, static_cast<std::int64_t>(cur_probe_));
+      probe_outstanding_ = false;
+      probe_acks_missing_ = 0;
+    }
+    check_root_termination();
+  } else if (idle_ && up_requested_) {
+    // Lease refresh: a lost upward request (or one swallowed by a crashed
+    // parent before adoption kicked in) must not hang termination.
+    count_retry(parent(), kReqUp, 0);
+    send_up_request();
+  }
+  set_timer(config_.lease_interval, kOverlayLeaseTimer);
+}
+
 // ---------------------------------------------------------- termination ---
 
+std::uint64_t OverlayPeer::own_sent() const {
+  return config_.fault_tolerant ? ft_sent_ : bridge_sent_;
+}
+
+std::uint64_t OverlayPeer::own_recv() const {
+  return config_.fault_tolerant ? ft_recv_ : bridge_recv_;
+}
+
 std::uint64_t OverlayPeer::agg_sent() const {
-  std::uint64_t s = bridge_sent_;
+  std::uint64_t s = own_sent();
   for (const auto& [cs, cr] : child_agg_) s += cs;
   return s;
 }
 
 std::uint64_t OverlayPeer::agg_recv() const {
-  std::uint64_t r = bridge_recv_;
+  std::uint64_t r = own_recv();
   for (const auto& [cs, cr] : child_agg_) r += cr;
   return r;
 }
@@ -389,6 +586,23 @@ std::uint64_t OverlayPeer::agg_recv() const {
 void OverlayPeer::check_root_termination() {
   if (!is_root() || terminated_) return;
   if (!locally_quiet() || !all_children_pending()) return;
+  if (config_.fault_tolerant) {
+    // Unreliable links can leave pending flags stale, so even pure tree
+    // mode must confirm termination with counter waves.
+    if (probe_outstanding_) {
+      recheck_after_probe_ = true;
+      return;
+    }
+    if (crash_epoch_ == 0 && agg_sent() != agg_recv()) return;
+    // Pace the confirming wave one lease after the previous one: every
+    // transfer in flight during wave k has landed (and bumped a receive
+    // counter) before wave k+1 polls its receiver.
+    if (have_clean_probe_ && now() - last_wave_end_ < config_.lease_interval) {
+      return;  // the lease timer re-checks
+    }
+    launch_probe();
+    return;
+  }
   if (!config_.use_bridges) {
     // Pure tree mode: a child's upward request proves its whole subtree is
     // finished, so the condition alone is exact.
@@ -406,11 +620,13 @@ void OverlayPeer::check_root_termination() {
 
 void OverlayPeer::launch_probe() {
   probe_outstanding_ = true;
+  probe_launched_at_ = now();
   recheck_after_probe_ = false;
   cur_probe_ = ++next_probe_id_;
-  probe_s_ = bridge_sent_;
-  probe_r_ = bridge_recv_;
+  probe_s_ = own_sent();
+  probe_r_ = own_recv();
   probe_dirty_ = false;
+  probe_epoch_ = crash_epoch_;
   probe_acks_missing_ = static_cast<int>(children_.size());
   emit_trace(trace::EventKind::kProbeWave, -1, 0,
              static_cast<std::int64_t>(cur_probe_));
@@ -436,6 +652,7 @@ void OverlayPeer::on_probe(sim::Message m) {
     auto payload = std::make_unique<ProbePayload>();
     payload->probe_id = pid;
     payload->dirty = true;
+    payload->crash_epoch = crash_epoch_;
     msg.payload = std::move(payload);
     send(m.src, std::move(msg));
   };
@@ -445,9 +662,10 @@ void OverlayPeer::on_probe(sim::Message m) {
   }
   cur_probe_ = pid;
   probe_parent_ = m.src;
-  probe_s_ = bridge_sent_;
-  probe_r_ = bridge_recv_;
+  probe_s_ = own_sent();
+  probe_r_ = own_recv();
   probe_dirty_ = false;
+  probe_epoch_ = crash_epoch_;
   probe_acks_missing_ = static_cast<int>(children_.size());
   if (probe_acks_missing_ == 0) {
     auto msg = make_msg(kProbeAck);
@@ -456,6 +674,7 @@ void OverlayPeer::on_probe(sim::Message m) {
     payload->bridge_sent = probe_s_;
     payload->bridge_recv = probe_r_;
     payload->dirty = false;
+    payload->crash_epoch = probe_epoch_;
     msg.payload = std::move(payload);
     send(probe_parent_, std::move(msg));
     return;
@@ -476,6 +695,7 @@ void OverlayPeer::on_probe_ack(sim::Message m) {
   probe_s_ += pp->bridge_sent;
   probe_r_ += pp->bridge_recv;
   probe_dirty_ = probe_dirty_ || pp->dirty;
+  probe_epoch_ = std::max(probe_epoch_, pp->crash_epoch);
   if (--probe_acks_missing_ > 0) return;
   if (is_root()) {
     finish_probe_at_root(probe_s_, probe_r_, probe_dirty_);
@@ -488,13 +708,46 @@ void OverlayPeer::on_probe_ack(sim::Message m) {
   payload->bridge_sent = probe_s_;
   payload->bridge_recv = probe_r_;
   payload->dirty = probe_dirty_ || !still_quiet;
+  payload->crash_epoch = probe_epoch_;
   msg.payload = std::move(payload);
   send(probe_parent_, std::move(msg));
 }
 
 void OverlayPeer::finish_probe_at_root(std::uint64_t s, std::uint64_t r, bool dirty) {
   probe_outstanding_ = false;
+  last_wave_end_ = now();
   const bool still_quiet = locally_quiet() && all_children_pending();
+  if (config_.fault_tolerant) {
+    const int epoch = std::max(probe_epoch_, crash_epoch_);
+    // With a known crash the crashed peer's counter contributions are gone
+    // for good, so balance is only required while epoch == 0; stability
+    // across a lease-separated pair (at one shared epoch) carries the
+    // Mattern argument by itself.
+    const bool clean =
+        !dirty && still_quiet && (epoch > 0 || s == r) && epoch == crash_epoch_;
+    emit_trace(trace::EventKind::kProbeWave, -1, clean ? 1 : 2,
+               static_cast<std::int64_t>(cur_probe_),
+               static_cast<std::int64_t>(s) - static_cast<std::int64_t>(r));
+    if (clean) {
+      if (have_clean_probe_ && clean_s_ == s && clean_r_ == r &&
+          clean_epoch_ == epoch) {
+        declare_termination();
+        return;
+      }
+      have_clean_probe_ = true;
+      clean_s_ = s;
+      clean_r_ = r;
+      clean_epoch_ = epoch;
+      // The confirming wave launches from the lease timer, one lease later.
+      return;
+    }
+    have_clean_probe_ = false;
+    if (recheck_after_probe_) {
+      recheck_after_probe_ = false;
+      check_root_termination();
+    }
+    return;
+  }
   const bool clean = !dirty && still_quiet && s == r;
   emit_trace(trace::EventKind::kProbeWave, -1, clean ? 1 : 2,
              static_cast<std::int64_t>(cur_probe_),
@@ -542,10 +795,22 @@ void OverlayPeer::on_terminate() {
 
 void OverlayPeer::on_message(sim::Message m) {
   if (m.type != kTerminate) handle_piggyback(m);
+  if (config_.fault_tolerant && m.src >= 0 &&
+      peer_down_[static_cast<std::size_t>(m.src)] != 0 && m.type != kWork) {
+    // In-flight message from a peer we know crashed. Work is still real and
+    // must be kept (it bounces back off the dead peer); everything else is
+    // protocol state of a dead participant.
+    return;
+  }
   if (terminated_) {
     // In-flight stragglers (requests/acks sent before the sender heard the
     // termination broadcast) are ignored; work must never straggle.
     OLB_CHECK(m.type != kWork);
+    if (config_.fault_tolerant && m.type != kTerminate) {
+      // The sender evidently missed the broadcast (e.g. its kTerminate was
+      // dropped); its own lease retransmit reached us, so answer it.
+      send(m.src, make_msg(kTerminate));
+    }
     return;
   }
   switch (m.type) {
@@ -559,6 +824,7 @@ void OverlayPeer::on_message(sim::Message m) {
       if (idle_ && awaiting_child_ == m.src && m.c == episode_) {
         awaiting_child_ = -1;
         ++down_pos_;
+        ++down_req_seq_;  // void the fault-tolerance timeout, if armed
         advance_down();
       }
       break;

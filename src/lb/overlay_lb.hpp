@@ -34,6 +34,33 @@
 //               two consecutive clean waves with identical, balanced
 //               counters (Mattern's four-counter rule) — our realisation of
 //               the paper's "aggregated work request messages".
+//
+// Fault tolerance (config.fault_tolerant, set by the driver iff a FaultPlan
+// is enabled; a fault-free run never takes any of these paths):
+//
+//  Links may drop or duplicate control messages, and peers may crash. The
+//  protocol recovers with
+//   * setup retransmission — kSizeUp is re-sent until the start signal
+//     (kSizeDown) arrives; parents treat duplicates as refreshes;
+//   * request timeouts — an unanswered kReqDown counts as kNoWork after
+//     config.request_timeout;
+//   * lease refresh — an idle peer re-sends its upward request every
+//     config.lease_interval so a lost subtree-finished signal cannot hang
+//     the run;
+//   * re-parenting — every survivor deterministically re-attaches to its
+//     nearest live *static* ancestor when a crash is announced; because all
+//     survivors learn of a crash simultaneously and apply the same rule,
+//     parent/child views stay consistent without a repair handshake.
+//     Adopted children start out non-pending, which blocks termination until
+//     they re-request upwards;
+//   * wave-confirmed termination — the root only terminates after two
+//     lease-separated clean waves whose *total* work-transfer counters (all
+//     serves, not just bridges) and crash epochs agree; counters must
+//     balance only while no crash is known (a crashed peer takes its counter
+//     contributions with it). The lease exceeds the maximum message
+//     lifetime, so any transfer in flight during one wave lands — and bumps
+//     a counter — before the next wave polls its receiver. Work bounced off
+//     a crashed peer re-enters through on_work like any other transfer.
 #pragma once
 
 #include <cstdint>
@@ -70,6 +97,16 @@ struct OverlayConfig {
   /// where the compute power actually is. Weights are per-peer constructor
   /// arguments; this flag only disables the homogeneous-size sanity check.
   bool capacity_weighted = false;
+
+  // --- fault tolerance (driver sets these iff a FaultPlan is enabled) ---
+  bool fault_tolerant = false;
+  /// An unanswered kReqDown is treated as kNoWork after this long.
+  sim::Time request_timeout = sim::milliseconds(1);
+  /// Cadence of setup retransmits, upward-request refreshes and root
+  /// re-probes. Must exceed twice the maximum one-way message latency (the
+  /// driver derives both timeouts from the network model) — the termination
+  /// argument needs every in-flight transfer to land between waves.
+  sim::Time lease_interval = sim::milliseconds(2);
 };
 
 class OverlayPeer final : public PeerBase {
@@ -83,25 +120,34 @@ class OverlayPeer final : public PeerBase {
   // --- post-run inspection ---
   bool protocol_terminated() const { return terminated_; }
   sim::Time done_time() const { return done_time_; }
+  /// Current dynamic parent (-1 for the root); equals the static parent
+  /// until fault-driven re-parenting moves it.
+  int current_parent() const { return parent_; }
+  /// Number of crashed peers this peer has been notified about.
+  int known_crashes() const { return crash_epoch_; }
 
  protected:
   void on_start() override;
   void on_message(sim::Message m) override;
   void on_timer(std::int64_t tag) override;
+  void on_peer_down(int peer) override;
   void became_idle() override;
   void diffuse_bound() override;
   void after_chunk() override;
 
  private:
+  static constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
   bool is_root() const { return id() == tree_->root(); }
-  int parent() const { return tree_->parent(id()); }
-  std::size_t child_index(int child_id) const;
+  int parent() const { return parent_; }
+  std::size_t child_index(int child_id) const;  ///< kNpos if not a child
   bool all_children_pending() const;
   bool locally_quiet() const;  ///< idle, no work, no compute outstanding
 
   // setup
   void on_size_up(const sim::Message& m);
   void on_size_down(const sim::Message& m);
+  void finish_converge_cast();
   void become_ready();
 
   // idle protocol
@@ -130,7 +176,15 @@ class OverlayPeer final : public PeerBase {
   void handle_piggyback(const sim::Message& m) { note_bound(m.a); }
   void on_bound_msg(const sim::Message& m);
 
+  // fault recovery
+  int nearest_live_ancestor(int peer_id) const;
+  std::size_t adopt_child(int peer_id, std::uint64_t size_hint);
+  void rebuild_children();
+  void on_lease_tick();
+
   // termination
+  std::uint64_t own_sent() const;
+  std::uint64_t own_recv() const;
   std::uint64_t agg_sent() const;
   std::uint64_t agg_recv() const;
   void check_root_termination();
@@ -159,6 +213,9 @@ class OverlayPeer final : public PeerBase {
   int sizes_missing_ = 0;
   bool ready_ = false;
 
+  // dynamic tree position (diverges from tree_ only after crashes)
+  int parent_ = -1;
+
   // idle-episode state
   bool idle_ = false;
   std::int64_t episode_ = 0;
@@ -180,6 +237,15 @@ class OverlayPeer final : public PeerBase {
   std::uint64_t bridge_sent_ = 0;
   std::uint64_t bridge_recv_ = 0;
 
+  // fault-tolerance state
+  std::vector<char> peer_down_;   ///< peers known to have crashed
+  int crash_epoch_ = 0;           ///< == count of set entries in peer_down_
+  std::int64_t down_req_seq_ = 0; ///< generation of the kReqDown timeout
+  // All work transfers, not just bridges: with unreliable links the pending
+  // flags can go stale, so FT termination waves count every serve.
+  std::uint64_t ft_sent_ = 0;
+  std::uint64_t ft_recv_ = 0;
+
   // probe state (any node)
   std::uint64_t cur_probe_ = 0;
   int probe_parent_ = -1;
@@ -187,13 +253,17 @@ class OverlayPeer final : public PeerBase {
   std::uint64_t probe_s_ = 0;
   std::uint64_t probe_r_ = 0;
   bool probe_dirty_ = false;
+  int probe_epoch_ = 0;
 
   // root-only termination state
   bool probe_outstanding_ = false;
+  sim::Time probe_launched_at_ = 0;
+  sim::Time last_wave_end_ = 0;
   std::uint64_t next_probe_id_ = 0;
   bool have_clean_probe_ = false;
   std::uint64_t clean_s_ = 0;
   std::uint64_t clean_r_ = 0;
+  int clean_epoch_ = 0;
   bool recheck_after_probe_ = false;
 
   sim::Time done_time_ = -1;

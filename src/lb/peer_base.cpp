@@ -54,6 +54,17 @@ void PeerBase::on_compute_done() {
   }
 }
 
+double PeerBase::on_crashed() {
+  const double lost = holds_work() ? work_->amount() : 0.0;
+  work_.reset();
+  return lost;
+}
+
+void PeerBase::count_retry(int target, int msg_type, std::int64_t attempt) {
+  ++retries_;
+  emit_trace(trace::EventKind::kRetry, target, msg_type, attempt);
+}
+
 void PeerBase::maybe_diffuse() {
   if (!config_.diffuse_bounds) return;
   if (bound_ < diffused_bound_) {

@@ -35,6 +35,8 @@ class PeerBase : public sim::Actor {
   sim::Time last_active() const { return last_active_; }
   bool saw_terminate() const { return terminated_; }
   bool holds_work() const { return work_ != nullptr && !work_->empty(); }
+  /// Request retransmissions performed by this peer (fault tolerance).
+  std::uint64_t retries() const { return retries_; }
 
  protected:
   explicit PeerBase(PeerConfig config) : config_(config) {}
@@ -68,6 +70,12 @@ class PeerBase : public sim::Actor {
 
   void on_compute_done() final;
 
+  /// Fault injection: releases held work and reports it as lost.
+  double on_crashed() override;
+
+  /// Records one request retransmission (counter + kRetry trace event).
+  void count_retry(int target, int msg_type, std::int64_t attempt);
+
   const PeerConfig& peer_config() const { return config_; }
 
   std::unique_ptr<Work> work_;
@@ -76,6 +84,7 @@ class PeerBase : public sim::Actor {
   std::uint64_t units_done_ = 0;
   sim::Time last_active_ = 0;
   bool terminated_ = false;
+  std::uint64_t retries_ = 0;
 
  private:
   void maybe_diffuse();

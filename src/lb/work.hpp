@@ -83,6 +83,10 @@ class Workload {
 struct WorkPayload final : sim::MsgPayload {
   explicit WorkPayload(std::unique_ptr<Work> w) : work(std::move(w)) {}
   std::unique_ptr<Work> work;
+
+  double amount() const override {
+    return work != nullptr ? work->amount() : 0.0;
+  }
 };
 
 }  // namespace olb::lb

@@ -84,6 +84,16 @@ void Engine::send_from(Actor& from, int dst, Message m) {
   }
   ++from.stats_.sent_by_type[type_idx];
   const Time latency = network_.latency(from.id_, dst);
+
+  // Link faults apply to control messages only: payload-carrying transfers
+  // model a reliable bulk channel (see faults.hpp), so work is never
+  // silently destroyed or cloned by the network. The whole faulty path is
+  // out of line so the fault-free send stays at its pre-fault-layer shape.
+  if (link_faults_on_ && m.payload == nullptr) [[unlikely]] {
+    send_faulty(from, dst, std::move(m), latency);
+    return;
+  }
+
   if (trace::kTraceCompiled && tracer_ != nullptr) [[unlikely]] {
     // The id store lives under the tracer check: writing a bit-field is a
     // read-modify-write of the whole type/id unit, too costly for a field
@@ -93,10 +103,46 @@ void Engine::send_from(Actor& from, int dst, Message m) {
                 static_cast<std::int64_t>(m.id), latency);
   }
 
+  push_arrival(std::move(m), now_ + latency);
+}
+
+void Engine::send_faulty(Actor& from, int dst, Message&& m, Time latency) {
+  const FaultInjector::Fate fate = injector_.draw_fate();
+  if (fate.extra_latency > 0) {
+    latency += fate.extra_latency;
+    ++latency_spikes_;
+  }
+
+  if (trace::kTraceCompiled && tracer_ != nullptr) {
+    m.id = static_cast<std::uint32_t>(total_messages_);
+    trace::emit(tracer_, now_, trace::EventKind::kMsgSend, from.id_, dst, m.type,
+                static_cast<std::int64_t>(m.id), latency);
+  }
+
+  if (fate.drop) {
+    ++msgs_dropped_;
+    trace::emit(tracer_, now_, trace::EventKind::kMsgDrop, from.id_, dst, m.type,
+                static_cast<std::int64_t>(m.id), 0);
+    return;
+  }
+  if (fate.duplicate) {
+    ++msgs_duplicated_;
+    trace::emit(tracer_, now_, trace::EventKind::kMsgDup, from.id_, dst, m.type,
+                static_cast<std::int64_t>(m.id), 0);
+    Message copy(m.type, m.a, m.b, m.c);
+    copy.id = m.id;
+    copy.src = m.src;
+    copy.dst = m.dst;
+    push_arrival(std::move(copy), now_ + latency);
+  }
+  push_arrival(std::move(m), now_ + latency);
+}
+
+void Engine::push_arrival(Message&& m, Time at) {
   Event e;
-  e.time = now_ + latency;
+  e.time = at;
   e.seq = next_seq_++;
-  e.dst = dst;
+  e.dst = m.dst;
   e.kind = Event::Kind::kArrival;
   e.msg = std::move(m);
   queue_.push(std::move(e));
@@ -116,8 +162,13 @@ void Engine::schedule_wake(Actor& a, Time at) {
 void Engine::service(Actor& a, Time t) {
   // Invariant: wakes are only scheduled at or after busy_until_, and
   // busy_until_ only advances inside wakes (of which there is at most one
-  // outstanding per actor), so the actor is guaranteed free here.
-  OLB_CHECK(t >= a.busy_until_);
+  // outstanding per actor), so the actor is guaranteed free here — except
+  // when a fault-injected stall extended busy_until_ behind our back; then
+  // the wake is simply re-queued for when the actor thaws.
+  if (t < a.busy_until_) [[unlikely]] {
+    schedule_wake(a, a.busy_until_);
+    return;
+  }
 
   if (!a.started_) {
     a.started_ = true;
@@ -128,10 +179,14 @@ void Engine::service(Actor& a, Time t) {
     ++a.stats_.msgs_received;
     a.busy_until_ = t + config_.msg_handling_cost;
     a.stats_.overhead_time += config_.msg_handling_cost;
-    if (m.type == kTimerMsgType) {
+    // Application messages (type >= 0) first: one compare on the hot path,
+    // the engine-reserved negative types pay the second.
+    if (m.type >= 0) {
+      a.on_message(std::move(m));
+    } else if (m.type == kTimerMsgType) {
       a.on_timer(m.a);
     } else {
-      a.on_message(std::move(m));
+      a.on_peer_down(static_cast<int>(m.a));
     }
   } else if (a.compute_pending_) {
     a.compute_pending_ = false;
@@ -147,7 +202,10 @@ void Engine::service(Actor& a, Time t) {
 // emission and queueing-delay accounting. run() picks one loop flavour up
 // front so an untraced run's event loop is byte-for-byte the plain one.
 void Engine::service_instrumented(Actor& a, Time t) {
-  OLB_CHECK(t >= a.busy_until_);
+  if (t < a.busy_until_) [[unlikely]] {
+    schedule_wake(a, a.busy_until_);
+    return;
+  }
 
   if (!a.started_) {
     a.started_ = true;
@@ -158,11 +216,7 @@ void Engine::service_instrumented(Actor& a, Time t) {
     ++a.stats_.msgs_received;
     a.busy_until_ = t + config_.msg_handling_cost;
     a.stats_.overhead_time += config_.msg_handling_cost;
-    if (m.type == kTimerMsgType) {
-      trace::emit(tracer_, t, trace::EventKind::kTimerFire, a.id_, -1, 0, m.a,
-                  t - m.arrived_at);
-      a.on_timer(m.a);
-    } else {
+    if (m.type >= 0) {
       if (measure_queue_delay_) {
         const Time inbox_wait = t - m.arrived_at;
         queue_delay_sum_ += inbox_wait;
@@ -172,6 +226,12 @@ void Engine::service_instrumented(Actor& a, Time t) {
       trace::emit(tracer_, t, trace::EventKind::kMsgDeliver, a.id_, m.src,
                   m.type, static_cast<std::int64_t>(m.id), t - m.arrived_at);
       a.on_message(std::move(m));
+    } else if (m.type == kTimerMsgType) {
+      trace::emit(tracer_, t, trace::EventKind::kTimerFire, a.id_, -1, 0, m.a,
+                  t - m.arrived_at);
+      a.on_timer(m.a);
+    } else {
+      a.on_peer_down(static_cast<int>(m.a));
     }
   } else if (a.compute_pending_) {
     a.compute_pending_ = false;
@@ -188,7 +248,10 @@ void Engine::service_instrumented(Actor& a, Time t) {
   }
 }
 
-template <bool Instrumented>
+// `Faulty` compiles the crash/stall handling out of fault-free runs: their
+// event kinds are never queued without a plan, and the crashed-actor probes
+// would otherwise cost a load + branch on every event.
+template <bool Instrumented, bool Faulty>
 Engine::RunResult Engine::run_loop(Time time_limit, std::uint64_t event_limit) {
   RunResult result;
   while (!queue_.empty()) {
@@ -202,6 +265,12 @@ Engine::RunResult Engine::run_loop(Time time_limit, std::uint64_t event_limit) {
     Actor& a = *actors_[static_cast<std::size_t>(e.dst)];
     switch (e.kind) {
       case Event::Kind::kArrival:
+        if constexpr (Faulty) {
+          if (a.crashed_) [[unlikely]] {
+            arrival_at_crashed(std::move(e));
+            break;
+          }
+        }
         if constexpr (Instrumented) e.msg.arrived_at = now_;
         a.inbox_.push_back(std::move(e.msg));
         if (!a.wake_pending_) {
@@ -210,11 +279,20 @@ Engine::RunResult Engine::run_loop(Time time_limit, std::uint64_t event_limit) {
         break;
       case Event::Kind::kWake:
         a.wake_pending_ = false;
+        if constexpr (Faulty) {
+          if (a.crashed_) [[unlikely]] break;
+        }
         if constexpr (Instrumented) {
           service_instrumented(a, now_);
         } else {
           service(a, now_);
         }
+        break;
+      case Event::Kind::kCrash:
+        if constexpr (Faulty) apply_crash(e.dst);
+        break;
+      case Event::Kind::kStall:
+        if constexpr (Faulty) apply_stall(e.dst, e.msg.a);
         break;
     }
   }
@@ -222,13 +300,101 @@ Engine::RunResult Engine::run_loop(Time time_limit, std::uint64_t event_limit) {
   return result;
 }
 
+// A message reaching a fail-stopped peer. Control messages vanish. A work
+// transfer is bounced back to its sender once — modelling a sender that
+// detects the failed delivery and keeps the data — so no work is lost and
+// the sender's transfer counters re-balance. A bounce that itself lands on
+// a crashed peer (sender died meanwhile) is destroyed and accounted.
+void Engine::arrival_at_crashed(Event e) {
+  Message m = std::move(e.msg);
+  if (m.payload != nullptr && !m.bounced && m.src >= 0 &&
+      !actors_[static_cast<std::size_t>(m.src)]->crashed_) {
+    ++work_bounced_;
+    const int sender = m.src;
+    m.src = e.dst;
+    m.dst = sender;
+    m.bounced = true;
+    push_arrival(std::move(m), now_ + network_.latency(e.dst, sender));
+    return;
+  }
+  ++msgs_dropped_;
+  if (m.payload != nullptr) {
+    work_lost_units_ += m.payload->amount();
+    trace::emit(tracer_, now_, trace::EventKind::kMsgDrop, m.src, e.dst, m.type,
+                static_cast<std::int64_t>(m.id), 2);
+  } else {
+    trace::emit(tracer_, now_, trace::EventKind::kMsgDrop, m.src, e.dst, m.type,
+                static_cast<std::int64_t>(m.id), 1);
+  }
+}
+
+void Engine::apply_crash(int peer) {
+  Actor& a = *actors_[static_cast<std::size_t>(peer)];
+  if (a.crashed_) return;
+  a.crashed_ = true;
+  injector_.mark_crashed(peer);
+  ++crashes_applied_;
+  // Arrived-but-unserviced messages die with the peer; their payloads are
+  // genuinely lost (the sender already considers them delivered).
+  for (const Message& m : a.inbox_) {
+    if (m.payload != nullptr) work_lost_units_ += m.payload->amount();
+  }
+  a.inbox_.clear();
+  const double held = a.on_crashed();
+  work_lost_units_ += held;
+  trace::emit(tracer_, now_, trace::EventKind::kPeerCrash, peer, -1, 0,
+              static_cast<std::int64_t>(held));
+  // Failure detector: every survivor hears about it after detection_delay.
+  const Time heard_at = now_ + injector_.plan().detection_delay;
+  for (int i = 0; i < num_actors(); ++i) {
+    if (i == peer || actors_[static_cast<std::size_t>(i)]->crashed_) continue;
+    Message n;
+    n.type = kPeerDownMsgType;
+    n.a = peer;
+    n.src = peer;
+    n.dst = i;
+    push_arrival(std::move(n), heard_at);
+  }
+}
+
+void Engine::apply_stall(int peer, Time duration) {
+  Actor& a = *actors_[static_cast<std::size_t>(peer)];
+  if (a.crashed_) return;
+  const Time base = a.busy_until_ > now_ ? a.busy_until_ : now_;
+  a.busy_until_ = base + duration;
+  trace::emit(tracer_, now_, trace::EventKind::kPeerStall, peer, -1, 0, duration);
+}
+
 Engine::RunResult Engine::run(Time time_limit, std::uint64_t event_limit) {
   running_ = true;
   for (auto& a : actors_) {
     if (!a->started_ && !a->wake_pending_) schedule_wake(*a, 0);
   }
-  return instrumented_ ? run_loop<true>(time_limit, event_limit)
-                       : run_loop<false>(time_limit, event_limit);
+  if (faults_on_) {
+    for (const CrashEvent& c : injector_.plan().crashes) {
+      Event e;
+      e.time = c.at;
+      e.seq = next_seq_++;
+      e.dst = c.peer;
+      e.kind = Event::Kind::kCrash;
+      queue_.push(std::move(e));
+    }
+    for (const StallEvent& s : injector_.plan().stalls) {
+      Event e;
+      e.time = s.at;
+      e.seq = next_seq_++;
+      e.dst = s.peer;
+      e.kind = Event::Kind::kStall;
+      e.msg.a = s.duration;
+      queue_.push(std::move(e));
+    }
+  }
+  if (faults_on_) {
+    return instrumented_ ? run_loop<true, true>(time_limit, event_limit)
+                         : run_loop<false, true>(time_limit, event_limit);
+  }
+  return instrumented_ ? run_loop<true, false>(time_limit, event_limit)
+                       : run_loop<false, false>(time_limit, event_limit);
 }
 
 }  // namespace olb::sim

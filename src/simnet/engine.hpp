@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "simnet/event_queue.hpp"
+#include "simnet/faults.hpp"
 #include "simnet/message.hpp"
 #include "simnet/network.hpp"
 #include "simnet/time.hpp"
@@ -65,6 +66,9 @@ class Actor {
   }
   double speed() const { return speed_; }
 
+  /// True once fault injection has fail-stopped this actor.
+  bool crashed() const { return crashed_; }
+
  protected:
   Actor() = default;
 
@@ -76,6 +80,17 @@ class Actor {
 
   /// Called when a timer set with set_timer() fires.
   virtual void on_timer(std::int64_t tag) { (void)tag; }
+
+  /// Fault injection: called the instant this actor fail-stops, after its
+  /// inbox has been discarded. Must release any held work and return the
+  /// application units destroyed with it (for the work-lost ledger). The
+  /// actor receives no further hooks after this.
+  virtual double on_crashed() { return 0.0; }
+
+  /// Fault injection: failure-detector notification that `peer` crashed,
+  /// delivered `FaultPlan::detection_delay` after the crash. Never called
+  /// in fault-free runs.
+  virtual void on_peer_down(int peer) { (void)peer; }
 
   /// Called when a compute span started with start_compute() completes and
   /// all messages that arrived during the span have been serviced.
@@ -110,6 +125,7 @@ class Actor {
   bool started_ = false;
   bool compute_pending_ = false;
   bool wake_pending_ = false;
+  bool crashed_ = false;
   std::deque<Message> inbox_;
   ActorStats stats_;
 };
@@ -140,6 +156,28 @@ class Engine {
 
   Time now() const { return now_; }
   Network& network() { return network_; }
+
+  /// Installs a fault plan (validated against the actor count, so call
+  /// after all actors are added and before run()). A disabled plan is a
+  /// no-op: the run stays byte-identical to one that never called this.
+  void set_faults(const FaultPlan& plan) {
+    OLB_CHECK_MSG(!running_, "faults must be configured before run()");
+    injector_.configure(plan, num_actors(), seed_);
+    faults_on_ = injector_.active();
+    link_faults_on_ = injector_.link_active();
+  }
+  const FaultPlan& fault_plan() const { return injector_.plan(); }
+  bool peer_crashed(int id) const { return injector_.crashed(id); }
+
+  // --- fault accounting (all zero in fault-free runs) ---
+  std::uint64_t msgs_dropped() const { return msgs_dropped_; }
+  std::uint64_t msgs_duplicated() const { return msgs_duplicated_; }
+  std::uint64_t latency_spikes() const { return latency_spikes_; }
+  std::uint64_t work_bounced() const { return work_bounced_; }
+  int crashes_applied() const { return crashes_applied_; }
+  /// Application units destroyed by crashes: work held by the victim plus
+  /// payloads in its inbox or addressed to it that could not be bounced.
+  double work_lost_units() const { return work_lost_units_; }
 
   std::uint64_t total_messages() const { return total_messages_; }
   /// Sum of a message-type counter over all actors.
@@ -184,8 +222,16 @@ class Engine {
   void schedule_wake(Actor& a, Time at);
   void service(Actor& a, Time t);
   void service_instrumented(Actor& a, Time t);
-  template <bool Instrumented>
+  template <bool Instrumented, bool Faulty>
   RunResult run_loop(Time time_limit, std::uint64_t event_limit);
+
+  void push_arrival(Message&& m, Time at);
+  /// Cold continuation of send_from when link faults are enabled: fate
+  /// draw, spike accounting, drop/duplicate handling.
+  void send_faulty(Actor& from, int dst, Message&& m, Time latency);
+  void arrival_at_crashed(Event e);
+  void apply_crash(int peer);
+  void apply_stall(int peer, Time duration);
 
   void record_busy(Time start, Time duration);
 
@@ -199,6 +245,17 @@ class Engine {
   std::uint64_t total_messages_ = 0;
   Time now_ = 0;
   bool running_ = false;
+  // Fault injection (inactive by default; every hot-path probe is one
+  // predicted-not-taken branch, and zero-fault runs take none of them).
+  FaultInjector injector_;
+  bool faults_on_ = false;
+  bool link_faults_on_ = false;
+  std::uint64_t msgs_dropped_ = 0;
+  std::uint64_t msgs_duplicated_ = 0;
+  std::uint64_t latency_spikes_ = 0;
+  std::uint64_t work_bounced_ = 0;
+  int crashes_applied_ = 0;
+  double work_lost_units_ = 0.0;
   // Tracing / queueing-delay state lives after the event-loop hot members so
   // attaching the subsystem does not shift their cache-line layout.
   trace::TraceSink* tracer_ = nullptr;

@@ -18,13 +18,15 @@ struct Event {
   enum class Kind : std::uint8_t {
     kArrival,  ///< a message reaches its destination's inbox
     kWake,     ///< the destination actor should service its queues
+    kCrash,    ///< fault injection: the destination peer fail-stops
+    kStall,    ///< fault injection: the destination freezes for msg.a ns
   };
 
   Time time = 0;
   std::uint64_t seq = 0;  ///< global insertion counter; ties broken FIFO
   int dst = -1;
   Kind kind = Kind::kWake;
-  Message msg;  ///< valid only for kArrival
+  Message msg;  ///< valid only for kArrival (kStall borrows msg.a)
 
   bool before(const Event& other) const {
     if (time != other.time) return time < other.time;

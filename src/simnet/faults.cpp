@@ -1,0 +1,61 @@
+#include "simnet/faults.hpp"
+
+#include <algorithm>
+
+namespace olb::sim {
+
+void FaultPlan::validate(int num_peers) const {
+  auto check_prob = [](double p) { OLB_CHECK_MSG(p >= 0.0 && p <= 1.0, "fault probability outside [0, 1]"); };
+  check_prob(link.drop_prob);
+  check_prob(link.dup_prob);
+  check_prob(link.spike_prob);
+  OLB_CHECK(link.spike_latency >= 0);
+  OLB_CHECK(detection_delay >= 0);
+  for (const CrashEvent& c : crashes) {
+    OLB_CHECK_MSG(c.peer >= 0 && c.peer < num_peers, "crash victim out of range");
+    OLB_CHECK(c.at >= 0);
+  }
+  for (std::size_t i = 0; i < crashes.size(); ++i) {
+    for (std::size_t j = i + 1; j < crashes.size(); ++j) {
+      OLB_CHECK_MSG(crashes[i].peer != crashes[j].peer, "peer crashes twice");
+    }
+  }
+  for (const StallEvent& s : stalls) {
+    OLB_CHECK_MSG(s.peer >= 0 && s.peer < num_peers, "stall victim out of range");
+    OLB_CHECK(s.at >= 0);
+    OLB_CHECK(s.duration >= 0);
+  }
+}
+
+FaultPlan make_random_crashes(int count, int num_peers, Time from, Time to,
+                              std::uint64_t seed) {
+  OLB_CHECK(count >= 0);
+  OLB_CHECK_MSG(count < num_peers - 1, "cannot crash (almost) every peer");
+  OLB_CHECK(from <= to);
+  FaultPlan plan;
+  Xoshiro256 rng(mix64(seed ^ 0x637261736865ull));
+  std::vector<int> victims;
+  while (static_cast<int>(victims.size()) < count) {
+    const int v = 1 + static_cast<int>(
+                          rng.below(static_cast<std::uint64_t>(num_peers - 1)));
+    if (std::find(victims.begin(), victims.end(), v) == victims.end()) {
+      victims.push_back(v);
+    }
+  }
+  for (int v : victims) {
+    const Time at =
+        to > from ? from + static_cast<Time>(rng.below(
+                               static_cast<std::uint64_t>(to - from)))
+                  : from;
+    plan.add_crash(v, at);
+  }
+  return plan;
+}
+
+Time max_message_latency(Time base_latency, Time jitter, const FaultPlan& plan) {
+  Time t = base_latency + jitter;
+  if (plan.link.spike_prob > 0.0) t += plan.link.spike_latency;
+  return t;
+}
+
+}  // namespace olb::sim

@@ -18,15 +18,25 @@ namespace olb::sim {
 /// Applications downcast via static_cast after checking the message type.
 struct MsgPayload {
   virtual ~MsgPayload() = default;
+
+  /// Application units carried by this payload; the engine charges it to
+  /// the work-lost ledger when fault injection destroys the message.
+  virtual double amount() const { return 0.0; }
 };
 
 struct Message {
   int type = 0;
   /// Engine-assigned sequence number; pairs the send/deliver trace events of
-  /// one message (32 bits keep Message at its pre-tracing size — ids recycle
-  /// after 2^32 sends, far beyond any run's event watchdog). Only written
+  /// one message (31 bits keep Message at its pre-tracing size — ids recycle
+  /// after 2^31 sends, far beyond any run's event watchdog). Only written
   /// when a tracer is attached; 0 otherwise.
-  std::uint32_t id = 0;
+  std::uint32_t id : 31 = 0;
+  /// Set by the engine when a payload-carrying message reached a crashed
+  /// peer and was returned to its sender (fault injection only). A bounce
+  /// that hits a second crashed peer is destroyed, not bounced again.
+  /// Shares id's unit: both are cold fields, and a separate bool would
+  /// grow every Message (and so every queued Event) by eight padded bytes.
+  std::uint32_t bounced : 1 = 0;
   std::int64_t a = 0;
   std::int64_t b = 0;
   std::int64_t c = 0;
@@ -46,11 +56,17 @@ struct Message {
   Message(const Message&) = delete;
   Message& operator=(const Message&) = delete;
 };
-static_assert(sizeof(Message::type) + sizeof(Message::id) == 8,
-              "type/id must form one 8-byte leading unit");
+static_assert(sizeof(Message) == 3 * sizeof(std::int64_t) + sizeof(void*) +
+                                     2 * sizeof(int) + sizeof(Time) + 8,
+              "type/id/bounced must form one 8-byte leading unit");
 
 /// Message type tag reserved by the engine for timer expiry. Application
 /// message types must be >= 0.
 inline constexpr int kTimerMsgType = -1;
+
+/// Reserved by the engine for failure-detector notifications: field `a`
+/// holds the id of the crashed peer. Dispatched to Actor::on_peer_down(),
+/// never to on_message(). Only ever sent when fault injection is active.
+inline constexpr int kPeerDownMsgType = -2;
 
 }  // namespace olb::sim

@@ -22,6 +22,11 @@ class Flags {
   /// exit 0). Unknown flags are a hard error (prints usage, returns false).
   bool parse(int argc, char** argv);
 
+  /// True when a flag of this name was define()d (regardless of whether the
+  /// command line set it). Lets shared parsers skip flags a binary opted
+  /// out of.
+  bool has(std::string_view name) const { return find(name) != nullptr; }
+
   std::string get(std::string_view name) const;
   std::int64_t get_int(std::string_view name) const;
   double get_double(std::string_view name) const;

@@ -155,6 +155,27 @@ void write_perfetto(std::ostream& os, std::span<const TraceEvent> events,
       case EventKind::kTerminated:
         instant(e, "terminated");
         break;
+      case EventKind::kMsgDrop:
+        instant(e, e.b == 0 ? "msg_drop" : "msg_drop_crashed");
+        if (e.type == options.work_msg_type) {
+          counter(e.time, "work in flight", --in_flight);
+        }
+        break;
+      case EventKind::kMsgDup:
+        instant(e, "msg_dup");
+        break;
+      case EventKind::kPeerCrash:
+        instant(e, "peer_crash");
+        break;
+      case EventKind::kPeerStall:
+        instant(e, "peer_stall");
+        break;
+      case EventKind::kReparent:
+        instant(e, "reparent");
+        break;
+      case EventKind::kRetry:
+        instant(e, "retry");
+        break;
       case EventKind::kTimerSet:
       case EventKind::kTimerFire:
       case EventKind::kActorIdle:
@@ -201,6 +222,9 @@ Timeline derive_timeline(std::span<const TraceEvent> events, sim::Time bucket,
         if (e.type == work_msg_type) in_flight.cur += 1;
         break;
       case EventKind::kMsgDeliver:
+        if (e.type == work_msg_type) in_flight.cur -= 1;
+        break;
+      case EventKind::kMsgDrop:
         if (e.type == work_msg_type) in_flight.cur -= 1;
         break;
       case EventKind::kIdleBegin:

@@ -32,8 +32,15 @@
 //  kQueueDepth   | peer       | —         | —          | depth        | —
 //  kProbeWave    | root       | —         | 0/1/2 (*)  | probe id     | —
 //  kTerminated   | peer       | —         | —          | —            | —
+//  kMsgDrop      | sender     | dst       | msg type   | msg id       | why (**)
+//  kMsgDup       | sender     | dst       | msg type   | msg id       | —
+//  kPeerCrash    | peer       | —         | —          | work lost    | —
+//  kPeerStall    | peer       | —         | —          | duration     | —
+//  kReparent     | orphan     | new parent| —          | old parent   | —
+//  kRetry        | peer       | target    | msg type   | attempt      | —
 //
 //  (*) 0 = wave launched, 1 = wave came back clean, 2 = wave came back dirty.
+//  (**) 0 = link fault, 1 = destination crashed, 2 = bounce destroyed.
 #pragma once
 
 #include <cstdint>
@@ -70,6 +77,13 @@ enum class EventKind : std::uint8_t {
   kQueueDepth,
   kProbeWave,
   kTerminated,
+  // --- fault injection & recovery ---
+  kMsgDrop,
+  kMsgDup,
+  kPeerCrash,
+  kPeerStall,
+  kReparent,
+  kRetry,
 };
 
 inline const char* kind_name(EventKind k) {
@@ -88,6 +102,12 @@ inline const char* kind_name(EventKind k) {
     case EventKind::kQueueDepth: return "queue_depth";
     case EventKind::kProbeWave: return "probe_wave";
     case EventKind::kTerminated: return "terminated";
+    case EventKind::kMsgDrop: return "msg_drop";
+    case EventKind::kMsgDup: return "msg_dup";
+    case EventKind::kPeerCrash: return "peer_crash";
+    case EventKind::kPeerStall: return "peer_stall";
+    case EventKind::kReparent: return "reparent";
+    case EventKind::kRetry: return "retry";
   }
   return "?";
 }

@@ -92,7 +92,7 @@ TEST(Driver, WatchdogReportsNotOk) {
   config.strategy = lb::Strategy::kOverlayTD;
   config.num_peers = 16;
   config.net = lb::paper_network(16);
-  config.event_limit = 50;  // guaranteed to trip
+  config.limits.event_limit = 50;  // guaranteed to trip
   const auto metrics = lb::run_distributed(workload, config);
   EXPECT_FALSE(metrics.ok);
 }

@@ -65,9 +65,9 @@ lb::RunConfig het_config(lb::Strategy s, bool weighted) {
   c.strategy = s;
   c.num_peers = 40;
   c.net = lb::paper_network(c.num_peers);
-  c.het_fraction = 0.4;
-  c.het_slow_factor = 0.2;
-  c.capacity_weighted_overlay = weighted;
+  c.het.fraction = 0.4;
+  c.het.slow_factor = 0.2;
+  c.het.capacity_weighted = weighted;
   return c;
 }
 
@@ -107,7 +107,7 @@ TEST(Heterogeneity, SlowPeersSlowDownUnweightedRuns) {
   // same size (the slow peers drag whatever work lands on them).
   uts::UtsWorkload homogeneous(uts_params(), uts::CostModel{});
   auto base = het_config(lb::Strategy::kOverlayBTD, false);
-  base.het_fraction = 0.0;
+  base.het.fraction = 0.0;
   const auto homo = lb::run_distributed(homogeneous, base);
   ASSERT_TRUE(homo.ok);
 

@@ -188,8 +188,8 @@ TEST(OverlayLb, FixedUnitPoliciesAlsoExact) {
   for (std::uint64_t k : {1u, 2u}) {
     uts::UtsWorkload workload(params, uts::CostModel{});
     auto config = base_config(lb::Strategy::kOverlayTD, 12, 3, 1);
-    config.split = lb::SplitPolicy::kFixedUnits;
-    config.split_fixed_units = k;
+    config.overlay.split = lb::SplitPolicy::kFixedUnits;
+    config.overlay.split_fixed_units = k;
     config.min_split_amount = 1;
     const auto metrics = lb::run_distributed(workload, config);
     ASSERT_TRUE(metrics.ok) << "steal-" << k;
@@ -202,8 +202,8 @@ TEST(OverlayLb, TinyGrainsCauseMoreTransfers) {
   auto transfers_with = [&](lb::SplitPolicy split, std::uint64_t k) {
     uts::UtsWorkload workload(params, uts::CostModel{});
     auto config = base_config(lb::Strategy::kOverlayTD, 16, 4, 1);
-    config.split = split;
-    config.split_fixed_units = k;
+    config.overlay.split = split;
+    config.overlay.split_fixed_units = k;
     config.min_split_amount = 1;
     const auto metrics = lb::run_distributed(workload, config);
     EXPECT_TRUE(metrics.ok);
@@ -218,7 +218,7 @@ TEST(OverlayLb, StealHalfPolicyAlsoExact) {
   const auto expected = uts::count_tree(params).nodes;
   uts::UtsWorkload workload(params, uts::CostModel{});
   auto config = base_config(lb::Strategy::kOverlayTD, 20, 10, 1);
-  config.split = lb::SplitPolicy::kHalf;
+  config.overlay.split = lb::SplitPolicy::kHalf;
   const auto metrics = lb::run_distributed(workload, config);
   ASSERT_TRUE(metrics.ok);
   EXPECT_EQ(metrics.total_units, expected);

@@ -112,7 +112,7 @@ TEST(SplitRatios, ProportionalBeatsHalfOnNonRegeneratingBag) {
   for (int policy = 0; policy < 2; ++policy) {
     BagWorkload workload(kUnits);
     auto config = bag_config(lb::Strategy::kOverlayTD, 40, 3);
-    config.split = policy == 0 ? lb::SplitPolicy::kSubtreeProportional
+    config.overlay.split = policy == 0 ? lb::SplitPolicy::kSubtreeProportional
                                : lb::SplitPolicy::kHalf;
     const auto metrics = lb::run_distributed(workload, config);
     ASSERT_TRUE(metrics.ok);
