@@ -3,11 +3,18 @@
 #include <cstdio>
 #include <fstream>
 
+#include "runtime/runtime.hpp"
 #include "support/check.hpp"
 #include "support/rng.hpp"
 #include "trace/export.hpp"
 
 namespace olb::bench {
+
+namespace {
+/// Process-wide backend default, armed by parse_run_flags and consumed by
+/// common_config — see the parse_run_flags doc comment.
+lb::Backend g_default_backend = lb::Backend::kSim;
+}  // namespace
 
 Flags& define_run_flags(Flags& flags, const RunFlagSpec& spec) {
   if (spec.peers != nullptr) flags.define("peers", spec.peers, "cluster size");
@@ -17,6 +24,11 @@ Flags& define_run_flags(Flags& flags, const RunFlagSpec& spec) {
   }
   if (spec.seed) flags.define("seed", "1", "run seed");
   if (spec.csv) flags.define("csv", "false", "emit CSV instead of aligned tables");
+  if (spec.backend) {
+    flags.define("backend", "sim",
+                 "execution backend: sim (simulator) or threads (real "
+                 "threads, overlay strategies only)");
+  }
   return flags;
 }
 
@@ -27,6 +39,15 @@ RunFlags parse_run_flags(const Flags& flags) {
   if (flags.has("machines")) rf.machines = static_cast<int>(flags.get_int("machines"));
   if (flags.has("seed")) rf.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
   if (flags.has("csv")) rf.csv = flags.get_bool("csv");
+  if (flags.has("backend")) {
+    const std::string name = flags.get("backend");
+    if (!lb::backend_from_name(name, &rf.backend)) {
+      std::fprintf(stderr, "FATAL: unknown --backend '%s' (use sim|threads)\n",
+                   name.c_str());
+      std::abort();
+    }
+    g_default_backend = rf.backend;
+  }
   return rf;
 }
 
@@ -98,6 +119,7 @@ lb::RunConfig common_config(lb::Strategy s, int n, std::uint64_t seed, int dmax,
   c.seed = seed;
   c.net = lb::paper_network(n);
   c.chunk_units = chunk;
+  c.backend = g_default_backend;
   return c;
 }
 }  // namespace
@@ -112,6 +134,42 @@ lb::RunConfig uts_config(lb::Strategy s, int n, std::uint64_t seed, int dmax) {
 
 lb::RunMetrics run_checked(lb::Workload& workload, const lb::RunConfig& config,
                            const char* what) {
+  if (config.backend == lb::Backend::kThreads) {
+    const bool supported = lb::strategy_is_overlay(config.strategy) &&
+                           !config.faults.enabled() &&
+                           config.het.fraction == 0.0 &&
+                           config.tracer == nullptr;
+    if (supported) {
+      const auto t = runtime::run_threads(workload, config);
+      if (!t.ok) {
+        std::fprintf(stderr,
+                     "FATAL: threads run did not complete cleanly: %s (%s, n=%d)\n",
+                     what, lb::strategy_name(config.strategy), config.num_peers);
+        std::abort();
+      }
+      lb::RunMetrics metrics;
+      metrics.exec_seconds = t.done_seconds;
+      metrics.last_compute_seconds = t.done_seconds;
+      metrics.total_units = t.total_units;
+      metrics.total_messages = t.total_messages;
+      metrics.work_requests = t.work_requests;
+      metrics.work_transfers = t.work_transfers;
+      metrics.best_bound = t.best_bound;
+      metrics.ok = true;
+      return metrics;
+    }
+    static bool noted = false;
+    if (!noted) {
+      noted = true;
+      std::fprintf(stderr,
+                   "# note: --backend=threads covers fault-free, homogeneous, "
+                   "untraced overlay runs; using the simulator for %s (%s)\n",
+                   what, lb::strategy_name(config.strategy));
+    }
+    lb::RunConfig sim_config = config;
+    sim_config.backend = lb::Backend::kSim;
+    return run_checked(workload, sim_config, what);
+  }
   const auto metrics = lb::run_distributed(workload, config);
   if (!metrics.ok) {
     std::fprintf(stderr, "FATAL: run did not complete cleanly: %s (%s, n=%d)\n",
@@ -132,6 +190,8 @@ void dump_trace_if_requested(const Flags& flags, lb::Workload& workload,
   trace::RingTracer tracer(
       static_cast<std::size_t>(std::max<std::int64_t>(1, flags.get_int("trace-limit"))));
   config.tracer = &tracer;
+  // Trace sinks are single-threaded; the timeline is a simulator feature.
+  config.backend = lb::Backend::kSim;
   const auto metrics = run_checked(workload, config, what);
 
   std::ofstream out(path, std::ios::binary);

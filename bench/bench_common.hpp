@@ -48,8 +48,9 @@ struct RunFlagSpec {
   bool instance = true;       ///< --jobs / --machines (scaled flowshop)
   int jobs = Defaults::kSmallJobs;
   int machines = Defaults::kSmallMachines;
-  bool seed = true;  ///< --seed
-  bool csv = true;   ///< --csv
+  bool seed = true;     ///< --seed
+  bool csv = true;      ///< --csv
+  bool backend = true;  ///< --backend (sim|threads)
 };
 
 /// Registers the flags shared by the bench mains according to `spec`.
@@ -62,9 +63,13 @@ struct RunFlags {
   int machines = 0;
   std::uint64_t seed = 1;
   bool csv = false;
+  lb::Backend backend = lb::Backend::kSim;
 };
 
-/// Reads back whichever of the shared flags were defined.
+/// Reads back whichever of the shared flags were defined. Parsing --backend
+/// also makes it the default backend of every RunConfig subsequently built
+/// by bb_config/uts_config, so each bench main honours the flag without
+/// threading it through by hand.
 RunFlags parse_run_flags(const Flags& flags);
 
 /// Parses `--<flag>` through lb::strategy_from_name, aborting with the
@@ -96,7 +101,11 @@ lb::RunConfig bb_config(lb::Strategy s, int n, std::uint64_t seed, int dmax = 10
 lb::RunConfig uts_config(lb::Strategy s, int n, std::uint64_t seed, int dmax = 10);
 
 /// Runs and aborts loudly if the protocol failed to complete — a bench must
-/// never silently report a broken run.
+/// never silently report a broken run. Dispatches on config.backend:
+/// Backend::kThreads runs fault-free overlay configurations through
+/// runtime::run_threads (exec time = wall time to the root's termination,
+/// sim-only metrics stay zero) and falls back to the simulator — with a
+/// one-time stderr note — for everything else.
 lb::RunMetrics run_checked(lb::Workload& workload, const lb::RunConfig& config,
                            const char* what);
 

@@ -24,7 +24,10 @@ int main(int argc, char** argv) {
       .define("dmax", "10", "overlay degree")
       .define("two_machine_bound", "false", "use the stronger LB2 bound")
       .define("neh_warm_start", "false", "start from the NEH heuristic bound")
-      .define("seed", "1", "run seed");
+      .define("seed", "1", "run seed")
+      .define("backend", "sim",
+              "sim = simulated cluster, threads = one real thread per peer "
+              "(overlay strategies only)");
   if (!flags.parse(argc, argv)) return 0;
 
   const auto inst = bb::FlowshopInstance::ta20x20_scaled(
@@ -54,12 +57,20 @@ int main(int argc, char** argv) {
   config.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
   config.net = lb::paper_network(config.num_peers);
   config.chunk_units = 32;
-
-  const auto metrics = lb::run_distributed(workload, config);
-  if (!metrics.ok) {
-    std::fprintf(stderr, "run did not terminate cleanly\n");
+  if (!lb::backend_from_name(flags.get("backend"), &config.backend)) {
+    std::fprintf(stderr, "unknown --backend '%s' (use sim|threads)\n",
+                 flags.get("backend").c_str());
     return 1;
   }
+  if (config.backend == lb::Backend::kThreads &&
+      !lb::strategy_is_overlay(strategy)) {
+    std::fprintf(stderr, "--backend=threads supports TD/TR/BTD only\n");
+    return 1;
+  }
+
+  // Both backends solve the instance to optimality; bench::run_checked
+  // dispatches on config.backend and aborts on an unclean run.
+  const auto metrics = bench::run_checked(workload, config, "flowshop_solver");
 
   const auto perm = workload.best().permutation();
   std::printf("\noptimal makespan: %lld (proved optimal by exhausting the "
@@ -76,9 +87,10 @@ int main(int argc, char** argv) {
   for (std::int64_t c : completion) std::printf(" %lld", static_cast<long long>(c));
   std::printf("\n");
 
-  std::printf("\nrun: %s on %d peers — %.4f simulated seconds, %llu B&B nodes, "
+  std::printf("\nrun: %s on %d peers — %.4f %s seconds, %llu B&B nodes, "
               "%llu messages\n",
               lb::strategy_name(strategy), config.num_peers, metrics.exec_seconds,
+              config.backend == lb::Backend::kThreads ? "wall" : "simulated",
               static_cast<unsigned long long>(metrics.total_units),
               static_cast<unsigned long long>(metrics.total_messages));
   return 0;

@@ -14,7 +14,7 @@ AhmwPeer::AhmwPeer(std::shared_ptr<const overlay::TreeOverlay> tree,
 void AhmwPeer::on_start() {
   OLB_CHECK((initial_work_ != nullptr) == is_root());
   if (config_.fault_tolerant) {
-    peer_down_.assign(static_cast<std::size_t>(engine().num_actors()), 0);
+    peer_down_.assign(static_cast<std::size_t>(num_peers()), 0);
     if (is_root()) set_timer(config_.lease_interval, kRwsTermPollTimer);
   }
   if (is_master()) {
@@ -146,7 +146,7 @@ void AhmwPeer::diffuse_bound() {
 
 void AhmwPeer::on_poll_tick() {
   if (terminated_) return;  // no re-arm
-  const int n = engine().num_actors();
+  const int n = num_peers();
   int live_others = 0;
   for (int p = 0; p < n; ++p) {
     if (p != id() && peer_down_[p] == 0) ++live_others;

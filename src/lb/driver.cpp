@@ -28,6 +28,37 @@ const char* strategy_name(Strategy s) {
   return "?";
 }
 
+bool strategy_is_overlay(Strategy s) {
+  return s == Strategy::kOverlayTD || s == Strategy::kOverlayTR ||
+         s == Strategy::kOverlayBTD;
+}
+
+const char* backend_name(Backend b) {
+  switch (b) {
+    case Backend::kSim: return "sim";
+    case Backend::kThreads: return "threads";
+  }
+  return "?";
+}
+
+bool backend_from_name(std::string_view name, Backend* out) {
+  auto lower = [](std::string_view s) {
+    std::string r(s);
+    for (char& c : r) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return r;
+  };
+  const std::string n = lower(name);
+  if (n == "sim") {
+    *out = Backend::kSim;
+    return true;
+  }
+  if (n == "threads") {
+    *out = Backend::kThreads;
+    return true;
+  }
+  return false;
+}
+
 const std::vector<Strategy>& all_strategies() {
   static const std::vector<Strategy> kAll = {
       Strategy::kOverlayTD, Strategy::kOverlayTR, Strategy::kOverlayBTD,
@@ -197,21 +228,9 @@ BuiltCluster build_cluster(sim::Engine& engine, Workload& workload,
     case Strategy::kOverlayTD:
     case Strategy::kOverlayTR:
     case Strategy::kOverlayBTD: {
-      auto tree = std::make_shared<const overlay::TreeOverlay>(
-          config.strategy == Strategy::kOverlayTR
-              ? overlay::TreeOverlay::randomized(n, mix64(config.seed ^ 0x7452))
-              : overlay::TreeOverlay::deterministic(n, config.dmax));
-      OverlayConfig oc;
-      oc.peer = peer_config;
-      oc.use_bridges = config.strategy == Strategy::kOverlayBTD;
-      oc.split = config.overlay.split;
-      oc.fixed_units = config.overlay.split_fixed_units;
-      oc.retry_delay = config.overlay.retry_delay;
-      oc.bridge_patience = config.overlay.bridge_patience;
-      oc.capacity_weighted = config.het.capacity_weighted;
-      oc.fault_tolerant = ft;
-      oc.request_timeout = timing.request_timeout;
-      oc.lease_interval = timing.lease_interval;
+      auto tree =
+          std::make_shared<const overlay::TreeOverlay>(make_overlay_tree(config));
+      const OverlayConfig oc = make_overlay_config(config);
       for (int i = 0; i < n; ++i) {
         auto peer = std::make_unique<OverlayPeer>(
             tree, oc, i == 0 ? workload.make_root_work() : nullptr, weight_of(i));
@@ -288,7 +307,36 @@ BuiltCluster build_cluster(sim::Engine& engine, Workload& workload,
 
 }  // namespace
 
+overlay::TreeOverlay make_overlay_tree(const RunConfig& config) {
+  OLB_CHECK(strategy_is_overlay(config.strategy));
+  return config.strategy == Strategy::kOverlayTR
+             ? overlay::TreeOverlay::randomized(config.num_peers,
+                                                mix64(config.seed ^ 0x7452))
+             : overlay::TreeOverlay::deterministic(config.num_peers, config.dmax);
+}
+
+OverlayConfig make_overlay_config(const RunConfig& config) {
+  OLB_CHECK(strategy_is_overlay(config.strategy));
+  const FtTiming timing = ft_timing(config);
+  OverlayConfig oc;
+  oc.peer = PeerConfig{config.chunk_units, config.diffuse_bounds,
+                       config.min_split_amount};
+  oc.use_bridges = config.strategy == Strategy::kOverlayBTD;
+  oc.split = config.overlay.split;
+  oc.fixed_units = config.overlay.split_fixed_units;
+  oc.retry_delay = config.overlay.retry_delay;
+  oc.bridge_patience = config.overlay.bridge_patience;
+  oc.capacity_weighted = config.het.capacity_weighted;
+  oc.fault_tolerant = config.faults.enabled();
+  oc.request_timeout = timing.request_timeout;
+  oc.lease_interval = timing.lease_interval;
+  return oc;
+}
+
 RunMetrics run_distributed(Workload& workload, const RunConfig& config) {
+  OLB_CHECK_MSG(config.backend == Backend::kSim,
+                "run_distributed is the simulator backend; threads runs go "
+                "through runtime::run_threads");
   validate_faults_for_strategy(config);
   sim::Engine engine(config.net, config.seed);
   engine.set_tracer(config.tracer);

@@ -27,6 +27,24 @@ enum class Strategy {
 
 const char* strategy_name(Strategy s);
 
+/// True for the overlay family (TD/TR/BTD) — the strategies the thread
+/// backend (runtime::run_threads) can execute.
+bool strategy_is_overlay(Strategy s);
+
+/// Execution backend for a run. kSim is the discrete-event simulator
+/// (sim::Engine); kThreads runs the same protocol objects on real threads
+/// (runtime::ThreadNet) over real shared-memory work.
+enum class Backend {
+  kSim,
+  kThreads,
+};
+
+const char* backend_name(Backend b);
+
+/// Case-insensitive lookup ("sim", "threads"). Returns false (leaving *out
+/// untouched) for unknown names.
+bool backend_from_name(std::string_view name, Backend* out);
+
 /// Registry: every Strategy value, in display order.
 const std::vector<Strategy>& all_strategies();
 
@@ -95,7 +113,22 @@ struct RunConfig {
   /// timelines below. Null (the default) costs one predicted branch per
   /// would-be event.
   trace::TraceSink* tracer = nullptr;
+
+  /// Execution backend. run_distributed only accepts kSim; kThreads runs
+  /// go through runtime::run_threads (which shares this config type so
+  /// flag parsing and sweep code stay backend-agnostic).
+  Backend backend = Backend::kSim;
 };
+
+/// Builds the overlay tree for an overlay-strategy run exactly the way the
+/// simulator backend does (TR uses a seeded randomised tree, TD/BTD the
+/// deterministic dmax-ary one), so both backends agree on the topology.
+overlay::TreeOverlay make_overlay_tree(const RunConfig& config);
+
+/// Assembles the OverlayConfig an overlay peer gets under `config`, again
+/// shared by both backends. Fault-tolerant timing is derived from the
+/// network model iff the fault plan is enabled.
+OverlayConfig make_overlay_config(const RunConfig& config);
 
 /// The peer that receives the initial work under Strategy::kRWS ("the
 /// paper pushes the application to a random node"). Exposed so fault plans

@@ -16,7 +16,7 @@ MwMaster::MwMaster(MwConfig config, IntervalWorkload* factory)
 
 void MwMaster::on_start() {
   if (config_.fault_tolerant) {
-    const auto n = static_cast<std::size_t>(engine().num_actors());
+    const auto n = static_cast<std::size_t>(num_peers());
     worker_down_.assign(n, 0);
     request_epoch_.assign(n, -1);
     served_epoch_.assign(n, -1);
@@ -110,19 +110,19 @@ void MwMaster::serve_parked() {
 void MwMaster::maybe_terminate() {
   if (terminated_) return;
   if (!assigned_initial_) return;  // no worker ever asked: impossible in runs
-  const int live_workers = engine().num_actors() - 1 - crashed_workers_;
+  const int live_workers = num_peers() - 1 - crashed_workers_;
   if (static_cast<int>(parked_.size()) != live_workers) return;
   for (const Entry& e : pool_) OLB_CHECK(e.length() == 0);
   terminated_ = true;
   done_time_ = now();
-  for (int w = 1; w < engine().num_actors(); ++w) {
+  for (int w = 1; w < num_peers(); ++w) {
     if (config_.fault_tolerant && worker_down_[w] != 0) continue;
     send(w, sim::Message(kTerminate, bound_));
   }
 }
 
 void MwMaster::broadcast_bound(int except) {
-  for (int w = 1; w < engine().num_actors(); ++w) {
+  for (int w = 1; w < num_peers(); ++w) {
     if (config_.fault_tolerant && worker_down_[w] != 0) continue;
     if (w != except) send(w, sim::Message(kBound, bound_));
   }

@@ -53,7 +53,7 @@ void OverlayPeer::send_work(int dst, std::unique_ptr<Work> w, int req_type,
 void OverlayPeer::on_start() {
   OLB_CHECK((initial_work_ != nullptr) == is_root());
   parent_ = is_root() ? -1 : tree_->parent(id());
-  peer_down_.assign(static_cast<std::size_t>(engine().num_actors()), 0);
+  peer_down_.assign(static_cast<std::size_t>(num_peers()), 0);
   children_ = tree_->children(id());
   child_size_.assign(children_.size(), 0);
   pending_child_.assign(children_.size(), false);
@@ -149,7 +149,7 @@ void OverlayPeer::start_idle_episode() {
 }
 
 void OverlayPeer::send_bridge_request() {
-  const int n = engine().num_actors();
+  const int n = num_peers();
   if (!config_.use_bridges || n < 2) return;
   if (config_.fault_tolerant && crash_epoch_ >= n - 1) return;  // no live partner
   // At most one bridge request is ever parked: if the previous partner has
@@ -293,19 +293,41 @@ double OverlayPeer::apply_policy(double proportional) const {
   return proportional;
 }
 
-double OverlayPeer::fraction_for_child(std::size_t child_idx) const {
-  return apply_policy(static_cast<double>(child_size_[child_idx]) /
-                      static_cast<double>(my_size_));
+double OverlayPeer::clamp_fraction(double raw, int req_type) {
+  if (raw > 0.0 && raw <= 1.0) return raw;  // the well-formed fast path
+  // <= 0 (or NaN, which fails both comparisons) falls back to steal-half —
+  // the share a peer with no usable size information would offer; > 1 means
+  // "give them everything that is divisible", i.e. cap at the whole (which
+  // split_work further limits to 0.99 so the server keeps a remainder).
+  const double clamped = raw <= 0.0 ? 0.5 : 1.0;
+  emit_trace(trace::EventKind::kSplitClamp, -1, req_type,
+             trace::fraction_ppm(std::clamp(raw, -1000.0, 1000.0)),
+             trace::fraction_ppm(clamped));
+  return clamped;
 }
 
-double OverlayPeer::fraction_for_parent() const {
-  return apply_policy(static_cast<double>(parent_size_ - my_size_) /
-                      static_cast<double>(parent_size_));
+double OverlayPeer::fraction_for_child(std::size_t child_idx, int req_type) {
+  // All ratios are formed in double: the aggregates are uint64, and stale
+  // values (see clamp_fraction) would otherwise wrap on subtraction.
+  return clamp_fraction(
+      apply_policy(static_cast<double>(child_size_[child_idx]) /
+                   static_cast<double>(my_size_)),
+      req_type);
 }
 
-double OverlayPeer::fraction_for_bridge(std::uint64_t requester_size) const {
-  return apply_policy(static_cast<double>(requester_size) /
-                      static_cast<double>(my_size_ + requester_size));
+double OverlayPeer::fraction_for_parent() {
+  return clamp_fraction(
+      apply_policy((static_cast<double>(parent_size_) -
+                    static_cast<double>(my_size_)) /
+                   static_cast<double>(parent_size_)),
+      kReqDown);
+}
+
+double OverlayPeer::fraction_for_bridge(std::uint64_t requester_size) {
+  return clamp_fraction(
+      apply_policy(static_cast<double>(requester_size) /
+                   static_cast<double>(my_size_ + requester_size)),
+      kReqBridge);
 }
 
 void OverlayPeer::on_req_down(const sim::Message& m) {
@@ -330,7 +352,7 @@ void OverlayPeer::on_req_up(const sim::Message& m) {
   child_agg_[idx] = {static_cast<std::uint64_t>(m.b), static_cast<std::uint64_t>(m.c)};
 
   if (holds_work()) {
-    const double fraction = fraction_for_child(idx);
+    const double fraction = fraction_for_child(idx, kReqUp);
     if (auto w = split_work(fraction)) {
       pending_child_[idx] = false;
       send_work(m.src, std::move(w), kReqUp, fraction);
@@ -397,7 +419,7 @@ void OverlayPeer::serve_pending() {
   bool served_any = false;
   for (std::size_t i = 0; i < children_.size(); ++i) {
     if (!pending_child_[i]) continue;
-    const double fraction = fraction_for_child(i);
+    const double fraction = fraction_for_child(i, kReqUp);
     auto w = split_work(fraction);
     if (w == nullptr) {
       if (served_any) trace_queue_depth();
@@ -464,7 +486,7 @@ std::size_t OverlayPeer::adopt_child(int peer_id, std::uint64_t size_hint) {
 }
 
 void OverlayPeer::rebuild_children() {
-  const int n = engine().num_actors();
+  const int n = num_peers();
   std::vector<int> now_children;
   for (int j = 0; j < n; ++j) {
     if (j == id() || j == tree_->root()) continue;  // the root has no parent

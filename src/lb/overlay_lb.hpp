@@ -168,9 +168,15 @@ class OverlayPeer final : public PeerBase {
   void send_work(int dst, std::unique_ptr<Work> w, int req_type, double fraction);
   void trace_queue_depth();
   double apply_policy(double proportional) const;
-  double fraction_for_child(std::size_t child_idx) const;
-  double fraction_for_parent() const;
-  double fraction_for_bridge(std::uint64_t requester_size) const;
+  /// Clamps a computed split share into (0, 1]. After crash re-parenting the
+  /// subtree aggregates feeding the share can be stale (placeholder sizes,
+  /// or my_size_ exceeding a not-yet-refreshed parent_size_), producing
+  /// shares <= 0, > 1 or NaN; serving must not stall on them. Emits
+  /// kSplitClamp when it fires. `req_type` is the request being served.
+  double clamp_fraction(double raw, int req_type);
+  double fraction_for_child(std::size_t child_idx, int req_type);
+  double fraction_for_parent();
+  double fraction_for_bridge(std::uint64_t requester_size);
 
   // bound diffusion
   void handle_piggyback(const sim::Message& m) { note_bound(m.a); }

@@ -10,7 +10,7 @@ RwsPeer::RwsPeer(RwsConfig config, std::unique_ptr<Work> initial_work)
 void RwsPeer::on_start() {
   initiator_ = initial_work_ != nullptr;
   if (config_.fault_tolerant) {
-    peer_down_.assign(static_cast<std::size_t>(engine().num_actors()), 0);
+    peer_down_.assign(static_cast<std::size_t>(num_peers()), 0);
     if (initiator_) set_timer(config_.lease_interval, kRwsTermPollTimer);
   }
   if (initiator_) {
@@ -33,7 +33,7 @@ void RwsPeer::became_idle() {
 
 void RwsPeer::try_steal() {
   if (terminated_ || steal_outstanding_ || holds_work()) return;
-  const int n = engine().num_actors();
+  const int n = num_peers();
   if (n < 2) {
     // Nothing to steal from; the singleton initiator terminates on idle.
     return;
@@ -72,7 +72,7 @@ void RwsPeer::maybe_detach() {
 void RwsPeer::declare_termination() {
   terminated_ = true;
   done_time_ = now();
-  for (int p = 0; p < engine().num_actors(); ++p) {
+  for (int p = 0; p < num_peers(); ++p) {
     if (p == id()) continue;
     if (config_.fault_tolerant && peer_down_[p] != 0) continue;
     send(p, make_msg(kTerminate));
@@ -86,7 +86,7 @@ void RwsPeer::diffuse_bound() {
 
 void RwsPeer::on_poll_tick() {
   if (terminated_) return;  // no re-arm
-  const int n = engine().num_actors();
+  const int n = num_peers();
   int live_others = 0;
   for (int p = 0; p < n; ++p) {
     if (p != id() && peer_down_[p] == 0) ++live_others;

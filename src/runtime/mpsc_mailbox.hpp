@@ -1,0 +1,92 @@
+// Lock-free multi-producer single-consumer mailbox (Vyukov's non-intrusive
+// MPSC queue) carrying sim::Message.
+//
+// This is the thread backend's replacement for the simulator's per-actor
+// inbox_: any peer thread may push (transport_send), only the owning peer
+// thread pops. Push is wait-free (one exchange + one store); pop is a few
+// loads on the owner thread.
+//
+// A pop may report "empty" while a push is mid-flight (the producer has
+// swung head_ but not yet linked its node). That transient emptiness is
+// benign for the peer loop: the producer bumps the host's wake epoch only
+// *after* push() returns, so a sleeper that saw the transient gap is woken
+// once the message is actually reachable.
+#pragma once
+
+#include <atomic>
+#include <utility>
+
+#include "simnet/message.hpp"
+
+namespace olb::runtime {
+
+class MpscMailbox {
+ public:
+  MpscMailbox() : head_(&stub_), tail_(&stub_) {}
+
+  MpscMailbox(const MpscMailbox&) = delete;
+  MpscMailbox& operator=(const MpscMailbox&) = delete;
+
+  ~MpscMailbox() {
+    // Single-threaded by now (owner destroys after all producers stopped).
+    sim::Message m;
+    while (pop(m)) {
+    }
+  }
+
+  /// Any thread. The release store on prev->next publishes the node *and*
+  /// the message contents to the consumer's acquire load.
+  void push(sim::Message m) {
+    Node* node = new Node(std::move(m));
+    Node* prev = head_.exchange(node, std::memory_order_acq_rel);
+    prev->next.store(node, std::memory_order_release);
+  }
+
+  /// Owner thread only. Returns false when empty (possibly transiently so,
+  /// see the header comment).
+  bool pop(sim::Message& out) {
+    Node* tail = tail_;
+    Node* next = tail->next.load(std::memory_order_acquire);
+    if (tail == &stub_) {
+      // The stub carries no message; step past it first.
+      if (next == nullptr) return false;
+      tail_ = next;
+      tail = next;
+      next = next->next.load(std::memory_order_acquire);
+    }
+    if (next != nullptr) {
+      out = std::move(tail->msg);
+      tail_ = next;
+      delete tail;
+      return true;
+    }
+    // tail is the last linked node. If a producer is mid-push behind it we
+    // must not consume it yet (its successor link would be lost), so only
+    // proceed when tail is also the head.
+    if (tail != head_.load(std::memory_order_acquire)) return false;
+    // Re-push the stub so the queue stays non-empty after we take tail.
+    stub_.next.store(nullptr, std::memory_order_relaxed);
+    Node* prev = head_.exchange(&stub_, std::memory_order_acq_rel);
+    prev->next.store(&stub_, std::memory_order_release);
+    next = tail->next.load(std::memory_order_acquire);
+    if (next == nullptr) return false;  // an interleaved push will link soon
+    out = std::move(tail->msg);
+    tail_ = next;
+    delete tail;
+    return true;
+  }
+
+ private:
+  struct Node {
+    Node() = default;
+    explicit Node(sim::Message m_) : msg(std::move(m_)) {}
+    std::atomic<Node*> next{nullptr};
+    sim::Message msg;
+  };
+
+  std::atomic<Node*> head_;  ///< producers swing this (most recent node)
+  Node* tail_;               ///< consumer-private (oldest node)
+  Node stub_;
+};
+
+}  // namespace olb::runtime

@@ -1,0 +1,34 @@
+// Thread-backend counterpart of lb::run_distributed: builds the same overlay
+// cluster a RunConfig describes, but executes it on real threads over real
+// work (runtime::ThreadNet) instead of the discrete-event simulator.
+//
+// Scope: overlay strategies (TD/TR/BTD) only, fault-free, homogeneous —
+// fault injection and speed scaling are simulator concepts. Results are
+// checked against execution-order-independent invariants (exact node
+// counts, B&B optima) rather than reproduced byte-for-byte.
+#pragma once
+
+#include "lb/driver.hpp"
+
+namespace olb::runtime {
+
+struct ThreadRunMetrics {
+  double wall_seconds = 0.0;  ///< whole run, thread launch to last join
+  /// Wall seconds until the root *declared* termination (the protocol's own
+  /// completion signal, before the kTerminate fan-out and thread joins).
+  double done_seconds = 0.0;
+  std::uint64_t total_units = 0;
+  std::int64_t best_bound = lb::kNoBound;
+  std::uint64_t total_messages = 0;
+  std::uint64_t work_requests = 0;   ///< kReqDown/kReqUp/kReqBridge sent
+  std::uint64_t work_transfers = 0;  ///< kWork messages sent
+  bool ok = false;  ///< terminated everywhere, no work left anywhere
+};
+
+/// Runs `workload` under `config` on one thread per peer. Requires an
+/// overlay strategy, no fault plan and no heterogeneity (OLB_CHECK).
+/// `config.num_peers` is the thread count; `config.limits.time_limit` caps
+/// the wall clock (a watchdog — a correct run finishes long before it).
+ThreadRunMetrics run_threads(lb::Workload& workload, const lb::RunConfig& config);
+
+}  // namespace olb::runtime

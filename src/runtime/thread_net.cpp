@@ -1,0 +1,192 @@
+#include "runtime/thread_net.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace olb::runtime {
+
+ThreadNet::~ThreadNet() = default;
+
+int ThreadNet::add_actor(std::unique_ptr<sim::Actor> actor) {
+  OLB_CHECK_MSG(!running_, "actors must be added before run()");
+  const int id = static_cast<int>(hosts_.size());
+  actor->transport_ = this;
+  actor->id_ = id;
+  // Same stream derivation as Engine::add_actor, so protocol randomness
+  // (child order, bridge partners) matches across backends per (seed, id).
+  actor->rng_ = Xoshiro256(mix64(seed_ + 0x9e3779b9u) ^
+                           mix64(static_cast<std::uint64_t>(id)));
+  auto host = std::make_unique<Host>();
+  host->actor = std::move(actor);
+  hosts_.push_back(std::move(host));
+  return id;
+}
+
+sim::Time ThreadNet::transport_now() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - start_)
+      .count();
+}
+
+void ThreadNet::transport_send(sim::Actor& from, int dst, sim::Message m) {
+  OLB_CHECK(dst >= 0 && dst < num_actors());
+  OLB_CHECK_MSG(m.type >= 0, "application message types must be >= 0");
+  m.src = from.id_;
+  m.dst = dst;
+  // Sender-side stats are only ever touched from the sender's own thread.
+  ++from.stats_.msgs_sent;
+  const auto type_idx = static_cast<std::size_t>(m.type);
+  if (from.stats_.sent_by_type.size() <= type_idx) {
+    from.stats_.sent_by_type.resize(type_idx + 1, 0);
+  }
+  ++from.stats_.sent_by_type[type_idx];
+  total_messages_.fetch_add(1, std::memory_order_relaxed);
+
+  Host& to = *hosts_[static_cast<std::size_t>(dst)];
+  to.mailbox.push(std::move(m));
+  // Publish-then-bump: the epoch change happens-after the push, so a
+  // receiver that slept through the (possibly transiently invisible) push
+  // is guaranteed to wake and re-poll.
+  {
+    std::scoped_lock lock(to.wake_mutex);
+    ++to.wake_epoch;
+  }
+  to.wake_cv.notify_one();
+}
+
+void ThreadNet::transport_set_timer(sim::Actor& from, sim::Time delay,
+                                    std::int64_t tag) {
+  // Timers are always self-addressed, so this runs on the owner thread and
+  // the heap needs no locking.
+  Host& host = *hosts_[static_cast<std::size_t>(from.id_)];
+  host.timers.push_back(Timer{transport_now() + delay, tag});
+  std::push_heap(host.timers.begin(), host.timers.end(), std::greater<>{});
+}
+
+void ThreadNet::dispatch(Host& host, sim::Message m) {
+  sim::Actor& a = *host.actor;
+  ++a.stats_.msgs_received;
+  // Timers stay thread-local and faults don't exist here, so the reserved
+  // negative types never travel through a mailbox.
+  OLB_CHECK(m.type >= 0);
+  a.on_message(std::move(m));
+}
+
+bool ThreadNet::fire_due_timers(Host& host) {
+  // Snapshot the clock once: timers armed by a firing handler are measured
+  // against the next poll, like the simulator's strictly-later delivery.
+  const sim::Time now = transport_now();
+  bool fired = false;
+  while (!host.timers.empty() && host.timers.front().deadline <= now) {
+    const std::int64_t tag = host.timers.front().tag;
+    std::pop_heap(host.timers.begin(), host.timers.end(), std::greater<>{});
+    host.timers.pop_back();
+    host.actor->on_timer(tag);
+    fired = true;
+  }
+  return fired;
+}
+
+void ThreadNet::peer_loop(Host& host,
+                          const ExitPredicate& exit_when,
+                          std::chrono::steady_clock::time_point deadline) {
+  sim::Actor& a = *host.actor;
+  a.started_ = true;
+  a.on_start();
+  sim::Message m;
+  while (!exit_when(a)) {
+    bool progress = false;
+    while (host.mailbox.pop(m)) {
+      dispatch(host, std::move(m));
+      progress = true;
+      if (exit_when(a)) return;
+    }
+    if (fire_due_timers(host)) progress = true;
+    if (a.compute_pending_) {
+      // The chunk's CPU time was spent inside Work::step(); the flag only
+      // delayed on_compute_done until the mailbox had been drained —
+      // the simulator's poll-between-chunks semantics.
+      a.compute_pending_ = false;
+      a.on_compute_done();
+      progress = true;
+    }
+    if (progress) continue;
+    if (std::chrono::steady_clock::now() >= deadline) return;  // watchdog
+
+    // Idle. Eventcount sleep: read the epoch, re-poll once (a sender may
+    // have pushed between the drain above and the epoch read), then block
+    // until the epoch moves or the next timer / safety poll is due.
+    std::uint64_t epoch;
+    {
+      std::scoped_lock lock(host.wake_mutex);
+      epoch = host.wake_epoch;
+    }
+    if (host.mailbox.pop(m)) {
+      dispatch(host, std::move(m));
+      continue;
+    }
+    auto until = std::chrono::steady_clock::now() + std::chrono::milliseconds(10);
+    if (!host.timers.empty()) {
+      const auto timer_at =
+          start_ + std::chrono::nanoseconds(host.timers.front().deadline);
+      until = std::min(until, timer_at);
+    }
+    until = std::min(until, deadline);
+    std::unique_lock lock(host.wake_mutex);
+    host.wake_cv.wait_until(lock, until,
+                            [&] { return host.wake_epoch != epoch; });
+  }
+}
+
+ThreadNet::RunResult ThreadNet::run(const ExitPredicate& exit_when,
+                                    sim::Time wall_limit) {
+  OLB_CHECK_MSG(!running_, "a ThreadNet can only run once");
+  OLB_CHECK(!hosts_.empty());
+  OLB_CHECK(wall_limit > 0);
+  running_ = true;
+  start_ = std::chrono::steady_clock::now();
+  const auto deadline = start_ + std::chrono::nanoseconds(wall_limit);
+  for (auto& host : hosts_) {
+    Host* h = host.get();
+    h->thread =
+        std::thread([this, h, &exit_when, deadline] { peer_loop(*h, exit_when, deadline); });
+  }
+  for (auto& host : hosts_) host->thread.join();
+
+  RunResult result;
+  result.wall_seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(
+          std::chrono::steady_clock::now() - start_)
+          .count();
+  result.completed = true;
+  for (auto& host : hosts_) {
+    if (!exit_when(*host->actor)) result.completed = false;
+  }
+  // Messages still queued at exit are control chatter that raced the
+  // termination wave (e.g. a bridge request to an already-finished peer).
+  // None of them may carry work — lost payloads would mean an unexplored
+  // part of the problem.
+  sim::Message leftover;
+  for (auto& host : hosts_) {
+    while (host->mailbox.pop(leftover)) {
+      OLB_CHECK_MSG(leftover.payload == nullptr,
+                    "undelivered work transfer after termination");
+    }
+  }
+  return result;
+}
+
+std::uint64_t ThreadNet::total_sent_of_type(int type) const {
+  OLB_CHECK(type >= 0);
+  std::uint64_t total = 0;
+  const auto idx = static_cast<std::size_t>(type);
+  for (const auto& host : hosts_) {
+    const auto& sent = host->actor->stats_.sent_by_type;
+    if (idx < sent.size()) total += sent[idx];
+  }
+  return total;
+}
+
+}  // namespace olb::runtime

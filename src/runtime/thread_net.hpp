@@ -1,0 +1,130 @@
+// Shared-memory execution substrate: the protocol actors of src/lb running
+// one-per-thread over real work, with sim::Engine's delivery machinery
+// replaced by lock-free MPSC mailboxes.
+//
+// The seam is sim::Transport (simnet/transport.hpp): protocol code calls
+// Actor's services exactly as under the simulator, but here
+//
+//   * now()            is the wall clock (ns since run start),
+//   * send()           pushes into the receiver's MpscMailbox and bumps its
+//                      wake epoch,
+//   * start_compute()  is pure bookkeeping — the work already burned real
+//                      CPU inside Work::step(); the flag makes the peer loop
+//                      drain its mailbox before the next chunk, preserving
+//                      the simulator's poll-between-chunks semantics,
+//   * set_timer()      goes to a thread-local min-heap (timers are always
+//                      self-addressed) serviced by the peer's own loop.
+//
+// Each hook still runs exclusively on the actor's own thread, so protocol
+// classes need no locking — the same single-threaded contract the simulator
+// gives them.
+//
+// What ThreadNet does NOT provide: fault injection, heterogeneity speed
+// scaling (speed is whatever the hardware does), tracing (the sinks are
+// single-threaded), or determinism — message interleavings are real. Runs
+// are checked for protocol invariants instead of byte-reproducibility.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "runtime/mpsc_mailbox.hpp"
+#include "simnet/engine.hpp"
+
+namespace olb::runtime {
+
+class ThreadNet final : public sim::Transport {
+ public:
+  /// `seed` feeds the per-actor RNG streams with the same derivation the
+  /// simulator uses, so seed-dependent protocol choices (random child
+  /// order, bridge partners) cover the same space on both backends.
+  explicit ThreadNet(std::uint64_t seed) : seed_(seed) {}
+  ~ThreadNet() override;
+
+  /// Takes ownership; returns the actor's id (dense, starting at 0).
+  /// All actors must be added before run().
+  int add_actor(std::unique_ptr<sim::Actor> actor);
+
+  int num_actors() const { return static_cast<int>(hosts_.size()); }
+  sim::Actor& actor(int id) { return *hosts_[static_cast<std::size_t>(id)]->actor; }
+  const sim::ActorStats& stats(int id) const {
+    return hosts_[static_cast<std::size_t>(id)]->actor->stats_;
+  }
+
+  /// A peer's thread exits once this returns true for its actor (checked
+  /// between handler invocations, on the actor's own thread).
+  using ExitPredicate = std::function<bool(const sim::Actor&)>;
+
+  struct RunResult {
+    double wall_seconds = 0.0;  ///< start of run() to last thread joined
+    bool completed = false;     ///< every peer exited via the predicate
+  };
+
+  /// Starts one thread per actor, runs each until `exit_when(actor)` holds
+  /// (or `wall_limit` elapses — the watchdog for protocol bugs), joins them
+  /// all, then validates that no undelivered message carried work.
+  RunResult run(const ExitPredicate& exit_when, sim::Time wall_limit);
+
+  std::uint64_t total_messages() const {
+    return total_messages_.load(std::memory_order_relaxed);
+  }
+  /// Sum of a message-type counter over all actors (call after run()).
+  std::uint64_t total_sent_of_type(int type) const;
+
+ private:
+  struct Timer {
+    sim::Time deadline;
+    std::int64_t tag;
+    bool operator>(const Timer& o) const { return deadline > o.deadline; }
+  };
+
+  /// Per-peer execution state. Everything except the mailbox and the wake
+  /// fields is touched only by the owning thread.
+  struct Host {
+    std::unique_ptr<sim::Actor> actor;
+    MpscMailbox mailbox;
+    std::vector<Timer> timers;  ///< min-heap; timers are self-addressed
+    std::thread thread;
+
+    // Eventcount-style sleep/wake: a sender bumps epoch under the mutex
+    // *after* its mailbox push, the owner re-polls after reading the epoch
+    // and only blocks while the epoch is unchanged — no lost wakeups.
+    std::mutex wake_mutex;
+    std::condition_variable wake_cv;
+    std::uint64_t wake_epoch = 0;  ///< guarded by wake_mutex
+  };
+
+  // Transport services (see transport.hpp).
+  sim::Time transport_now() const override;
+  int transport_num_peers() const override { return num_actors(); }
+  trace::TraceSink* transport_tracer() const override { return nullptr; }
+  void transport_send(sim::Actor& from, int dst, sim::Message m) override;
+  void transport_set_timer(sim::Actor& from, sim::Time delay,
+                           std::int64_t tag) override;
+  void transport_compute_started(sim::Actor& from, sim::Time duration) override {
+    // Nothing to account: the span is CPU time Work::step() already spent,
+    // and compute_time was accrued by Actor::start_compute itself.
+    (void)from;
+    (void)duration;
+  }
+
+  void peer_loop(Host& host, const ExitPredicate& exit_when,
+                 std::chrono::steady_clock::time_point deadline);
+  void dispatch(Host& host, sim::Message m);
+  /// Fires every timer whose deadline has passed; returns true if any fired.
+  bool fire_due_timers(Host& host);
+
+  std::uint64_t seed_;
+  std::vector<std::unique_ptr<Host>> hosts_;
+  std::chrono::steady_clock::time_point start_{};
+  bool running_ = false;
+  std::atomic<std::uint64_t> total_messages_{0};
+};
+
+}  // namespace olb::runtime

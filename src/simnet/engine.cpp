@@ -2,9 +2,13 @@
 
 namespace olb::sim {
 
-Time Actor::now() const { return engine_->now(); }
+Time Actor::now() const { return transport_->transport_now(); }
 
-void Actor::send(int dst, Message m) { engine_->send_from(*this, dst, std::move(m)); }
+void Actor::send(int dst, Message m) {
+  transport_->transport_send(*this, dst, std::move(m));
+}
+
+int Actor::num_peers() const { return transport_->transport_num_peers(); }
 
 void Actor::start_compute(Time duration) {
   OLB_CHECK_MSG(!compute_pending_, "actor already has an outstanding compute span");
@@ -12,18 +16,33 @@ void Actor::start_compute(Time duration) {
   if (speed_ != 1.0) {
     duration = static_cast<Time>(static_cast<double>(duration) / speed_);
   }
-  const Time base = busy_until_ > engine_->now() ? busy_until_ : engine_->now();
-  busy_until_ = base + duration;
   compute_pending_ = true;
   stats_.compute_time += duration;
-  engine_->record_busy(base, duration);
-  trace::emit(engine_->tracer_, base, trace::EventKind::kComputeSpan, id_, -1, 0,
-              duration);
+  transport_->transport_compute_started(*this, duration);
 }
 
 void Actor::emit_trace(trace::EventKind kind, int peer, int type, std::int64_t a,
                        std::int64_t b) {
-  trace::emit(engine_->tracer_, engine_->now_, kind, id_, peer, type, a, b);
+  trace::emit(transport_->transport_tracer(), transport_->transport_now(), kind,
+              id_, peer, type, a, b);
+}
+
+void Actor::set_timer(Time delay, std::int64_t tag) {
+  OLB_CHECK(delay >= 0);
+  trace::emit(transport_->transport_tracer(), transport_->transport_now(),
+              trace::EventKind::kTimerSet, id_, -1, 0, tag, delay);
+  transport_->transport_set_timer(*this, delay, tag);
+}
+
+void Engine::transport_compute_started(Actor& from, Time duration) {
+  // The busy-clock advance is what makes the span *occupy* the simulated
+  // actor; the thread backend has no analogue (there the CPU was genuinely
+  // occupied), which is why this lives behind the Transport seam.
+  const Time base = from.busy_until_ > now_ ? from.busy_until_ : now_;
+  from.busy_until_ = base + duration;
+  record_busy(base, duration);
+  trace::emit(tracer_, base, trace::EventKind::kComputeSpan, from.id_, -1, 0,
+              duration);
 }
 
 void Engine::record_busy(Time start, Time duration) {
@@ -32,20 +51,17 @@ void Engine::record_busy(Time start, Time duration) {
   busy_buckets_[bucket] += duration;
 }
 
-void Actor::set_timer(Time delay, std::int64_t tag) {
-  OLB_CHECK(delay >= 0);
-  trace::emit(engine_->tracer_, engine_->now(), trace::EventKind::kTimerSet, id_,
-              -1, 0, tag, delay);
+void Engine::transport_set_timer(Actor& from, Time delay, std::int64_t tag) {
   Message m(kTimerMsgType, tag);
-  m.src = id_;
-  m.dst = id_;
+  m.src = from.id_;
+  m.dst = from.id_;
   Event e;
-  e.time = engine_->now() + delay;
-  e.seq = engine_->next_seq_++;
-  e.dst = id_;
+  e.time = now_ + delay;
+  e.seq = next_seq_++;
+  e.dst = from.id_;
   e.kind = Event::Kind::kArrival;
   e.msg = std::move(m);
-  engine_->queue_.push(std::move(e));
+  queue_.push(std::move(e));
 }
 
 Engine::Engine(NetworkConfig config, std::uint64_t seed)
@@ -54,7 +70,7 @@ Engine::Engine(NetworkConfig config, std::uint64_t seed)
 int Engine::add_actor(std::unique_ptr<Actor> actor) {
   OLB_CHECK_MSG(!running_, "actors must be added before run()");
   const int id = static_cast<int>(actors_.size());
-  actor->engine_ = this;
+  actor->transport_ = this;
   actor->id_ = id;
   actor->rng_ = Xoshiro256(mix64(seed_ + 0x9e3779b9u) ^ mix64(static_cast<std::uint64_t>(id)));
   actors_.push_back(std::move(actor));

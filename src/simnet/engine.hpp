@@ -27,9 +27,14 @@
 #include "simnet/message.hpp"
 #include "simnet/network.hpp"
 #include "simnet/time.hpp"
+#include "simnet/transport.hpp"
 #include "support/check.hpp"
 #include "support/rng.hpp"
 #include "trace/trace.hpp"
+
+namespace olb::runtime {
+class ThreadNet;  // the shared-memory backend (src/runtime), befriended below
+}
 
 namespace olb::sim {
 
@@ -44,10 +49,11 @@ struct ActorStats {
   std::vector<std::uint64_t> sent_by_type;  ///< indexed by message type
 };
 
-/// Base class for simulated peers. Subclasses implement the protocol by
+/// Base class for protocol peers. Subclasses implement the protocol by
 /// overriding the on_* hooks and calling send()/start_compute()/set_timer()
-/// from inside them. All hooks run with the actor exclusively scheduled; no
-/// locking is ever needed.
+/// from inside them. All hooks run with the actor exclusively scheduled
+/// (simulator) or on the actor's own thread (runtime::ThreadNet); either
+/// way no locking is ever needed inside a hook.
 class Actor {
  public:
   virtual ~Actor() = default;
@@ -106,7 +112,8 @@ class Actor {
   bool computing() const { return compute_pending_; }
   void set_timer(Time delay, std::int64_t tag);
   Xoshiro256& rng() { return rng_; }
-  Engine& engine() { return *engine_; }
+  /// Cluster size (peer ids are dense 0..num_peers()-1 on both backends).
+  int num_peers() const;
   const ActorStats& stats() const { return stats_; }
   /// Records a protocol-level trace event on this actor's track (no-op
   /// unless a tracer is attached to the engine).
@@ -115,8 +122,9 @@ class Actor {
 
  private:
   friend class Engine;
+  friend class olb::runtime::ThreadNet;
 
-  Engine* engine_ = nullptr;
+  Transport* transport_ = nullptr;
   int id_ = -1;
   double speed_ = 1.0;
   Xoshiro256 rng_;
@@ -130,7 +138,7 @@ class Actor {
   ActorStats stats_;
 };
 
-class Engine {
+class Engine final : public Transport {
  public:
   Engine(NetworkConfig config, std::uint64_t seed);
 
@@ -217,6 +225,16 @@ class Engine {
 
  private:
   friend class Actor;
+
+  // Transport services (Actor dispatches here; see transport.hpp).
+  Time transport_now() const override { return now_; }
+  int transport_num_peers() const override { return num_actors(); }
+  trace::TraceSink* transport_tracer() const override { return tracer_; }
+  void transport_send(Actor& from, int dst, Message m) override {
+    send_from(from, dst, std::move(m));
+  }
+  void transport_set_timer(Actor& from, Time delay, std::int64_t tag) override;
+  void transport_compute_started(Actor& from, Time duration) override;
 
   void send_from(Actor& from, int dst, Message m);
   void schedule_wake(Actor& a, Time at);

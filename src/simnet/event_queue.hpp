@@ -47,9 +47,15 @@ class EventQueue {
   /// Removes and returns the earliest event. Precondition: !empty().
   Event pop() {
     Event top = std::move(heap_.front());
-    heap_.front() = std::move(heap_.back());
-    heap_.pop_back();
-    if (!heap_.empty()) sift_down(0);
+    if (heap_.size() > 1) {
+      // With one element front and back alias, and self-move-assigning the
+      // Message's unique_ptr members would be undefined.
+      heap_.front() = std::move(heap_.back());
+      heap_.pop_back();
+      sift_down(0);
+    } else {
+      heap_.pop_back();
+    }
     return top;
   }
 

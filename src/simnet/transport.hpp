@@ -1,0 +1,61 @@
+// The seam between protocol code and its execution substrate.
+//
+// Every service an Actor uses from inside its hooks — sending, timers,
+// compute spans, the clock, the cluster size — goes through this interface.
+// Two implementations exist:
+//
+//  * sim::Engine (engine.hpp): the discrete-event simulator. Time is
+//    simulated, sends become queued arrival events, compute spans advance a
+//    virtual busy-clock. Deterministic; reproduces the paper's cluster model.
+//  * runtime::ThreadNet (src/runtime): real threads, one per peer. Time is
+//    the wall clock, sends push into lock-free MPSC mailboxes, compute spans
+//    are the actual CPU time of the application work.
+//
+// Protocol classes (OverlayPeer and friends) are written once against Actor's
+// services and run unmodified on either substrate — the point of the split.
+// Methods carry a transport_ prefix so Engine can implement them while
+// keeping its richer public API (now(), tracer(), ...) unshadowed.
+#pragma once
+
+#include <cstdint>
+
+#include "simnet/message.hpp"
+#include "simnet/time.hpp"
+#include "trace/trace.hpp"
+
+namespace olb::sim {
+
+class Actor;
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Current time in nanoseconds (simulated or wall, see above).
+  virtual Time transport_now() const = 0;
+
+  /// Number of peers in the cluster (dense ids 0..n-1).
+  virtual int transport_num_peers() const = 0;
+
+  /// Trace sink events should go to; nullptr when tracing is off (always
+  /// nullptr on the thread backend — the sinks are single-threaded).
+  virtual trace::TraceSink* transport_tracer() const = 0;
+
+  /// Delivers `m` to `dst`'s inbox/mailbox. Fills in src/dst and updates the
+  /// sender's ActorStats.
+  virtual void transport_send(Actor& from, int dst, Message m) = 0;
+
+  /// Arranges for `from.on_timer(tag)` after `delay`. Timers are always
+  /// self-addressed; both backends deliver them on the actor's own
+  /// (simulated or real) execution thread.
+  virtual void transport_set_timer(Actor& from, Time delay,
+                                   std::int64_t tag) = 0;
+
+  /// Notification that `from` started a compute span of (speed-scaled)
+  /// `duration`. The simulator advances the actor's busy-clock and
+  /// utilisation histogram here; the thread backend needs no bookkeeping —
+  /// the span *is* the CPU time the work already consumed.
+  virtual void transport_compute_started(Actor& from, Time duration) = 0;
+};
+
+}  // namespace olb::sim

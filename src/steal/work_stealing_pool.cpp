@@ -21,9 +21,25 @@ WorkStealingPool::WorkStealingPool(unsigned num_threads) {
 
 WorkStealingPool::~WorkStealingPool() {
   wait_idle();
-  stopping_.store(true, std::memory_order_release);
-  idle_cv_.notify_all();
+  {
+    std::scoped_lock lock(wake_mutex_);
+    stopping_.store(true, std::memory_order_release);
+    ++wake_epoch_;  // sleepers watching the old epoch must re-check stopping_
+  }
+  wake_cv_.notify_all();
   for (auto& w : workers_) w->thread.join();
+}
+
+void WorkStealingPool::wake_workers(bool all) {
+  {
+    std::scoped_lock lock(wake_mutex_);
+    ++wake_epoch_;
+  }
+  if (all) {
+    wake_cv_.notify_all();
+  } else {
+    wake_cv_.notify_one();
+  }
 }
 
 void WorkStealingPool::spawn(TaskFn fn) {
@@ -36,15 +52,17 @@ void WorkStealingPool::spawn(TaskFn fn) {
     std::scoped_lock lock(inject_mutex_);
     inject_queue_.push_back(task);
   }
-  idle_cv_.notify_one();
+  // The epoch bump happens-after the push above, so a sleeper that missed
+  // the task in its re-scan is guaranteed to observe the changed epoch
+  // (or be notified) instead of sleeping through it.
+  wake_workers(/*all=*/false);
 }
 
 void WorkStealingPool::wait_idle() {
-  // Busy-check with a short sleep: simple and correct (the counter reaches 0
-  // only when every task, including spawned descendants, has run).
-  while (outstanding_.load(std::memory_order_acquire) != 0) {
-    std::this_thread::yield();
-  }
+  std::unique_lock lock(idle_mutex_);
+  idle_cv_.wait(lock, [&] {
+    return outstanding_.load(std::memory_order_acquire) == 0;
+  });
 }
 
 WorkStealingPool::Task* WorkStealingPool::find_task(std::size_t self,
@@ -74,7 +92,15 @@ WorkStealingPool::Task* WorkStealingPool::find_task(std::size_t self,
 void WorkStealingPool::run_task(Task* task) {
   task->fn(*this);
   delete task;
-  outstanding_.fetch_sub(1, std::memory_order_acq_rel);
+  if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Last task done. Taking (and dropping) idle_mutex_ orders this
+    // notification after any waiter's predicate check that read the old
+    // counter value, so the waiter is inside wait() when notify lands —
+    // without it the notify could fall between the waiter's check and its
+    // block, and wait_idle() would hang until the next (never) completion.
+    { std::scoped_lock lock(idle_mutex_); }
+    idle_cv_.notify_all();
+  }
 }
 
 void WorkStealingPool::worker_loop(std::size_t index) {
@@ -86,8 +112,24 @@ void WorkStealingPool::worker_loop(std::size_t index) {
       continue;
     }
     if (stopping_.load(std::memory_order_acquire)) return;
-    std::unique_lock lock(idle_mutex_);
-    idle_cv_.wait_for(lock, std::chrono::milliseconds(1));
+    // Eventcount sleep: snapshot the epoch, re-scan, and only block while
+    // the epoch is still the snapshot. Any spawn after the snapshot bumps
+    // the epoch under the mutex, so it either surfaces in the re-scan or
+    // voids the wait predicate.
+    std::uint64_t epoch;
+    {
+      std::scoped_lock lock(wake_mutex_);
+      epoch = wake_epoch_;
+    }
+    if (Task* task = find_task(index, rng)) {
+      run_task(task);
+      continue;
+    }
+    if (stopping_.load(std::memory_order_acquire)) return;
+    std::unique_lock lock(wake_mutex_);
+    wake_cv_.wait(lock, [&] {
+      return wake_epoch_ != epoch || stopping_.load(std::memory_order_acquire);
+    });
   }
 }
 

@@ -40,7 +40,7 @@ class WorkStealingPool {
   void spawn(TaskFn fn);
 
   /// Blocks until all spawned tasks (including transitively spawned ones)
-  /// have completed. Callable from the owner thread only.
+  /// have completed. Callable from any non-worker thread.
   void wait_idle();
 
   unsigned num_threads() const { return static_cast<unsigned>(workers_.size()); }
@@ -61,6 +61,7 @@ class WorkStealingPool {
   void worker_loop(std::size_t index);
   Task* find_task(std::size_t self, Xoshiro256& rng);
   void run_task(Task* task);
+  void wake_workers(bool all);
 
   static thread_local std::size_t tls_worker_index_;
 
@@ -72,6 +73,17 @@ class WorkStealingPool {
   std::mutex inject_mutex_;
   std::deque<Task*> inject_queue_;  ///< externally spawned tasks
 
+  // Worker sleep/wake (eventcount): a producer bumps wake_epoch_ under
+  // wake_mutex_ *after* publishing its task, a sleeper re-scans after
+  // reading the epoch and only blocks while the epoch is unchanged — the
+  // push either happens before the re-scan or bumps the epoch the sleeper
+  // is watching, so no wakeup can be lost.
+  std::mutex wake_mutex_;
+  std::condition_variable wake_cv_;
+  std::uint64_t wake_epoch_ = 0;  ///< guarded by wake_mutex_
+
+  // wait_idle() rendezvous: the last task's completion notifies under
+  // idle_mutex_, closing the decrement-to-wait window on the waiter side.
   std::mutex idle_mutex_;
   std::condition_variable idle_cv_;
 };

@@ -19,16 +19,21 @@ Summary summarize(std::span<const double> xs) {
   return s;
 }
 
-double percentile(std::vector<double> xs, double p) {
+double percentile(std::span<double> xs, double p) {
   if (xs.empty()) return 0.0;  // a percentile of nothing is 0, not UB
   OLB_CHECK(p >= 0.0 && p <= 1.0);
-  std::sort(xs.begin(), xs.end());
   if (xs.size() == 1) return xs.front();
   const double pos = p * static_cast<double>(xs.size() - 1);
   const auto lo = static_cast<std::size_t>(pos);
-  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
   const double frac = pos - static_cast<double>(lo);
-  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+  const auto lo_it = xs.begin() + static_cast<std::ptrdiff_t>(lo);
+  std::nth_element(xs.begin(), lo_it, xs.end());
+  const double lo_val = *lo_it;
+  if (frac == 0.0 || lo + 1 >= xs.size()) return lo_val;
+  // The (lo+1)-th order statistic is the minimum of the right partition —
+  // one scan instead of a second selection.
+  const double hi_val = *std::min_element(lo_it + 1, xs.end());
+  return lo_val * (1.0 - frac) + hi_val * frac;
 }
 
 }  // namespace olb

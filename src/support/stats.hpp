@@ -51,6 +51,13 @@ Summary summarize(std::span<const double> xs);
 
 /// p in [0,1]; linear interpolation between order statistics. An empty
 /// sample yields 0 (matching Summary's all-zero convention).
-double percentile(std::vector<double> xs, double p);
+///
+/// Selects instead of sorting — O(n) per call via nth_element plus a linear
+/// scan for the interpolation neighbour — and works in place: the span's
+/// elements are reordered (partitioned), not copied. Callers deriving
+/// several percentiles from one series (RunMetrics timelines, bench trial
+/// summaries) pass the same buffer repeatedly; any prior partial order only
+/// helps the selection.
+double percentile(std::span<double> xs, double p);
 
 }  // namespace olb

@@ -176,6 +176,9 @@ void write_perfetto(std::ostream& os, std::span<const TraceEvent> events,
       case EventKind::kRetry:
         instant(e, "retry");
         break;
+      case EventKind::kSplitClamp:
+        instant(e, "split_clamp");
+        break;
       case EventKind::kTimerSet:
       case EventKind::kTimerFire:
       case EventKind::kActorIdle:

@@ -30,6 +30,7 @@
 //  kServe        | server     | requester | msg type   | fraction ppm | amount
 //  kNoServe      | server     | requester | msg type   | —            | —
 //  kQueueDepth   | peer       | —         | —          | depth        | —
+//  kSplitClamp   | server     | —         | msg type   | raw ppm (***)| clamped ppm
 //  kProbeWave    | root       | —         | 0/1/2 (*)  | probe id     | —
 //  kTerminated   | peer       | —         | —          | —            | —
 //  kMsgDrop      | sender     | dst       | msg type   | msg id       | why (**)
@@ -41,6 +42,8 @@
 //
 //  (*) 0 = wave launched, 1 = wave came back clean, 2 = wave came back dirty.
 //  (**) 0 = link fault, 1 = destination crashed, 2 = bounce destroyed.
+//  (***) raw fraction saturated into [-1000, 1000] before the ppm encoding
+//        (stale subtree aggregates can produce absurd magnitudes).
 #pragma once
 
 #include <cstdint>
@@ -75,6 +78,7 @@ enum class EventKind : std::uint8_t {
   kServe,
   kNoServe,
   kQueueDepth,
+  kSplitClamp,
   kProbeWave,
   kTerminated,
   // --- fault injection & recovery ---
@@ -100,6 +104,7 @@ inline const char* kind_name(EventKind k) {
     case EventKind::kServe: return "serve";
     case EventKind::kNoServe: return "no_serve";
     case EventKind::kQueueDepth: return "queue_depth";
+    case EventKind::kSplitClamp: return "split_clamp";
     case EventKind::kProbeWave: return "probe_wave";
     case EventKind::kTerminated: return "terminated";
     case EventKind::kMsgDrop: return "msg_drop";

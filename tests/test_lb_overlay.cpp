@@ -282,6 +282,35 @@ TEST(OverlayLb, UtsNodeCountInvariantAcrossTopologies) {
   }
 }
 
+TEST(OverlayLb, SplitFractionsStayWellFormedUnderCrashes) {
+  // Regression for unclamped split fractions: after crash re-parenting the
+  // subtree aggregates feeding fraction_for_parent/child/bridge can be
+  // stale (e.g. my_size_ exceeding a not-yet-refreshed parent_size_, which
+  // wrapped to a huge positive fraction in the old uint64 arithmetic).
+  // Every out-of-range share must be clamped — traced as kSplitClamp with
+  // a replacement in (0, 1] — and the run must still complete.
+  for (auto strategy : {lb::Strategy::kOverlayTD, lb::Strategy::kOverlayBTD}) {
+    for (std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+      const auto params = uts_params(static_cast<std::uint32_t>(seed * 3 + 2));
+      uts::UtsWorkload workload(params, uts::CostModel{});
+      auto config = base_config(strategy, 16, 3, seed);
+      config.faults = sim::make_random_crashes(2, 16, sim::microseconds(500),
+                                               sim::milliseconds(4), seed);
+      trace::VectorTracer tracer;
+      config.tracer = &tracer;
+      const auto metrics = lb::run_distributed(workload, config);
+      ASSERT_TRUE(metrics.ok) << lb::strategy_name(strategy) << " seed=" << seed;
+      for (const auto& e : tracer.events()) {
+        if (e.kind != trace::EventKind::kSplitClamp) continue;
+        EXPECT_TRUE(e.a <= 0 || e.a > 1'000'000)
+            << "clamp fired on an in-range fraction (raw ppm " << e.a << ")";
+        EXPECT_GT(e.b, 0) << "clamped share must be positive";
+        EXPECT_LE(e.b, 1'000'000) << "clamped share must be <= 1";
+      }
+    }
+  }
+}
+
 TEST(OverlayLb, LargerDegreeNoSlowerOnBalancedLoad) {
   // Table I's qualitative claim at moderate scale: dmax=10 beats dmax=2.
   const auto params = uts_params(16, 400, 0.493);

@@ -41,6 +41,25 @@ TEST(EventQueue, TiesBreakBySequence) {
   }
 }
 
+TEST(EventQueue, SingleElementPopKeepsMessageIntact) {
+  // Regression: at heap size 1 front and back alias, and the old pop
+  // self-move-assigned the element — undefined for the Message's
+  // unique_ptr payload (in practice it nulled it).
+  EventQueue q;
+  Event e;
+  e.time = 5;
+  e.seq = 1;
+  e.msg = Message(7, 42);
+  e.msg.payload = std::make_unique<MsgPayload>();
+  q.push(std::move(e));
+  const Event out = q.pop();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(out.time, 5);
+  EXPECT_EQ(out.msg.type, 7);
+  EXPECT_EQ(out.msg.a, 42);
+  EXPECT_NE(out.msg.payload, nullptr);
+}
+
 TEST(EventQueue, StressAgainstSortedReference) {
   Xoshiro256 rng(5);
   EventQueue q;

@@ -163,6 +163,32 @@ TEST(WorkStealingPool, WaitIdleIsReusable) {
   EXPECT_EQ(count.load(), 2);
 }
 
+TEST(WorkStealingPool, SpawnStormWhileOwnerWaits) {
+  // Regression for the shutdown/wakeup race: tasks keep spawning children
+  // from inside the pool while the owner blocks in wait_idle(). Under the
+  // old bare-notify scheme a completion could slip between the waiter's
+  // counter check and its block (or a worker could sleep through a spawn),
+  // hanging the round; the eventcount + idle rendezvous close both windows.
+  // Run under TSan in CI (tsan preset).
+  WorkStealingPool pool(4);
+  std::atomic<int> ran{0};
+  int expected = 0;
+  for (int round = 0; round < 300; ++round) {
+    const int fanout = 1 + round % 4;
+    for (int i = 0; i < fanout; ++i) {
+      pool.spawn([&ran](WorkStealingPool& p) {
+        p.spawn([&ran](WorkStealingPool&) {
+          ran.fetch_add(1, std::memory_order_relaxed);
+        });
+        ran.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    expected += 2 * fanout;
+    pool.wait_idle();  // a lost wakeup hangs right here
+    ASSERT_EQ(ran.load(), expected) << "round " << round;
+  }
+}
+
 TEST(WorkStealingPool, SingleThreadPoolStillCompletes) {
   std::atomic<int> count{0};
   {

@@ -164,17 +164,46 @@ TEST(Stats, EmptySampleYieldsZeroSummaryAndPercentile) {
   EXPECT_DOUBLE_EQ(s.min, 0.0);
   EXPECT_DOUBLE_EQ(s.max, 0.0);
   EXPECT_EQ(s.count, 0u);
-  EXPECT_DOUBLE_EQ(percentile({}, 0.5), 0.0);
-  EXPECT_DOUBLE_EQ(percentile({}, 0.0), 0.0);
-  EXPECT_DOUBLE_EQ(percentile({}, 1.0), 0.0);
+  std::vector<double> empty;
+  EXPECT_DOUBLE_EQ(percentile(empty, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(percentile(empty, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile(empty, 1.0), 0.0);
 }
 
 TEST(Stats, PercentileInterpolates) {
-  std::vector<double> xs = {1, 2, 3, 4, 5};
+  std::vector<double> xs = {5, 2, 4, 1, 3};  // unsorted: selection must cope
   EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
   EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 5.0);
   EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 3.0);
   EXPECT_DOUBLE_EQ(percentile(xs, 0.25), 2.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.375), 2.5);  // between the 2nd and 3rd
+}
+
+TEST(Stats, PercentileMatchesSortBasedReference) {
+  Xoshiro256 rng(71);
+  std::vector<double> xs;
+  for (int i = 0; i < 257; ++i) xs.push_back(rng.uniform01() * 1e3 - 500.0);
+  std::vector<double> sorted = xs;
+  std::sort(sorted.begin(), sorted.end());
+  auto reference = [&](double p) {
+    const double pos = p * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+  };
+  // Repeated calls reorder xs in place; results must not depend on the
+  // element order left behind by earlier selections.
+  for (const double p : {0.0, 0.01, 0.25, 0.5, 0.9, 0.99, 1.0, 0.5, 0.25}) {
+    EXPECT_NEAR(percentile(xs, p), reference(p), 1e-12) << "p=" << p;
+  }
+}
+
+TEST(Stats, PercentileSingleElement) {
+  std::vector<double> one = {42.0};
+  EXPECT_DOUBLE_EQ(percentile(one, 0.0), 42.0);
+  EXPECT_DOUBLE_EQ(percentile(one, 0.7), 42.0);
+  EXPECT_DOUBLE_EQ(percentile(one, 1.0), 42.0);
 }
 
 TEST(Stats, WelfordMatchesTwoPass) {
