@@ -2,8 +2,8 @@
 // Branch-and-Bound, under any of the load-balancing strategies, and print
 // the optimal schedule.
 //
-//   $ ./examples/flowshop_solver --instance 21 --jobs 12 --machines 8 \
-//         --strategy btd --peers 200
+//   $ ./examples/flowshop_solver --instance 21 --jobs 12 --machines 8
+//         --strategy btd --peers 200   (one line)
 #include <cstdio>
 #include <string>
 

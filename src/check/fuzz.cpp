@@ -1,0 +1,327 @@
+#include "check/fuzz.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+
+#include "bb/bb_work.hpp"
+#include "overlay/tree_overlay.hpp"
+#include "support/check.hpp"
+#include "support/rng.hpp"
+#include "uts/uts_work.hpp"
+
+namespace olb::check {
+namespace {
+
+// Fuzzed workloads are deliberately small: a case must run in well under a
+// second so the sweep covers many tuples, and small trees make shrunk
+// repros fast to replay. Four shapes each so workload_id changes the
+// splitting behaviour, not just the seed.
+struct UtsSpec {
+  int b0;
+  double q;
+  std::uint32_t root_seed;
+};
+constexpr UtsSpec kUtsSpecs[kNumWorkloads] = {
+    {150, 0.48, 19}, {200, 0.47, 91}, {500, 0.49, 7}, {80, 0.44, 3}};
+
+struct BbSpec {
+  int instance;
+  int jobs;
+  int machines;
+};
+constexpr BbSpec kBbSpecs[kNumWorkloads] = {
+    {0, 8, 5}, {1, 8, 5}, {2, 9, 5}, {3, 8, 6}};
+
+bool needs_interval(lb::Strategy s) {
+  return s == lb::Strategy::kMW || s == lb::Strategy::kAHMW;
+}
+
+/// How many crashes the strategy survives at this cluster size.
+int max_crashes(const FuzzCase& c) {
+  if (c.strategy == lb::Strategy::kMW) return std::max(0, c.peers - 2);
+  return std::max(0, c.peers - 1);
+}
+
+/// Draws up to `want` distinct strategy-legal crash victims. Bounded
+/// redraw: an illegal or repeated draw is retried a fixed number of times
+/// and then dropped, so the plan may end up with fewer crashes (still a
+/// valid plan) but victim selection stays a pure function of the RNG.
+std::vector<int> draw_victims(const FuzzCase& c, int want, Xoshiro256& rng) {
+  want = std::min(want, max_crashes(c));
+  std::vector<int> out;
+  if (want <= 0) return out;
+  std::unique_ptr<overlay::TreeOverlay> hierarchy;
+  if (c.strategy == lb::Strategy::kAHMW) {
+    hierarchy = std::make_unique<overlay::TreeOverlay>(
+        overlay::TreeOverlay::deterministic(c.peers, c.dmax));
+  }
+  const int rws_init = c.strategy == lb::Strategy::kRWS
+                           ? lb::rws_initiator(c.seed, c.peers)
+                           : -1;
+  auto legal = [&](int p) {
+    if (c.strategy == lb::Strategy::kRWS) return p != rws_init;
+    if (p == 0) return false;  // overlay root / MW master / AHMW root
+    if (hierarchy != nullptr) return hierarchy->children(p).empty();
+    return true;
+  };
+  for (int i = 0; i < want; ++i) {
+    for (int tries = 0; tries < 64; ++tries) {
+      const int p =
+          static_cast<int>(rng.below(static_cast<std::uint64_t>(c.peers)));
+      if (!legal(p)) continue;
+      if (std::find(out.begin(), out.end(), p) != out.end()) continue;
+      out.push_back(p);
+      break;
+    }
+  }
+  return out;
+}
+
+sim::Time random_time(Xoshiro256& rng, sim::Time from, sim::Time to) {
+  return from + static_cast<sim::Time>(
+                    rng.below(static_cast<std::uint64_t>(to - from)));
+}
+
+}  // namespace
+
+std::string format_case(const FuzzCase& c) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "strategy=%s peers=%d dmax=%d workload=%d seed=%llu fault=%d "
+                "sched=%llu",
+                lb::strategy_name(c.strategy), c.peers, c.dmax, c.workload_id,
+                static_cast<unsigned long long>(c.seed), c.fault_id,
+                static_cast<unsigned long long>(c.sched_seed));
+  return buf;
+}
+
+bool parse_case(std::string_view text, FuzzCase* out) {
+  FuzzCase c;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+    if (pos >= text.size()) break;
+    std::size_t end = pos;
+    while (end < text.size() &&
+           !std::isspace(static_cast<unsigned char>(text[end]))) {
+      ++end;
+    }
+    const std::string_view token = text.substr(pos, end - pos);
+    pos = end;
+    const std::size_t eq = token.find('=');
+    if (eq == std::string_view::npos) return false;
+    const std::string_view key = token.substr(0, eq);
+    const std::string_view value = token.substr(eq + 1);
+    if (value.empty()) return false;
+    if (key == "strategy") {
+      if (!lb::strategy_from_name(value, &c.strategy)) return false;
+      continue;
+    }
+    std::uint64_t v = 0;
+    const auto [p, ec] =
+        std::from_chars(value.data(), value.data() + value.size(), v);
+    if (ec != std::errc{} || p != value.data() + value.size()) return false;
+    if (key == "seed") {
+      c.seed = v;
+    } else if (key == "sched") {
+      c.sched_seed = v;
+    } else if (v > 1024) {
+      return false;  // every remaining key is a small int
+    } else if (key == "peers") {
+      c.peers = static_cast<int>(v);
+    } else if (key == "dmax") {
+      c.dmax = static_cast<int>(v);
+    } else if (key == "workload") {
+      c.workload_id = static_cast<int>(v);
+    } else if (key == "fault") {
+      c.fault_id = static_cast<int>(v);
+    } else {
+      return false;
+    }
+  }
+  if (c.peers < 1 || c.peers > 1024) return false;
+  if (c.peers < 2 && c.strategy == lb::Strategy::kMW) return false;
+  if (c.dmax < 1) return false;
+  if (c.workload_id < 0 || c.workload_id >= kNumWorkloads) return false;
+  if (c.fault_id < 0 || c.fault_id >= kNumFaultPlans) return false;
+  *out = c;
+  return true;
+}
+
+std::unique_ptr<lb::Workload> make_case_workload(const FuzzCase& c) {
+  OLB_CHECK(c.workload_id >= 0 && c.workload_id < kNumWorkloads);
+  if (needs_interval(c.strategy)) {
+    const BbSpec& spec = kBbSpecs[c.workload_id];
+    return std::make_unique<bb::BBWorkload>(
+        bb::FlowshopInstance::ta20x20_scaled(spec.instance, spec.jobs,
+                                             spec.machines),
+        bb::BoundKind::kOneMachine, bb::CostModel{});
+  }
+  const UtsSpec& spec = kUtsSpecs[c.workload_id];
+  uts::Params params;
+  params.shape = uts::TreeShape::kBinomial;
+  params.hash = uts::HashMode::kFast;
+  params.b0 = spec.b0;
+  params.q = spec.q;
+  params.m = 2;
+  params.root_seed = spec.root_seed;
+  return std::make_unique<uts::UtsWorkload>(params, uts::CostModel{});
+}
+
+lb::SequentialMetrics case_reference(const FuzzCase& c) {
+  const auto workload = make_case_workload(c);
+  return lb::run_sequential(*workload);
+}
+
+sim::FaultPlan make_case_faults(const FuzzCase& c) {
+  sim::FaultPlan plan;
+  if (c.fault_id == 0) return plan;
+  plan.salt = static_cast<std::uint64_t>(c.fault_id);
+  // Victim/time selection keyed by (seed, fault_id) only: the plan is a
+  // pure function of the case, so a printed repro rebuilds it exactly.
+  Xoshiro256 rng(mix64(c.seed ^ 0x66757a7aull) ^
+                 mix64(static_cast<std::uint64_t>(c.fault_id)));
+  const sim::Time crash_from = sim::milliseconds(1);
+  const sim::Time crash_to = sim::milliseconds(20);
+  switch (c.fault_id) {
+    case 1:
+      plan.link.drop_prob = 0.02;
+      break;
+    case 2:
+      plan.link.dup_prob = 0.02;
+      break;
+    case 3:
+      plan.link.spike_prob = 0.05;
+      break;
+    case 4:
+      for (int v : draw_victims(c, 1, rng)) {
+        plan.add_crash(v, random_time(rng, crash_from, crash_to));
+      }
+      break;
+    case 5:
+      for (int v : draw_victims(c, 2, rng)) {
+        plan.add_crash(v, random_time(rng, crash_from, crash_to));
+      }
+      break;
+    case 6:
+      plan.add_stall(
+          static_cast<int>(rng.below(static_cast<std::uint64_t>(c.peers))),
+          random_time(rng, sim::milliseconds(1), sim::milliseconds(10)),
+          sim::milliseconds(5));
+      break;
+    default:  // 7: everything at once, at lower rates
+      plan.link.drop_prob = 0.01;
+      plan.link.spike_prob = 0.02;
+      for (int v : draw_victims(c, 1, rng)) {
+        plan.add_crash(v, random_time(rng, crash_from, crash_to));
+      }
+      plan.add_stall(
+          static_cast<int>(rng.below(static_cast<std::uint64_t>(c.peers))),
+          random_time(rng, sim::milliseconds(1), sim::milliseconds(10)),
+          sim::milliseconds(5));
+      break;
+  }
+  return plan;
+}
+
+lb::RunConfig make_case_config(const FuzzCase& c) {
+  lb::RunConfig config;
+  config.strategy = c.strategy;
+  config.num_peers = c.peers;
+  config.dmax = c.dmax;
+  config.seed = c.seed;
+  config.net = lb::paper_network(c.peers);
+  // Tight watchdogs: a correct fuzz-sized run quiesces in simulated
+  // milliseconds; a stuck one must fail fast instead of eating the sweep's
+  // wall-clock budget.
+  config.limits.time_limit = sim::seconds(5.0);
+  config.limits.event_limit = 30'000'000;
+  config.faults = make_case_faults(c);
+  if (c.fault_id == 0 && c.sched_seed == 0) {
+    // The baseline slice of the population runs on reorder-free links, so
+    // the strict per-link FIFO and BTD counter-monotonicity oracles (which
+    // need that guarantee) stay exercised by every sweep.
+    config.net.latency_jitter = 0;
+  }
+  if (c.sched_seed != 0) {
+    config.perturb.seed = c.sched_seed;
+    config.perturb.shuffle_ties = true;
+    config.perturb.extra_jitter = sim::microseconds(20);
+  }
+  return config;
+}
+
+ConformanceReport run_case(const FuzzCase& c, const lb::PlantedBug& plant,
+                           trace::TraceSink* tracer) {
+  const auto workload = make_case_workload(c);
+  lb::RunConfig config = make_case_config(c);
+  config.plant = plant;
+  config.tracer = tracer;
+  return run_conformance(*workload, config, case_reference(c));
+}
+
+ShrinkResult shrink_case(const FuzzCase& failing, const lb::PlantedBug& plant) {
+  ShrinkResult result;
+  result.minimal = failing;
+  auto still_fails = [&](const FuzzCase& c) {
+    ++result.attempts;
+    return !run_case(c, plant).passed();
+  };
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    const FuzzCase base = result.minimal;
+    std::vector<FuzzCase> candidates;
+    auto push = [&](auto mutate) {
+      FuzzCase c = base;
+      mutate(c);
+      candidates.push_back(c);
+    };
+    if (base.fault_id != 0) push([](FuzzCase& c) { c.fault_id = 0; });
+    if (base.sched_seed != 0) push([](FuzzCase& c) { c.sched_seed = 0; });
+    if (base.peers > 2) {
+      push([](FuzzCase& c) { c.peers = std::max(2, c.peers / 2); });
+      push([](FuzzCase& c) { c.peers -= 1; });
+    }
+    const int dmax_floor = needs_interval(base.strategy) ? 2 : 1;
+    if (base.dmax > dmax_floor) {
+      push([&](FuzzCase& c) { c.dmax = std::max(dmax_floor, c.dmax / 2); });
+    }
+    if (base.workload_id != 0) push([](FuzzCase& c) { c.workload_id = 0; });
+    if (base.seed != 1) push([](FuzzCase& c) { c.seed = 1; });
+    for (const FuzzCase& candidate : candidates) {
+      if (still_fails(candidate)) {
+        result.minimal = candidate;
+        progress = true;
+        break;  // restart the candidate list from the smaller case
+      }
+    }
+  }
+  return result;
+}
+
+FuzzCase random_case(std::uint64_t base_seed, std::uint64_t index,
+                     const std::vector<lb::Strategy>& allowed) {
+  OLB_CHECK(!allowed.empty());
+  Xoshiro256 rng(mix64(base_seed) ^ mix64(index + 0x636173ull));
+  FuzzCase c;
+  c.strategy = allowed[rng.below(allowed.size())];
+  c.peers = static_cast<int>(2 + rng.below(19));  // [2, 20]
+  constexpr int kDmaxChoices[] = {1, 2, 3, 4, 10};
+  c.dmax = kDmaxChoices[rng.below(5)];
+  if (needs_interval(c.strategy)) c.dmax = std::max(c.dmax, 2);
+  c.workload_id = static_cast<int>(rng.below(kNumWorkloads));
+  c.seed = 1 + rng.below(1'000'000);
+  c.fault_id = static_cast<int>(rng.below(kNumFaultPlans));
+  // A quarter of cases run the unperturbed schedule — the byte-identity
+  // baseline must stay in the swept population, not just in unit tests.
+  c.sched_seed = rng.below(4) == 0 ? 0 : 1 + rng.below(1'000'000);
+  return c;
+}
+
+}  // namespace olb::check

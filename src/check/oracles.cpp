@@ -1,0 +1,395 @@
+#include "check/oracles.hpp"
+
+#include <deque>
+#include <map>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+namespace olb::check {
+
+std::string to_string(const Violation& v) {
+  std::ostringstream os;
+  os << "[" << v.oracle << "] ";
+  if (v.time >= 0) os << "t=" << v.time << "ns ";
+  if (v.peer >= 0) os << "peer=" << v.peer << " ";
+  os << v.detail;
+  return os.str();
+}
+
+void Oracle::report(sim::Time time, int peer, std::string detail) {
+  constexpr std::size_t kMaxViolations = 32;
+  if (violations_.size() >= kMaxViolations) {
+    ++suppressed_;
+    return;
+  }
+  violations_.push_back(Violation{name_, std::move(detail), time, peer});
+}
+
+namespace {
+
+using trace::EventKind;
+using trace::TraceEvent;
+
+/// One work transfer currently in the network, keyed by msg id (unique per
+/// run: the engine's global message counter).
+struct Flight {
+  int src = -1;
+  int dst = -1;
+  sim::Time sent_at = 0;
+};
+
+// ----------------------------------------------------------- conservation ---
+
+// Work items have exactly one owner: a transfer that is sent must be
+// delivered exactly once, unless fault injection destroyed it (bounce to a
+// dead sender, traced kMsgDrop) or a crashed endpoint swallowed it (the
+// victim's inbox is cleared without per-message events — forgiven only when
+// an endpoint actually crashed). A delivery with no matching send is a
+// duplicated or fabricated work item. The planted kLostWork bug — a
+// transfer that vanishes *after* its send was recorded — lands here.
+class ConservationOracle final : public Oracle {
+ public:
+  explicit ConservationOracle(const OracleOptions& options)
+      : Oracle("conservation"), options_(options) {}
+
+  void on_event(const TraceEvent& e) override {
+    if (e.kind == EventKind::kPeerCrash) {
+      crashed_.insert(e.actor);
+      return;
+    }
+    if (e.type != options_.work_msg_type) return;
+    const auto id = static_cast<std::uint32_t>(e.a);
+    switch (e.kind) {
+      case EventKind::kMsgSend:
+        in_flight_.emplace(id, Flight{e.actor, e.peer, e.time});
+        break;
+      case EventKind::kMsgDeliver: {
+        const auto it = in_flight_.find(id);
+        if (it == in_flight_.end()) {
+          report(e.time, e.actor,
+                 "work transfer id=" + std::to_string(id) +
+                     " delivered without a matching send (duplicate or "
+                     "fabricated work)");
+          break;
+        }
+        in_flight_.erase(it);
+        break;
+      }
+      case EventKind::kMsgDrop:
+        // b==2: a bounce off a crashed peer found its sender dead too — the
+        // engine destroys the work and accounts it. Legal only under faults.
+        if (!options_.faults_possible) {
+          report(e.time, e.actor,
+                 "work transfer id=" + std::to_string(id) +
+                     " destroyed in a run without fault injection");
+        }
+        in_flight_.erase(id);
+        break;
+      default:
+        break;
+    }
+  }
+
+  void finish() override {
+    for (const auto& [id, f] : in_flight_) {
+      if (options_.faults_possible &&
+          (crashed_.count(f.src) != 0 || crashed_.count(f.dst) != 0)) {
+        // The victim's inbox was cleared (no per-message drop events), or
+        // the sender died before its bounce could come home. Destroyed work
+        // is accounted in work_lost_units; the final-state checks
+        // (conformance.cpp) reconcile totals against it.
+        continue;
+      }
+      report(-1, f.src,
+             "work transfer id=" + std::to_string(id) + " (" +
+                 std::to_string(f.src) + " -> " + std::to_string(f.dst) +
+                 ", sent t=" + std::to_string(f.sent_at) +
+                 ") was never delivered");
+    }
+  }
+
+ private:
+  OracleOptions options_;
+  std::unordered_map<std::uint32_t, Flight> in_flight_;
+  std::unordered_set<int> crashed_;
+};
+
+// ------------------------------------------------------------ termination ---
+
+// No peer may declare termination while a work transfer to a live peer is
+// in flight: the receiver would acquire work after the protocol decided
+// everything is done. Flights addressed to an already-crashed peer are
+// exempt (they bounce or are destroyed — the fault ledger's business, not
+// termination's).
+//
+// Judgement is deferred to finish(): on the threads backend the recording
+// lock guarantees send-before-deliver order, but a *third* peer's
+// kTerminated can slip between a delivery happening and that delivery being
+// recorded. A flight open at a kTerminated event is therefore only a
+// violation if it was never delivered, or delivered with a timestamp after
+// the termination.
+class TerminationOracle final : public Oracle {
+ public:
+  explicit TerminationOracle(const OracleOptions& options)
+      : Oracle("termination"), options_(options) {}
+
+  void on_event(const TraceEvent& e) override {
+    if (e.kind == EventKind::kPeerCrash) {
+      crashed_.insert(e.actor);
+      // In-flight transfers addressed to the victim stop counting against
+      // termination; conservation still tracks their fate.
+      for (auto it = open_.begin(); it != open_.end();) {
+        if (it->second.dst == e.actor) {
+          limbo_.insert(it->first);
+          it = open_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      return;
+    }
+    if (e.kind == EventKind::kTerminated) {
+      for (const auto& [id, f] : open_) {
+        suspects_.push_back(Suspect{e.time, e.actor, id, f});
+      }
+      return;
+    }
+    if (e.type != options_.work_msg_type) return;
+    const auto id = static_cast<std::uint32_t>(e.a);
+    switch (e.kind) {
+      case EventKind::kMsgSend:
+        if (crashed_.count(e.peer) != 0) {
+          // Sent to an already-crashed peer (the sender just has not
+          // detected it yet): the transfer can only bounce or be
+          // destroyed, never a termination hazard.
+          limbo_.insert(id);
+        } else {
+          open_.emplace(id, Flight{e.actor, e.peer, e.time});
+        }
+        break;
+      case EventKind::kMsgDeliver:
+        delivered_at_[id] = e.time;
+        open_.erase(id);
+        limbo_.erase(id);
+        break;
+      case EventKind::kMsgDrop:
+        open_.erase(id);
+        limbo_.erase(id);
+        break;
+      default:
+        break;
+    }
+  }
+
+  void finish() override {
+    for (const Suspect& s : suspects_) {
+      const auto it = delivered_at_.find(s.flight_id);
+      if (it != delivered_at_.end() && it->second <= s.terminated_at) {
+        continue;  // recording race: the delivery actually came first
+      }
+      report(s.terminated_at, s.terminating_peer,
+             "declared termination with work transfer id=" +
+                 std::to_string(s.flight_id) + " (" +
+                 std::to_string(s.flight.src) + " -> " +
+                 std::to_string(s.flight.dst) + ") still in flight");
+    }
+  }
+
+ private:
+  struct Suspect {
+    sim::Time terminated_at;
+    int terminating_peer;
+    std::uint32_t flight_id;
+    Flight flight;
+  };
+
+  OracleOptions options_;
+  std::unordered_map<std::uint32_t, Flight> open_;
+  std::unordered_set<std::uint32_t> limbo_;  ///< addressed to a crashed peer
+  std::unordered_map<std::uint32_t, sim::Time> delivered_at_;
+  std::unordered_set<int> crashed_;
+  std::vector<Suspect> suspects_;
+};
+
+// ------------------------------------------------------------ btd_counters ---
+
+// The aggregated (sent, recv) transfer counters an upward request carries
+// must be monotone per peer: Mattern's four-counter termination argument
+// compares counter snapshots across waves and is unsound if they can run
+// backwards. Crash re-parenting legitimately shrinks subtrees (a dead
+// child's contribution disappears), so every crash resets all baselines.
+class BtdCounterOracle final : public Oracle {
+ public:
+  explicit BtdCounterOracle(const OracleOptions& options)
+      : Oracle("btd_counters"), enabled_(options.strict_link_fifo) {}
+
+  void on_event(const TraceEvent& e) override {
+    // The monotonicity argument needs child reports applied in send order:
+    // any reordering (latency jitter, perturbation, spikes, duplicates) or
+    // a crash-shrunk subtree can deliver a *stale* lower report after a
+    // newer one and legitimately dip the parent's next converge-cast sum
+    // (observed: consecutive same-link kReqUp 10 us apart under 20 us
+    // jitter). So the oracle runs exactly when per-link FIFO is guaranteed.
+    if (!enabled_) return;
+    if (e.kind != EventKind::kRequest || e.type != lb::kReqUp) return;
+    const auto it = last_.find(e.actor);
+    if (it != last_.end() && (e.a < it->second.first || e.b < it->second.second)) {
+      report(e.time, e.actor,
+             "aggregated counters ran backwards: (" +
+                 std::to_string(it->second.first) + "," +
+                 std::to_string(it->second.second) + ") -> (" +
+                 std::to_string(e.a) + "," + std::to_string(e.b) + ")");
+    }
+    last_[e.actor] = {e.a, e.b};
+  }
+
+ private:
+  std::unordered_map<int, std::pair<std::int64_t, std::int64_t>> last_;
+  const bool enabled_;
+};
+
+// --------------------------------------------------------- split_fraction ---
+
+// Every served fraction lies in [0, 1] (ppm-encoded in kServe.a). The
+// overlay clamps its shares into (0, 1] before splitting; MW serves whole
+// intervals and encodes fraction 0. A fraction above 1 means a peer promised
+// more than everything it holds — the planted kSplitBias bug. Under
+// expect_no_clamp, a firing clamp is itself a violation: on a homogeneous
+// fault-free cluster the proportional shares are well-formed by
+// construction, so a clamp means the subtree arithmetic broke.
+class SplitFractionOracle final : public Oracle {
+ public:
+  explicit SplitFractionOracle(const OracleOptions& options)
+      : Oracle("split_fraction"), options_(options) {}
+
+  void on_event(const TraceEvent& e) override {
+    if (e.kind == EventKind::kServe) {
+      if (e.a < 0 || e.a > 1'000'000) {
+        report(e.time, e.actor,
+               "served split fraction " + std::to_string(e.a) +
+                   "ppm outside [0, 1000000]");
+      }
+      return;
+    }
+    if (e.kind == EventKind::kSplitClamp && options_.expect_no_clamp) {
+      report(e.time, e.actor,
+             "split clamp fired (raw=" + std::to_string(e.a) +
+                 "ppm) in a run whose fractions must be well-formed");
+    }
+  }
+
+ private:
+  OracleOptions options_;
+};
+
+// -------------------------------------------------------------------- fifo ---
+
+// Per-receiver service order equals arrival order: deliveries are recorded
+// in the order the inbox was drained, and each carries its inbox wait in b,
+// so arrival time (time - b) must be non-decreasing per receiver. With an
+// unjittered, unperturbed, fault-free schedule the stronger per-link
+// property holds too: messages from one sender to one receiver are
+// delivered in send order (constant per-link latency cannot reorder).
+class FifoOracle final : public Oracle {
+ public:
+  explicit FifoOracle(const OracleOptions& options)
+      : Oracle("fifo"), options_(options) {}
+
+  void on_event(const TraceEvent& e) override {
+    if (e.kind == EventKind::kMsgSend) {
+      if (options_.strict_link_fifo) {
+        link_queue_[{e.actor, e.peer}].push_back(
+            static_cast<std::uint32_t>(e.a));
+      }
+      return;
+    }
+    if (e.kind != EventKind::kMsgDeliver) return;
+
+    const sim::Time arrival = e.time - e.b;
+    const auto it = last_arrival_.find(e.actor);
+    if (it != last_arrival_.end() && arrival < it->second) {
+      report(e.time, e.actor,
+             "inbox service order diverged from arrival order (arrival " +
+                 std::to_string(arrival) + " after one at " +
+                 std::to_string(it->second) + ")");
+    } else {
+      last_arrival_[e.actor] = arrival;
+    }
+
+    if (options_.strict_link_fifo) {
+      auto& q = link_queue_[{e.peer, e.actor}];
+      const auto id = static_cast<std::uint32_t>(e.a);
+      if (q.empty() || q.front() != id) {
+        report(e.time, e.actor,
+               "link " + std::to_string(e.peer) + " -> " +
+                   std::to_string(e.actor) +
+                   " delivered id=" + std::to_string(id) +
+                   " out of send order");
+        // Resynchronise so one overtaking does not cascade.
+        for (auto qit = q.begin(); qit != q.end(); ++qit) {
+          if (*qit == id) {
+            q.erase(qit);
+            break;
+          }
+        }
+      } else {
+        q.pop_front();
+      }
+    }
+  }
+
+ private:
+  OracleOptions options_;
+  std::unordered_map<int, sim::Time> last_arrival_;
+  std::map<std::pair<int, int>, std::deque<std::uint32_t>> link_queue_;
+};
+
+}  // namespace
+
+std::unique_ptr<Oracle> make_conservation_oracle(const OracleOptions& options) {
+  return std::make_unique<ConservationOracle>(options);
+}
+std::unique_ptr<Oracle> make_termination_oracle(const OracleOptions& options) {
+  return std::make_unique<TerminationOracle>(options);
+}
+std::unique_ptr<Oracle> make_btd_counter_oracle(const OracleOptions& options) {
+  return std::make_unique<BtdCounterOracle>(options);
+}
+std::unique_ptr<Oracle> make_split_fraction_oracle(const OracleOptions& options) {
+  return std::make_unique<SplitFractionOracle>(options);
+}
+std::unique_ptr<Oracle> make_fifo_oracle(const OracleOptions& options) {
+  return std::make_unique<FifoOracle>(options);
+}
+
+OracleSet::OracleSet(OracleOptions options) : options_(options) {
+  oracles_.push_back(make_conservation_oracle(options_));
+  oracles_.push_back(make_termination_oracle(options_));
+  oracles_.push_back(make_btd_counter_oracle(options_));
+  oracles_.push_back(make_split_fraction_oracle(options_));
+  oracles_.push_back(make_fifo_oracle(options_));
+}
+
+OracleSet::~OracleSet() = default;
+
+void OracleSet::record(const trace::TraceEvent& e) {
+  for (const auto& oracle : oracles_) oracle->on_event(e);
+}
+
+void OracleSet::finish() {
+  for (const auto& oracle : oracles_) oracle->finish();
+}
+
+std::vector<Violation> OracleSet::violations() const {
+  std::vector<Violation> all;
+  for (const auto& oracle : oracles_) {
+    const auto& v = oracle->violations();
+    all.insert(all.end(), v.begin(), v.end());
+  }
+  return all;
+}
+
+}  // namespace olb::check

@@ -1,0 +1,130 @@
+// Invariant oracles: online checkers that consume the structured trace
+// stream (src/trace) and turn the paper's correctness claims into machine-
+// checked invariants. Each oracle watches one property:
+//
+//  * conservation  — every work transfer has exactly one fate: delivered
+//                    once, or (under faults) destroyed with an accounting
+//                    event / a crashed endpoint. Nothing vanishes silently,
+//                    nothing is delivered twice (§ proportional splits:
+//                    work items always have exactly one owner).
+//  * termination   — no peer declares termination while a work transfer to
+//                    a live peer is still in flight (§ termination
+//                    detection: the upward request doubles as the
+//                    subtree-finished signal precisely so this cannot
+//                    happen).
+//  * btd_counters  — under per-link FIFO delivery (strict_link_fifo), the
+//                    aggregated transfer counters carried by upward requests
+//                    are monotone per peer (Mattern's four-counter argument
+//                    needs counters that never run backwards; a reordered
+//                    stale child report legitimately dips the sums, so the
+//                    oracle is quiet whenever links can reorder).
+//  * split_fraction— every served split fraction lies in [0, 1] (post-clamp
+//                    the overlay guarantees (0, 1]; MW encodes interval
+//                    serves as fraction 0). Under expect_no_clamp, the
+//                    clamp must never fire at all.
+//  * fifo          — per-receiver service order equals arrival order
+//                    (inbox FIFO), and — when the schedule is unjittered,
+//                    unperturbed and fault-free — strict per-link FIFO.
+//
+// Oracles process events in *recorded stream order* (never re-sorted): on
+// the simulator that is execution order; on the threads backend the locked
+// sink guarantees each send is recorded before its delivery, which is all
+// the oracles assume. Feed them through OracleSet, which is a TraceSink and
+// can therefore tee off any existing tracer.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lb/messages.hpp"
+#include "simnet/time.hpp"
+#include "trace/trace.hpp"
+
+namespace olb::check {
+
+struct Violation {
+  std::string oracle;  ///< which invariant (oracle name)
+  std::string detail;  ///< human-readable description
+  sim::Time time = -1; ///< trace timestamp of the offending event (-1: finish)
+  int peer = -1;       ///< offending peer, -1 when not attributable
+};
+
+std::string to_string(const Violation& v);
+
+/// What the oracles may assume about the run they are watching. Derive from
+/// the RunConfig with oracle_options_for() (conformance.hpp) instead of
+/// filling by hand.
+struct OracleOptions {
+  int work_msg_type = lb::kWork;
+  /// Crashes/drops are possible: unmatched transfers to or from crashed
+  /// peers are forgiven, destroyed bounces are legal.
+  bool faults_possible = false;
+  /// Proportional splits on a homogeneous fault-free cluster never need the
+  /// sanitising clamp; any kSplitClamp is then itself a violation.
+  bool expect_no_clamp = false;
+  /// No latency jitter, no schedule perturbation, no faults: messages on
+  /// one link can never overtake, so strict per-link FIFO must hold.
+  bool strict_link_fifo = false;
+};
+
+class Oracle {
+ public:
+  explicit Oracle(std::string name) : name_(std::move(name)) {}
+  virtual ~Oracle() = default;
+
+  const std::string& name() const { return name_; }
+
+  /// Feed one trace event, in recorded stream order.
+  virtual void on_event(const trace::TraceEvent& e) = 0;
+
+  /// Called once after the last event; end-of-run invariants report here.
+  virtual void finish() {}
+
+  const std::vector<Violation>& violations() const { return violations_; }
+
+ protected:
+  /// Records a violation (capped: a broken invariant typically fires on
+  /// every subsequent event, and 32 instances pin it down just as well).
+  void report(sim::Time time, int peer, std::string detail);
+
+ private:
+  std::string name_;
+  std::vector<Violation> violations_;
+  std::uint64_t suppressed_ = 0;
+};
+
+/// Owns one of each oracle and fans the stream out to all of them. Being a
+/// TraceSink, it attaches directly to an engine/ThreadNet — typically
+/// tee'd (trace::TeeSink) with whatever tracer the caller already uses.
+/// snapshot() is intentionally empty: oracles keep verdicts, not events.
+class OracleSet final : public trace::TraceSink {
+ public:
+  explicit OracleSet(OracleOptions options);
+  ~OracleSet() override;
+
+  void record(const trace::TraceEvent& e) override;
+  std::vector<trace::TraceEvent> snapshot() const override { return {}; }
+
+  /// Runs every oracle's end-of-run checks. Call once, after the run.
+  void finish();
+
+  /// All violations across all oracles, in oracle order.
+  std::vector<Violation> violations() const;
+
+  const OracleOptions& options() const { return options_; }
+
+ private:
+  OracleOptions options_;
+  std::vector<std::unique_ptr<Oracle>> oracles_;
+};
+
+/// Factories for individual oracles (unit tests drive them one at a time).
+std::unique_ptr<Oracle> make_conservation_oracle(const OracleOptions& options);
+std::unique_ptr<Oracle> make_termination_oracle(const OracleOptions& options);
+std::unique_ptr<Oracle> make_btd_counter_oracle(const OracleOptions& options);
+std::unique_ptr<Oracle> make_split_fraction_oracle(const OracleOptions& options);
+std::unique_ptr<Oracle> make_fifo_oracle(const OracleOptions& options);
+
+}  // namespace olb::check

@@ -208,7 +208,7 @@ void AhmwPeer::on_message(sim::Message m) {
         const double fraction = grain_fraction();
         if (auto w = split_work(fraction)) {
           ds_.on_work_sent();
-          if (config_.fault_tolerant) ++work_sent_;
+          ++work_sent_;  // pure counter: FT TermPoll and state taps read it
           emit_trace(trace::EventKind::kServe, m.src, kMWRequest,
                      trace::fraction_ppm(fraction),
                      static_cast<std::int64_t>(w->amount()));
@@ -225,7 +225,7 @@ void AhmwPeer::on_message(sim::Message m) {
       if (holds_work()) {
         if (auto w = split_work(0.5)) {
           ds_.on_work_sent();
-          if (config_.fault_tolerant) ++work_sent_;
+          ++work_sent_;  // pure counter, as above
           emit_trace(trace::EventKind::kServe, m.src, kSteal,
                      trace::fraction_ppm(0.5),
                      static_cast<std::int64_t>(w->amount()));
@@ -252,8 +252,8 @@ void AhmwPeer::on_message(sim::Message m) {
     }
     case kWork: {
       request_outstanding_ = false;
+      ++work_recv_;  // pure counter, mirroring work_sent_
       if (config_.fault_tolerant) {
-        ++work_recv_;
         ++req_seq_;  // void any outstanding request timeout
       }
       emit_trace(trace::EventKind::kIdleEnd, m.src, m.type);

@@ -65,6 +65,14 @@ class AhmwPeer final : public PeerBase {
   /// Number of crashed peers this peer has been notified about.
   int known_crashes() const { return crash_epoch_; }
 
+  StateTap state_tap() const override {
+    StateTap t = PeerBase::state_tap();
+    t.transfers_sent = work_sent_;
+    t.transfers_recv = work_recv_;
+    t.pending_requests = request_outstanding_ ? 1 : 0;
+    return t;
+  }
+
  protected:
   void on_start() override;
   void on_message(sim::Message m) override;

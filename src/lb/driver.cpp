@@ -330,6 +330,10 @@ OverlayConfig make_overlay_config(const RunConfig& config) {
   oc.fault_tolerant = config.faults.enabled();
   oc.request_timeout = timing.request_timeout;
   oc.lease_interval = timing.lease_interval;
+  // Lives here (not in run_distributed) so the plant reaches both backends.
+  if (config.plant.kind == PlantedBug::Kind::kSplitBias) {
+    oc.planted_split_bias = config.plant.split_bias;
+  }
   return oc;
 }
 
@@ -343,6 +347,10 @@ RunMetrics run_distributed(Workload& workload, const RunConfig& config) {
   engine.enable_queue_delay_stats();
   BuiltCluster built = build_cluster(engine, workload, config);
   if (config.faults.enabled()) engine.set_faults(config.faults);
+  engine.set_perturbation(config.perturb);
+  if (config.plant.kind == PlantedBug::Kind::kLostWork) {
+    engine.set_planted_payload_drop(config.plant.lose_nth);
+  }
 
   const auto result = engine.run(config.limits.time_limit, config.limits.event_limit);
 
@@ -417,6 +425,18 @@ RunMetrics run_distributed(Workload& workload, const RunConfig& config) {
   metrics.work_lost_units = engine.work_lost_units();
   for (int i = 0; i < engine.num_actors(); ++i) {
     if (engine.peer_crashed(i)) ++metrics.peers_crashed;
+  }
+
+  // Per-peer state taps for the conformance oracles, in peer-id order (the
+  // MW master is engine actor 0 and not in built.peers).
+  if (built.mw_master != nullptr) {
+    metrics.final_state.push_back(built.mw_master->state_tap());
+  }
+  for (PeerBase* peer : built.peers) {
+    metrics.final_state.push_back(peer->state_tap());
+  }
+  for (StateTap& tap : metrics.final_state) {
+    tap.crashed = engine.peer_crashed(tap.peer);
   }
 
   if (config.tracer != nullptr) {

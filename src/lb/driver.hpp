@@ -12,6 +12,7 @@
 #include "lb/work.hpp"
 #include "simnet/faults.hpp"
 #include "simnet/network.hpp"
+#include "simnet/perturb.hpp"
 #include "trace/trace.hpp"
 
 namespace olb::lb {
@@ -85,6 +86,27 @@ struct Limits {
   std::uint64_t event_limit = 400'000'000;
 };
 
+/// Deliberate protocol mutations for the conformance harness (src/check):
+/// a planted bug must be *found* by the invariant oracles, proving they
+/// watch the properties they claim to. Default-constructed = no mutation =
+/// exactly the unmutated run.
+struct PlantedBug {
+  enum class Kind {
+    kNone,
+    /// Overlay split fractions biased upwards after clamping — served
+    /// shares can exceed 1 (split-fraction oracle territory).
+    kSplitBias,
+    /// The nth payload-carrying message silently vanishes in the network —
+    /// a lost transfer (conservation/completion oracle territory).
+    kLostWork,
+  };
+  Kind kind = Kind::kNone;
+  double split_bias = 0.6;  ///< added to every fraction under kSplitBias
+  int lose_nth = 2;         ///< which transfer vanishes under kLostWork
+
+  bool enabled() const { return kind != Kind::kNone; }
+};
+
 struct RunConfig {
   Strategy strategy = Strategy::kOverlayBTD;
   int num_peers = 100;
@@ -107,6 +129,15 @@ struct RunConfig {
   /// into its fault-tolerant mode and validates crash victims against the
   /// strategy (see validate_for_strategy below).
   sim::FaultPlan faults;
+
+  /// Schedule perturbation (default-constructed = disabled = byte-identical
+  /// to a run that predates the feature). Simulator backend only.
+  sim::SchedulePerturbation perturb;
+
+  /// Conformance-harness bug plant (default = none). Simulator backend for
+  /// kLostWork; kSplitBias works on both backends (it lives in the shared
+  /// OverlayConfig).
+  PlantedBug plant;
 
   /// Optional trace sink (not owned). When set, the engine and every peer
   /// record structured events into it and RunMetrics gains the derived
@@ -183,6 +214,11 @@ struct RunMetrics {
   std::vector<double> work_in_flight;  ///< mean kWork msgs in flight
   std::vector<double> idle_peers;      ///< peers inside an idle episode
   std::vector<double> pending_depth;   ///< mean parked-request depth
+
+  /// Post-run per-peer protocol snapshots for the conformance oracles
+  /// (src/check), indexed by peer id. Always filled — the taps are a few
+  /// scalar reads per peer after the run, nothing per-event.
+  std::vector<StateTap> final_state;
 
   /// Parallel efficiency against a sequential execution time (seconds).
   double parallel_efficiency(double seq_seconds, int num_peers) const {

@@ -89,8 +89,14 @@ void MwMaster::serve_parked() {
         end = victim->end;
         victim->end = mid;
         if (victim->owner >= 0) {
+          // Epoch-pinned like checkpoints: a spike-delayed notify landing
+          // after the owner was served a *newer* interval must not truncate
+          // that one (the cut-away segment would never be explored).
+          const std::int64_t epoch =
+              config_.fault_tolerant ? served_epoch_[victim->owner] : 0;
           send(victim->owner, sim::Message(kMWSplitNotify, bound_,
-                                           static_cast<std::int64_t>(mid)));
+                                           static_cast<std::int64_t>(mid),
+                                           epoch));
         }
       }
     }
@@ -168,6 +174,13 @@ void MwMaster::on_message(sim::Message m) {
       on_request(m.src, m.b);
       break;
     case kMWCheckpoint: {
+      // A latency-spiked checkpoint can arrive after the worker's interval
+      // was dropped (its next request overtook it) and a fresh one served;
+      // applying the stale position to the fresh entry would advance its
+      // begin over never-explored work — silently pruning the search space.
+      // The epoch pins the checkpoint to the serve it progresses (found by
+      // the conformance fuzzer: a "lossless" MW run missing the optimum).
+      if (config_.fault_tolerant && m.c != served_epoch_[m.src]) break;
       const auto pos = static_cast<std::uint64_t>(m.b);
       for (Entry& e : pool_) {
         if (e.owner == m.src) {
@@ -222,9 +235,12 @@ void MwWorker::on_timer(std::int64_t tag) {
       if (terminated_ || !holds_work()) return;
       const auto* iv = dynamic_cast<const IntervalWork*>(work_.get());
       OLB_CHECK(iv != nullptr);
+      // The epoch ties the checkpoint to the serve that produced this
+      // interval; the master must not apply it to a later one.
       send(kMasterId,
            sim::Message(kMWCheckpoint, bound_,
-                        static_cast<std::int64_t>(iv->interval_position())));
+                        static_cast<std::int64_t>(iv->interval_position()),
+                        req_epoch_));
       checkpoint_armed_ = true;
       set_timer(config_.checkpoint_period, kMwCheckpointTimer);
       return;
@@ -262,6 +278,11 @@ void MwWorker::on_message(sim::Message m) {
       break;
     }
     case kMWSplitNotify: {
+      // Stale notify for an interval this worker already exhausted (its
+      // next request overtook the notify); truncating the current interval
+      // would silently orphan the cut-away segment. Found by the
+      // conformance fuzzer as a "lossless" run missing the optimum.
+      if (config_.fault_tolerant && m.c != req_epoch_) break;
       if (work_ != nullptr) {
         auto* iv = dynamic_cast<IntervalWork*>(work_.get());
         OLB_CHECK(iv != nullptr);

@@ -53,6 +53,26 @@ class MwMaster final : public sim::Actor {
   sim::Time done_time() const { return done_time_; }
   std::int64_t best_bound() const { return bound_; }
 
+  /// Conformance-harness snapshot (the master is not a PeerBase, so this is
+  /// a plain method, not an override). holds_work reports *unowned* pool
+  /// entries — reclaimed intervals no live worker is exploring. parked_ is
+  /// legitimately non-empty at termination (workers park, then the master
+  /// terminates them), so it is exposed but not an invariant.
+  StateTap state_tap() const {
+    StateTap t;
+    t.peer = id();
+    t.terminated = terminated_;
+    t.computing = computing();
+    for (const Entry& e : pool_) {
+      if (e.owner == -1 && e.length() > 0) {
+        t.holds_work = true;
+        t.work_amount += static_cast<double>(e.length());
+      }
+    }
+    t.pending_requests = parked_.size();
+    return t;
+  }
+
  protected:
   void on_start() override;
   void on_message(sim::Message m) override;
@@ -95,6 +115,12 @@ class MwWorker final : public PeerBase {
   explicit MwWorker(MwConfig config) : PeerBase(config.peer), config_(config) {}
 
   bool protocol_terminated() const { return terminated_; }
+
+  StateTap state_tap() const override {
+    StateTap t = PeerBase::state_tap();
+    t.pending_requests = request_outstanding_ ? 1 : 0;
+    return t;
+  }
 
  protected:
   void on_start() override;

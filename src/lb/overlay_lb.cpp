@@ -42,7 +42,10 @@ void OverlayPeer::send_work(int dst, std::unique_ptr<Work> w, int req_type,
                             double fraction) {
   emit_trace(trace::EventKind::kServe, dst, req_type, trace::fraction_ppm(fraction),
              static_cast<std::int64_t>(w->amount()));
-  if (config_.fault_tolerant) ++ft_sent_;
+  // Counted unconditionally (pure counter, no protocol effect): the FT
+  // termination waves read it via own_sent(), the conformance state taps
+  // always do.
+  ++ft_sent_;
   auto msg = make_msg(kWork, req_type == kReqBridge ? 1 : 0);
   msg.payload = std::make_unique<WorkPayload>(std::move(w));
   send(dst, std::move(msg));
@@ -237,8 +240,12 @@ void OverlayPeer::arm_retry_timer() {
 
 void OverlayPeer::send_up_request() {
   up_requested_ = true;
-  emit_trace(trace::EventKind::kRequest, parent(), kReqUp);
   last_sent_agg_ = {agg_sent(), agg_recv()};
+  // The kRequest carries the subtree aggregates so the BTD monotonicity
+  // oracle (src/check) can watch the four-counter inputs evolve.
+  emit_trace(trace::EventKind::kRequest, parent(), kReqUp,
+             static_cast<std::int64_t>(last_sent_agg_.first),
+             static_cast<std::int64_t>(last_sent_agg_.second));
   send(parent(), make_msg(kReqUp, static_cast<std::int64_t>(last_sent_agg_.first),
                           static_cast<std::int64_t>(last_sent_agg_.second)));
 }
@@ -309,25 +316,25 @@ double OverlayPeer::clamp_fraction(double raw, int req_type) {
 double OverlayPeer::fraction_for_child(std::size_t child_idx, int req_type) {
   // All ratios are formed in double: the aggregates are uint64, and stale
   // values (see clamp_fraction) would otherwise wrap on subtraction.
-  return clamp_fraction(
+  return biased(clamp_fraction(
       apply_policy(static_cast<double>(child_size_[child_idx]) /
                    static_cast<double>(my_size_)),
-      req_type);
+      req_type));
 }
 
 double OverlayPeer::fraction_for_parent() {
-  return clamp_fraction(
+  return biased(clamp_fraction(
       apply_policy((static_cast<double>(parent_size_) -
                     static_cast<double>(my_size_)) /
                    static_cast<double>(parent_size_)),
-      kReqDown);
+      kReqDown));
 }
 
 double OverlayPeer::fraction_for_bridge(std::uint64_t requester_size) {
-  return clamp_fraction(
+  return biased(clamp_fraction(
       apply_policy(static_cast<double>(requester_size) /
                    static_cast<double>(my_size_ + requester_size)),
-      kReqBridge);
+      kReqBridge));
 }
 
 void OverlayPeer::on_req_down(const sim::Message& m) {
@@ -400,7 +407,7 @@ void OverlayPeer::on_req_bridge(const sim::Message& m) {
 
 void OverlayPeer::on_work(sim::Message m) {
   OLB_CHECK_MSG(!terminated_, "work arrived after termination was declared");
-  if (config_.fault_tolerant) ++ft_recv_;
+  ++ft_recv_;  // unconditional, mirroring ft_sent_ in send_work
   if (m.b == 1) ++bridge_recv_;
   if (probe_acks_missing_ > 0) probe_dirty_ = true;
   if (m.b == 1 && m.src == bridge_target_) bridge_target_ = -1;
@@ -856,6 +863,14 @@ void OverlayPeer::on_message(sim::Message m) {
     case kBound: on_bound_msg(m); break;
     default: OLB_CHECK_MSG(false, "unexpected message type for OverlayPeer");
   }
+}
+
+StateTap OverlayPeer::state_tap() const {
+  StateTap t = PeerBase::state_tap();
+  t.transfers_sent = ft_sent_;
+  t.transfers_recv = ft_recv_;
+  t.pending_requests = pending_bridges_.size();
+  return t;
 }
 
 }  // namespace olb::lb

@@ -97,6 +97,10 @@ struct OverlayConfig {
   /// where the compute power actually is. Weights are per-peer constructor
   /// arguments; this flag only disables the homogeneous-size sanity check.
   bool capacity_weighted = false;
+  /// Conformance-harness bug plant: added to every computed split fraction
+  /// *after* clamping, so served shares can exceed 1 — exactly the
+  /// off-by-one-ish bug the split-fraction oracle must catch. 0 disables.
+  double planted_split_bias = 0.0;
 
   // --- fault tolerance (driver sets these iff a FaultPlan is enabled) ---
   bool fault_tolerant = false;
@@ -125,6 +129,8 @@ class OverlayPeer final : public PeerBase {
   int current_parent() const { return parent_; }
   /// Number of crashed peers this peer has been notified about.
   int known_crashes() const { return crash_epoch_; }
+
+  StateTap state_tap() const override;
 
  protected:
   void on_start() override;
@@ -174,6 +180,9 @@ class OverlayPeer final : public PeerBase {
   /// shares <= 0, > 1 or NaN; serving must not stall on them. Emits
   /// kSplitClamp when it fires. `req_type` is the request being served.
   double clamp_fraction(double raw, int req_type);
+  /// Applies the conformance-harness bug plant (planted_split_bias) *after*
+  /// clamping so the sanitiser cannot mask it; identity when unset.
+  double biased(double f) const { return f + config_.planted_split_bias; }
   double fraction_for_child(std::size_t child_idx, int req_type);
   double fraction_for_parent();
   double fraction_for_bridge(std::uint64_t requester_size);

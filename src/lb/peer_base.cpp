@@ -54,6 +54,17 @@ void PeerBase::on_compute_done() {
   }
 }
 
+StateTap PeerBase::state_tap() const {
+  StateTap t;
+  t.peer = id();
+  t.holds_work = holds_work();
+  t.work_amount = holds_work() ? work_->amount() : 0.0;
+  t.terminated = terminated_;
+  t.computing = computing();
+  t.units_done = units_done_;
+  return t;
+}
+
 double PeerBase::on_crashed() {
   const double lost = holds_work() ? work_->amount() : 0.0;
   work_.reset();

@@ -27,6 +27,24 @@ struct PeerConfig {
   double min_split_amount = 4.0;
 };
 
+/// One peer's externally observable protocol state, snapshotted after a run
+/// for the conformance oracles (src/check): final-state invariants like
+/// "every live peer terminated holding nothing" and "transfers sent ==
+/// transfers received" are checked against these instead of re-deriving
+/// them from the trace.
+struct StateTap {
+  int peer = -1;
+  bool crashed = false;
+  bool holds_work = false;
+  double work_amount = 0;
+  bool terminated = false;
+  bool computing = false;
+  std::uint64_t units_done = 0;
+  std::uint64_t transfers_sent = 0;
+  std::uint64_t transfers_recv = 0;
+  std::uint64_t pending_requests = 0;
+};
+
 class PeerBase : public sim::Actor {
  public:
   // --- post-run inspection (harness side) ---
@@ -37,6 +55,10 @@ class PeerBase : public sim::Actor {
   bool holds_work() const { return work_ != nullptr && !work_->empty(); }
   /// Request retransmissions performed by this peer (fault tolerance).
   std::uint64_t retries() const { return retries_; }
+
+  /// Snapshot for the conformance oracles; subclasses extend it with their
+  /// transfer counters and pending-request state.
+  virtual StateTap state_tap() const;
 
  protected:
   explicit PeerBase(PeerConfig config) : config_(config) {}

@@ -162,7 +162,7 @@ void RwsPeer::on_message(sim::Message m) {
       if (holds_work()) {
         if (auto w = split_work(config_.steal_fraction)) {
           ds_.on_work_sent();
-          if (config_.fault_tolerant) ++work_sent_;
+          ++work_sent_;  // pure counter: FT TermPoll and state taps read it
           emit_trace(trace::EventKind::kServe, m.src, kSteal,
                      trace::fraction_ppm(config_.steal_fraction),
                      static_cast<std::int64_t>(w->amount()));
@@ -189,8 +189,8 @@ void RwsPeer::on_message(sim::Message m) {
     }
     case kWork: {
       steal_outstanding_ = false;
+      ++work_recv_;  // pure counter, mirroring work_sent_
       if (config_.fault_tolerant) {
-        ++work_recv_;
         ++steal_seq_;  // void any outstanding steal timeout
       }
       emit_trace(trace::EventKind::kIdleEnd, m.src, m.type);

@@ -23,6 +23,14 @@ ThreadRunMetrics run_threads(lb::Workload& workload, const lb::RunConfig& config
   const lb::OverlayConfig oc = lb::make_overlay_config(config);
 
   ThreadNet net(config.seed);
+  // Any caller-supplied sink is wrapped for thread safety: peers emit from
+  // their own threads. The wrapper also serialises each send ahead of its
+  // delivery in the recorded stream (see thread_net.cpp).
+  std::unique_ptr<trace::LockedSink> locked;
+  if (config.tracer != nullptr) {
+    locked = std::make_unique<trace::LockedSink>(config.tracer);
+    net.set_tracer(locked.get());
+  }
   std::vector<lb::OverlayPeer*> peers;
   for (int i = 0; i < config.num_peers; ++i) {
     auto peer = std::make_unique<lb::OverlayPeer>(
@@ -54,6 +62,9 @@ ThreadRunMetrics run_threads(lb::Workload& workload, const lb::RunConfig& config
   const sim::Time done = peers.front()->done_time();
   metrics.done_seconds = sim::to_seconds(std::max<sim::Time>(done, 0));
   metrics.ok = all_done && done >= 0;
+  for (lb::OverlayPeer* peer : peers) {
+    metrics.final_state.push_back(peer->state_tap());
+  }
   return metrics;
 }
 

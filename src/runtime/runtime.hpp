@@ -23,6 +23,9 @@ struct ThreadRunMetrics {
   std::uint64_t work_requests = 0;   ///< kReqDown/kReqUp/kReqBridge sent
   std::uint64_t work_transfers = 0;  ///< kWork messages sent
   bool ok = false;  ///< terminated everywhere, no work left anywhere
+  /// Post-run per-peer protocol snapshots (peer-id order) for the
+  /// conformance oracles — the same taps the simulator backend reports.
+  std::vector<lb::StateTap> final_state;
 };
 
 /// Runs `workload` under `config` on one thread per peer. Requires an

@@ -42,7 +42,18 @@ void ThreadNet::transport_send(sim::Actor& from, int dst, sim::Message m) {
     from.stats_.sent_by_type.resize(type_idx + 1, 0);
   }
   ++from.stats_.sent_by_type[type_idx];
-  total_messages_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t msg_id =
+      total_messages_.fetch_add(1, std::memory_order_relaxed) + 1;
+
+  if (trace::kTraceCompiled && tracer_ != nullptr) [[unlikely]] {
+    // Emitted *before* the mailbox push: the delivery emit happens-after the
+    // pop, which happens-after this push, so the (locked) sink records every
+    // send ahead of its delivery — the stream order the oracles rely on.
+    // Latency (b) is 0: there is no modelled network here.
+    m.id = static_cast<std::uint32_t>(msg_id);
+    trace::emit(tracer_, transport_now(), trace::EventKind::kMsgSend, from.id_,
+                dst, m.type, static_cast<std::int64_t>(m.id), 0);
+  }
 
   Host& to = *hosts_[static_cast<std::size_t>(dst)];
   to.mailbox.push(std::move(m));
@@ -71,6 +82,10 @@ void ThreadNet::dispatch(Host& host, sim::Message m) {
   // Timers stay thread-local and faults don't exist here, so the reserved
   // negative types never travel through a mailbox.
   OLB_CHECK(m.type >= 0);
+  if (trace::kTraceCompiled && tracer_ != nullptr) [[unlikely]] {
+    trace::emit(tracer_, transport_now(), trace::EventKind::kMsgDeliver, a.id_,
+                m.src, m.type, static_cast<std::int64_t>(m.id), 0);
+  }
   a.on_message(std::move(m));
 }
 

@@ -20,9 +20,12 @@
 // gives them.
 //
 // What ThreadNet does NOT provide: fault injection, heterogeneity speed
-// scaling (speed is whatever the hardware does), tracing (the sinks are
-// single-threaded), or determinism — message interleavings are real. Runs
-// are checked for protocol invariants instead of byte-reproducibility.
+// scaling (speed is whatever the hardware does), or determinism — message
+// interleavings are real. Runs are checked for protocol invariants instead
+// of byte-reproducibility. Tracing IS available via set_tracer() with a
+// thread-safe sink (trace::LockedSink): timestamps are wall-clock ns and
+// the recorded *stream order* is causal per message (send before deliver),
+// which is what the conformance oracles consume.
 #pragma once
 
 #include <chrono>
@@ -74,6 +77,14 @@ class ThreadNet final : public sim::Transport {
   std::uint64_t total_messages() const {
     return total_messages_.load(std::memory_order_relaxed);
   }
+
+  /// Attaches a trace sink (not owned; must outlive run()). The sink is hit
+  /// concurrently from every peer thread, so pass a thread-safe one — wrap
+  /// anything single-threaded in trace::LockedSink. Call before run().
+  void set_tracer(trace::TraceSink* tracer) {
+    OLB_CHECK_MSG(!running_, "tracer must be attached before run()");
+    tracer_ = tracer;
+  }
   /// Sum of a message-type counter over all actors (call after run()).
   std::uint64_t total_sent_of_type(int type) const;
 
@@ -103,7 +114,7 @@ class ThreadNet final : public sim::Transport {
   // Transport services (see transport.hpp).
   sim::Time transport_now() const override;
   int transport_num_peers() const override { return num_actors(); }
-  trace::TraceSink* transport_tracer() const override { return nullptr; }
+  trace::TraceSink* transport_tracer() const override { return tracer_; }
   void transport_send(sim::Actor& from, int dst, sim::Message m) override;
   void transport_set_timer(sim::Actor& from, sim::Time delay,
                            std::int64_t tag) override;
@@ -125,6 +136,7 @@ class ThreadNet final : public sim::Transport {
   std::chrono::steady_clock::time_point start_{};
   bool running_ = false;
   std::atomic<std::uint64_t> total_messages_{0};
+  trace::TraceSink* tracer_ = nullptr;  ///< must be thread-safe (LockedSink)
 };
 
 }  // namespace olb::runtime

@@ -61,7 +61,7 @@ void Engine::transport_set_timer(Actor& from, Time delay, std::int64_t tag) {
   e.dst = from.id_;
   e.kind = Event::Kind::kArrival;
   e.msg = std::move(m);
-  queue_.push(std::move(e));
+  push_event(std::move(e));
 }
 
 Engine::Engine(NetworkConfig config, std::uint64_t seed)
@@ -99,7 +99,32 @@ void Engine::send_from(Actor& from, int dst, Message m) {
     from.stats_.sent_by_type.resize(type_idx + 1, 0);
   }
   ++from.stats_.sent_by_type[type_idx];
-  const Time latency = network_.latency(from.id_, dst);
+  Time latency = network_.latency(from.id_, dst);
+  if (perturb_jitter_ > 0) [[unlikely]] {
+    latency += static_cast<Time>(
+        perturb_rng_.below(static_cast<std::uint64_t>(perturb_jitter_) + 1));
+    // The jitter must not let a message overtake an earlier one on the same
+    // ordered link: the overlay termination rules treat an upward request as
+    // the subtree-finished signal, which is only sound on non-overtaking
+    // links (DESIGN.md, conformance notes). The base network keeps that
+    // promise structurally — consecutive same-link sends are spaced by at
+    // least msg_handling_cost, which exceeds its latency_jitter — but an
+    // extra_jitter larger than that spacing would break it (the fuzzer
+    // found exactly this: a finished-signal overtaking the final work
+    // transfer, stranding work at a terminated root). So perturbed arrivals
+    // are clamped to stay strictly behind the link's last scheduled one;
+    // strict monotonicity also keeps tie shuffling from swapping them.
+    if (perturb_link_last_.empty()) {
+      perturb_link_last_.resize(static_cast<std::size_t>(num_actors()) *
+                                    static_cast<std::size_t>(num_actors()),
+                                0);
+    }
+    Time& last = perturb_link_last_[static_cast<std::size_t>(from.id_) *
+                                        static_cast<std::size_t>(num_actors()) +
+                                    static_cast<std::size_t>(dst)];
+    if (now_ + latency <= last) latency = last + 1 - now_;
+    last = now_ + latency;
+  }
 
   // Link faults apply to control messages only: payload-carrying transfers
   // model a reliable bulk channel (see faults.hpp), so work is never
@@ -117,6 +142,13 @@ void Engine::send_from(Actor& from, int dst, Message m) {
     m.id = static_cast<std::uint32_t>(total_messages_);
     trace::emit(tracer_, now_, trace::EventKind::kMsgSend, from.id_, dst, m.type,
                 static_cast<std::int64_t>(m.id), latency);
+  }
+
+  // Conformance-harness bug plant: the nth transfer vanishes *after* its
+  // kMsgSend was traced — exactly what a lost-ack bug looks like to the
+  // conservation oracle.
+  if (planted_drop_nth_ != 0 && m.payload != nullptr) [[unlikely]] {
+    if (++planted_payload_seen_ == planted_drop_nth_) return;
   }
 
   push_arrival(std::move(m), now_ + latency);
@@ -161,7 +193,7 @@ void Engine::push_arrival(Message&& m, Time at) {
   e.dst = m.dst;
   e.kind = Event::Kind::kArrival;
   e.msg = std::move(m);
-  queue_.push(std::move(e));
+  push_event(std::move(e));
 }
 
 void Engine::schedule_wake(Actor& a, Time at) {
@@ -172,7 +204,7 @@ void Engine::schedule_wake(Actor& a, Time at) {
   e.seq = next_seq_++;
   e.dst = a.id_;
   e.kind = Event::Kind::kWake;
-  queue_.push(std::move(e));
+  push_event(std::move(e));
 }
 
 void Engine::service(Actor& a, Time t) {
@@ -393,7 +425,7 @@ Engine::RunResult Engine::run(Time time_limit, std::uint64_t event_limit) {
       e.seq = next_seq_++;
       e.dst = c.peer;
       e.kind = Event::Kind::kCrash;
-      queue_.push(std::move(e));
+      push_event(std::move(e));
     }
     for (const StallEvent& s : injector_.plan().stalls) {
       Event e;
@@ -402,7 +434,7 @@ Engine::RunResult Engine::run(Time time_limit, std::uint64_t event_limit) {
       e.dst = s.peer;
       e.kind = Event::Kind::kStall;
       e.msg.a = s.duration;
-      queue_.push(std::move(e));
+      push_event(std::move(e));
     }
   }
   if (faults_on_) {

@@ -26,6 +26,7 @@
 #include "simnet/faults.hpp"
 #include "simnet/message.hpp"
 #include "simnet/network.hpp"
+#include "simnet/perturb.hpp"
 #include "simnet/time.hpp"
 #include "simnet/transport.hpp"
 #include "support/check.hpp"
@@ -177,6 +178,27 @@ class Engine final : public Transport {
   const FaultPlan& fault_plan() const { return injector_.plan(); }
   bool peer_crashed(int id) const { return injector_.crashed(id); }
 
+  /// Installs a schedule perturbation (see perturb.hpp): random tie-breaking
+  /// among simultaneous events and/or bounded extra latency jitter, driven
+  /// by a dedicated RNG stream so the actors' own streams are untouched.
+  /// Call before run(). A disabled perturbation (the default) is a strict
+  /// no-op: the run stays byte-identical to one that never called this.
+  void set_perturbation(const SchedulePerturbation& p) {
+    OLB_CHECK_MSG(!running_, "perturbation must be configured before run()");
+    if (!p.enabled()) return;
+    perturb_ties_ = p.shuffle_ties;
+    perturb_jitter_ = p.extra_jitter;
+    perturb_rng_ = Xoshiro256(mix64(p.seed ^ 0x70657274ull) ^ mix64(seed_));
+  }
+
+  /// Conformance-harness bug plant: silently discards the nth payload-
+  /// carrying message instead of delivering it — a "lost transfer" the
+  /// oracles must catch. 0 (default) disables. Call before run().
+  void set_planted_payload_drop(int nth) {
+    OLB_CHECK_MSG(!running_, "bug plants must be configured before run()");
+    planted_drop_nth_ = nth;
+  }
+
   // --- fault accounting (all zero in fault-free runs) ---
   std::uint64_t msgs_dropped() const { return msgs_dropped_; }
   std::uint64_t msgs_duplicated() const { return msgs_duplicated_; }
@@ -243,6 +265,12 @@ class Engine final : public Transport {
   template <bool Instrumented, bool Faulty>
   RunResult run_loop(Time time_limit, std::uint64_t event_limit);
 
+  /// Single choke point for event insertion: stamps the random tie-break
+  /// key when tie shuffling is active (0 otherwise, preserving FIFO order).
+  void push_event(Event&& e) {
+    if (perturb_ties_) [[unlikely]] e.tie = perturb_rng_();
+    queue_.push(std::move(e));
+  }
   void push_arrival(Message&& m, Time at);
   /// Cold continuation of send_from when link faults are enabled: fate
   /// draw, spike accounting, drop/duplicate handling.
@@ -274,6 +302,19 @@ class Engine final : public Transport {
   std::uint64_t work_bounced_ = 0;
   int crashes_applied_ = 0;
   double work_lost_units_ = 0.0;
+  // Schedule perturbation (off by default; the tie stamp is one
+  // predicted-not-taken branch per event, the jitter one per send).
+  bool perturb_ties_ = false;
+  Time perturb_jitter_ = 0;
+  Xoshiro256 perturb_rng_;
+  /// Last scheduled arrival per ordered (src, dst) link, indexed
+  /// src * num_actors() + dst; allocated lazily on the jittered send path
+  /// only, so unperturbed runs never touch it. Keeps extra_jitter from
+  /// reordering a link (see send_from).
+  std::vector<Time> perturb_link_last_;
+  // Conformance-harness bug plant (see set_planted_payload_drop).
+  int planted_drop_nth_ = 0;
+  int planted_payload_seen_ = 0;
   // Tracing / queueing-delay state lives after the event-loop hot members so
   // attaching the subsystem does not shift their cache-line layout.
   trace::TraceSink* tracer_ = nullptr;

@@ -24,12 +24,18 @@ struct Event {
 
   Time time = 0;
   std::uint64_t seq = 0;  ///< global insertion counter; ties broken FIFO
+  /// Random tie-break key, always 0 unless schedule perturbation is active
+  /// (see simnet/perturb.hpp) — then simultaneous events are ordered by it
+  /// instead of insertion order, exploring a different interleaving per
+  /// perturbation seed while staying fully deterministic.
+  std::uint64_t tie = 0;
   int dst = -1;
   Kind kind = Kind::kWake;
   Message msg;  ///< valid only for kArrival (kStall borrows msg.a)
 
   bool before(const Event& other) const {
     if (time != other.time) return time < other.time;
+    if (tie != other.tie) return tie < other.tie;
     return seq < other.seq;
   }
 };

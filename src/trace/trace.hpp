@@ -26,7 +26,7 @@
 //  kActorIdle    | actor      | —         | —          | —            | —
 //  kIdleBegin    | peer       | —         | —          | episode      | —
 //  kIdleEnd      | peer       | work src  | —          | episode      | —
-//  kRequest      | requester  | target    | msg type   | —            | —
+//  kRequest      | requester  | target    | msg type   | agg sent (+) | agg recv (+)
 //  kServe        | server     | requester | msg type   | fraction ppm | amount
 //  kNoServe      | server     | requester | msg type   | —            | —
 //  kQueueDepth   | peer       | —         | —          | depth        | —
@@ -44,10 +44,13 @@
 //  (**) 0 = link fault, 1 = destination crashed, 2 = bounce destroyed.
 //  (***) raw fraction saturated into [-1000, 1000] before the ppm encoding
 //        (stale subtree aggregates can produce absurd magnitudes).
+//  (+) only the overlay's upward request (kReqUp) carries the subtree's
+//      aggregated transfer counters; other kRequest emissions leave a/b = 0.
 #pragma once
 
 #include <cstdint>
 #include <cmath>
+#include <mutex>
 #include <vector>
 
 #include "simnet/time.hpp"
@@ -195,6 +198,61 @@ class RingTracer final : public TraceSink {
   std::size_t head_ = 0;  ///< oldest retained event once the ring is full
   std::uint64_t dropped_ = 0;
   std::vector<TraceEvent> events_;
+};
+
+/// Fans every event out to up to two sinks — e.g. the caller's tracer plus
+/// the conformance oracles — without either knowing about the other. Either
+/// sink may be null. dropped()/snapshot() delegate to the first sink so a
+/// TeeSink is a drop-in replacement for it.
+class TeeSink final : public TraceSink {
+ public:
+  TeeSink(TraceSink* first, TraceSink* second) : first_(first), second_(second) {}
+
+  void record(const TraceEvent& e) override {
+    if (first_ != nullptr) first_->record(e);
+    if (second_ != nullptr) second_->record(e);
+  }
+
+  std::uint64_t dropped() const override {
+    return first_ != nullptr ? first_->dropped() : 0;
+  }
+
+  std::vector<TraceEvent> snapshot() const override {
+    return first_ != nullptr ? first_->snapshot() : std::vector<TraceEvent>{};
+  }
+
+ private:
+  TraceSink* first_;
+  TraceSink* second_;
+};
+
+/// Mutex adapter making any sink safe for concurrent record() calls — the
+/// shared-memory backend's threads all emit into one sink. The lock also
+/// serialises each send with its delivery (senders emit kMsgSend *before*
+/// the mailbox push), so the recorded stream order is causal: a message's
+/// send always precedes its delivery.
+class LockedSink final : public TraceSink {
+ public:
+  explicit LockedSink(TraceSink* inner) : inner_(inner) { OLB_CHECK(inner_ != nullptr); }
+
+  void record(const TraceEvent& e) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    inner_->record(e);
+  }
+
+  std::uint64_t dropped() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return inner_->dropped();
+  }
+
+  std::vector<TraceEvent> snapshot() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return inner_->snapshot();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  TraceSink* inner_;
 };
 
 /// The one emission point: a null sink (the default) costs a single

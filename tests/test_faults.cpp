@@ -20,6 +20,7 @@
 #include "lb/driver.hpp"
 #include "overlay/tree_overlay.hpp"
 #include "simnet/faults.hpp"
+#include "test_util.hpp"
 #include "trace/export.hpp"
 #include "trace/trace.hpp"
 #include "uts/uts_work.hpp"
@@ -28,42 +29,20 @@ namespace olb {
 namespace {
 
 uts::Params small_uts(std::uint32_t root_seed) {
-  uts::Params p;
-  p.hash = uts::HashMode::kFast;
-  p.b0 = 200;
-  p.q = 0.47;
-  p.m = 2;
-  p.root_seed = root_seed;
-  return p;
+  return test_util::uts_params(root_seed, /*b0=*/200, /*q=*/0.47);
 }
 
 lb::RunConfig faulty_config(lb::Strategy s, int n, std::uint64_t seed) {
-  lb::RunConfig config;
-  config.strategy = s;
-  config.num_peers = n;
-  config.seed = seed;
-  config.net = lb::paper_network(n);
   // Watchdog: a protocol that loops on retries instead of terminating must
   // fail fast, not burn the default 400M-event budget.
-  config.limits.event_limit = 30'000'000;
-  return config;
+  return test_util::base_config(s, n, /*dmax=*/10, seed,
+                                /*event_limit=*/30'000'000);
 }
 
-/// Runs UTS under `config` and checks the two core properties against the
-/// sequential reference. Returns the metrics for extra per-test checks.
+/// The suite's canonical faulty UTS run: instance 91 under `config`, with
+/// the shared no-hang / no-premature-termination property check.
 lb::RunMetrics check_uts_run(const lb::RunConfig& config) {
-  uts::UtsWorkload workload(small_uts(91), uts::CostModel{});
-  const auto seq = lb::run_sequential(workload);
-  const auto m = lb::run_distributed(workload, config);
-  EXPECT_TRUE(m.ok) << "hang or event-limit hit";
-  if (m.work_lost_units == 0.0) {
-    EXPECT_EQ(m.total_units, seq.units) << "premature termination";
-  } else {
-    EXPECT_LE(m.total_units, seq.units);
-    EXPECT_GE(m.total_units + static_cast<std::uint64_t>(m.work_lost_units),
-              std::uint64_t{1});
-  }
-  return m;
+  return test_util::check_uts_run(config, small_uts(91));
 }
 
 // --- link faults only: nothing may be lost, counts must stay exact -------

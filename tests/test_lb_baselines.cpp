@@ -5,30 +5,16 @@
 #include "bb/bb_work.hpp"
 #include "lb/driver.hpp"
 #include "lb/ds_termination.hpp"
+#include "test_util.hpp"
 #include "uts/uts_work.hpp"
 
 namespace olb {
 namespace {
 
-uts::Params uts_params(std::uint32_t seed) {
-  uts::Params p;
-  p.shape = uts::TreeShape::kBinomial;
-  p.hash = uts::HashMode::kFast;
-  p.b0 = 150;
-  p.q = 0.48;
-  p.m = 2;
-  p.root_seed = seed;
-  return p;
-}
+using test_util::uts_params;
 
 lb::RunConfig base_config(lb::Strategy s, int n, std::uint64_t seed) {
-  lb::RunConfig c;
-  c.strategy = s;
-  c.num_peers = n;
-  c.dmax = 10;
-  c.seed = seed;
-  c.net = lb::paper_network(n);
-  return c;
+  return test_util::base_config(s, n, /*dmax=*/10, seed);
 }
 
 // --------------------------------------------------------- DsTermination ---

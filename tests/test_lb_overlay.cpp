@@ -8,31 +8,14 @@
 
 #include "bb/bb_work.hpp"
 #include "lb/driver.hpp"
+#include "test_util.hpp"
 #include "uts/uts_work.hpp"
 
 namespace olb {
 namespace {
 
-uts::Params uts_params(std::uint32_t seed, int b0 = 150, double q = 0.48) {
-  uts::Params p;
-  p.shape = uts::TreeShape::kBinomial;
-  p.hash = uts::HashMode::kFast;
-  p.b0 = b0;
-  p.q = q;
-  p.m = 2;
-  p.root_seed = seed;
-  return p;
-}
-
-lb::RunConfig base_config(lb::Strategy s, int n, int dmax, std::uint64_t seed) {
-  lb::RunConfig c;
-  c.strategy = s;
-  c.num_peers = n;
-  c.dmax = dmax;
-  c.seed = seed;
-  c.net = lb::paper_network(n);
-  return c;
-}
+using test_util::base_config;
+using test_util::uts_params;
 
 // --------------------------------------------------- parameterised sweeps ---
 
@@ -71,11 +54,11 @@ INSTANTIATE_TEST_SUITE_P(
         ::testing::Values(2, 5, 17, 60),
         ::testing::Values(1, 2, 10),
         ::testing::Values<std::uint64_t>(1, 2)),
-    [](const ::testing::TestParamInfo<SweepParam>& info) {
-      return std::string(lb::strategy_name(std::get<0>(info.param))) + "_n" +
-             std::to_string(std::get<1>(info.param)) + "_d" +
-             std::to_string(std::get<2>(info.param)) + "_s" +
-             std::to_string(std::get<3>(info.param));
+    [](const ::testing::TestParamInfo<SweepParam>& p) {
+      return std::string(lb::strategy_name(std::get<0>(p.param))) + "_n" +
+             std::to_string(std::get<1>(p.param)) + "_d" +
+             std::to_string(std::get<2>(p.param)) + "_s" +
+             std::to_string(std::get<3>(p.param));
     });
 
 // ------------------------------------------------------------- edge cases ---

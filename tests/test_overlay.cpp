@@ -107,6 +107,58 @@ TEST(TreeOverlay, BfsOrderVisitsEveryNodeOnce) {
   for (int i = 0; i < 150; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
 }
 
+// ------------------------------------------------- randomized properties ---
+
+TEST(TreeOverlayProperty, TdStructureHoldsForRandomShapes) {
+  // For 100 random (n, dmax): out-degree bounded, parent < child, BFS
+  // labelling is the identity, and subtree sizes sum at every node.
+  Xoshiro256 rng(101);
+  for (int trial = 0; trial < 100; ++trial) {
+    const int n = 1 + static_cast<int>(rng.below(400));
+    const int dmax = 1 + static_cast<int>(rng.below(12));
+    const auto t = TreeOverlay::deterministic(n, dmax);
+    ASSERT_EQ(t.size(), n);
+    EXPECT_LE(t.max_degree(), dmax) << "n=" << n << " dmax=" << dmax;
+    std::uint64_t total = 0;
+    for (int v = 0; v < n; ++v) {
+      if (v > 0) {
+        EXPECT_LT(t.parent(v), v);
+      }
+      std::uint64_t sum = 1;
+      for (int c : t.children(v)) sum += t.subtree_size(c);
+      EXPECT_EQ(sum, t.subtree_size(v)) << "n=" << n << " dmax=" << dmax;
+      total += 1;
+    }
+    EXPECT_EQ(total, static_cast<std::uint64_t>(n));
+    EXPECT_EQ(t.subtree_size(0), static_cast<std::uint64_t>(n));
+    const auto order = t.bfs_order();
+    for (int i = 0; i < n; ++i) {
+      ASSERT_EQ(order[static_cast<std::size_t>(i)], i) << "n=" << n;
+    }
+  }
+}
+
+TEST(TreeOverlayProperty, TrStructureHoldsForRandomSeeds) {
+  // For 100 random (n, seed): parent < child (recursive attachment),
+  // subtree sizes sum at every node and the root covers everything.
+  Xoshiro256 rng(202);
+  for (int trial = 0; trial < 100; ++trial) {
+    const int n = 1 + static_cast<int>(rng.below(400));
+    const std::uint64_t seed = rng();
+    const auto t = TreeOverlay::randomized(n, seed);
+    ASSERT_EQ(t.size(), n);
+    for (int v = 0; v < n; ++v) {
+      if (v > 0) {
+        EXPECT_LT(t.parent(v), v);
+      }
+      std::uint64_t sum = 1;
+      for (int c : t.children(v)) sum += t.subtree_size(c);
+      EXPECT_EQ(sum, t.subtree_size(v)) << "n=" << n << " seed=" << seed;
+    }
+    EXPECT_EQ(t.subtree_size(0), static_cast<std::uint64_t>(n));
+  }
+}
+
 TEST(TreeOverlay, RandomRecursiveTreeHasLogarithmicishHeight) {
   const auto t = TreeOverlay::randomized(1000, 17);
   // E[height] ~ e*ln(n) ≈ 18.8 for n=1000; allow generous slack.

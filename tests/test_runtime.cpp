@@ -145,6 +145,12 @@ TEST(RuntimeThreads, FlowshopOptimumExact) {
 }
 
 TEST(RuntimeThreads, MessageAccountingIsCoherent) {
+  // Even with the bigger instance below, a single-core host serialises the
+  // four worker threads so hard that work may never move; the transfer
+  // assertions are genuinely thread-count-dependent.
+  if (std::thread::hardware_concurrency() < 2) {
+    GTEST_SKIP() << "needs >= 2 hardware threads for cross-peer transfers";
+  }
   // Bigger than small_uts: the run must span many OS scheduler timeslices,
   // or on a single-CPU host peer 0 can finish the whole instance before the
   // idle peers' requests are even scheduled — and then nothing transfers.

@@ -1,0 +1,70 @@
+// Shared run-and-assert scaffolding for the protocol test suites
+// (test_lb_overlay, test_lb_baselines, test_faults): canonical UTS
+// instances, a canonical paper-network RunConfig, and the core
+// "no hang + no premature termination" property check.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "lb/driver.hpp"
+#include "uts/uts_work.hpp"
+
+namespace olb::test_util {
+
+/// The suite's canonical small UTS instance family: binomial shape, fast
+/// hash, m = 2, parameterised by root seed (and optionally size/decay so a
+/// test can pick a denser or near-empty tree).
+inline uts::Params uts_params(std::uint32_t root_seed, int b0 = 150,
+                              double q = 0.48) {
+  uts::Params p;
+  p.shape = uts::TreeShape::kBinomial;
+  p.hash = uts::HashMode::kFast;
+  p.b0 = b0;
+  p.q = q;
+  p.m = 2;
+  p.root_seed = root_seed;
+  return p;
+}
+
+/// Canonical run configuration on the paper's network model. event_limit 0
+/// keeps the driver's default budget; fault suites pass a tight watchdog so
+/// a non-terminating protocol fails fast instead of stalling ctest.
+inline lb::RunConfig base_config(lb::Strategy s, int n, int dmax,
+                                 std::uint64_t seed,
+                                 std::uint64_t event_limit = 0) {
+  lb::RunConfig c;
+  c.strategy = s;
+  c.num_peers = n;
+  c.dmax = dmax;
+  c.seed = seed;
+  c.net = lb::paper_network(n);
+  if (event_limit != 0) c.limits.event_limit = event_limit;
+  return c;
+}
+
+/// Runs UTS under `config` and checks the two load-bearing properties
+/// against the sequential reference:
+///
+///  * no hang — `metrics.ok` (watchdog-limited when the config says so);
+///  * no premature termination — UTS node counts are a run invariant, so a
+///    run that destroyed no work (work_lost_units == 0) must count
+///    *exactly* the sequential total, and a lossy one at most that.
+///
+/// Returns the metrics for extra per-test checks.
+inline lb::RunMetrics check_uts_run(const lb::RunConfig& config,
+                                    const uts::Params& params) {
+  uts::UtsWorkload workload(params, uts::CostModel{});
+  const auto seq = lb::run_sequential(workload);
+  const auto m = lb::run_distributed(workload, config);
+  EXPECT_TRUE(m.ok) << "hang or event-limit hit";
+  if (m.work_lost_units == 0.0) {
+    EXPECT_EQ(m.total_units, seq.units) << "premature termination";
+  } else {
+    EXPECT_LE(m.total_units, seq.units);
+    EXPECT_GE(m.total_units + static_cast<std::uint64_t>(m.work_lost_units),
+              std::uint64_t{1});
+  }
+  return m;
+}
+
+}  // namespace olb::test_util
