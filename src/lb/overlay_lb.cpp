@@ -313,6 +313,15 @@ double OverlayPeer::clamp_fraction(double raw, int req_type) {
   return clamped;
 }
 
+// The subtree-proportional split fractions (paper §II.B). T_x is the
+// (capacity-weighted) size of x's subtree learned in the setup
+// converge-cast; "self" is the serving peer. Each requester class gets the
+// share of the serving peer's work that its subtree is of the relevant
+// enclosing population, so work lands in proportion to the compute power
+// that will drain it.
+
+/// Serving a child's upward request: share = T_child / T_self — the
+/// child's subtree as a fraction of mine (which contains it).
 double OverlayPeer::fraction_for_child(std::size_t child_idx, int req_type) {
   // All ratios are formed in double: the aggregates are uint64, and stale
   // values (see clamp_fraction) would otherwise wrap on subtraction.
@@ -322,6 +331,9 @@ double OverlayPeer::fraction_for_child(std::size_t child_idx, int req_type) {
       req_type));
 }
 
+/// Serving the parent's downward request: share =
+/// (T_parent − T_self) / T_parent — everything in the parent's subtree
+/// that is *not* mine, as a fraction of the parent's subtree.
 double OverlayPeer::fraction_for_parent() {
   return biased(clamp_fraction(
       apply_policy((static_cast<double>(parent_size_) -
@@ -330,6 +342,9 @@ double OverlayPeer::fraction_for_parent() {
       kReqDown));
 }
 
+/// Serving a bridge request (BTD): share = T_req / (T_self + T_req) — the
+/// two subtrees are disjoint, so the requester's weight relative to the
+/// pair decides the share.
 double OverlayPeer::fraction_for_bridge(std::uint64_t requester_size) {
   return biased(clamp_fraction(
       apply_policy(static_cast<double>(requester_size) /

@@ -44,7 +44,10 @@ bool PeerBase::note_bound(std::int64_t b) {
 }
 
 void PeerBase::on_compute_done() {
-  last_active_ = now();
+  // last_active_ only feeds the sim driver's last_compute_seconds metric;
+  // on the thread backend nothing reads it, and a clock syscall per chunk
+  // is exactly the overhead the chunk loop must not pay.
+  if (time_is_free()) last_active_ = now();
   maybe_diffuse();
   after_chunk();
   if (holds_work()) {

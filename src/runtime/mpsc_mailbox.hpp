@@ -1,24 +1,108 @@
 // Lock-free multi-producer single-consumer mailbox (Vyukov's non-intrusive
-// MPSC queue) carrying sim::Message.
+// MPSC queue) carrying sim::Message, plus a sender-owned node pool that
+// keeps the steady-state message path allocation-free.
 //
 // This is the thread backend's replacement for the simulator's per-actor
 // inbox_: any peer thread may push (transport_send), only the owning peer
 // thread pops. Push is wait-free (one exchange + one store); pop is a few
 // loads on the owner thread.
 //
+// Node recycling: a node is acquired from the *sender's* MsgNodePool,
+// travels through the receiver's mailbox, and is released back to that pool
+// by the receiver after the message is consumed. The pool is a Treiber
+// stack with a deliberately asymmetric contract — any thread may release
+// (CAS push, which is ABA-immune), but only the owning sender thread ever
+// acquires (single popper, so the classic Treiber pop ABA — head reinserted
+// under a pending CAS — cannot occur: nobody else removes nodes). The pool
+// is bounded; overflow nodes fall back to the heap, so a burst beyond the
+// cap degrades to the old new/delete behaviour instead of growing without
+// limit.
+//
 // A pop may report "empty" while a push is mid-flight (the producer has
 // swung head_ but not yet linked its node). That transient emptiness is
-// benign for the peer loop: the producer bumps the host's wake epoch only
+// benign for the peer loop: the producer checks the host's sleep gate only
 // *after* push() returns, so a sleeper that saw the transient gap is woken
 // once the message is actually reachable.
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <utility>
 
 #include "simnet/message.hpp"
 
 namespace olb::runtime {
+
+class MsgNodePool;
+
+/// One queued message. Lives in exactly one place at a time — a mailbox,
+/// a free pool, or a producer's hands — so `next` serves as the link in
+/// whichever structure currently holds it.
+struct MsgNode {
+  std::atomic<MsgNode*> next{nullptr};
+  sim::Message msg;
+  MsgNodePool* pool = nullptr;  ///< return address after consumption (null = heap)
+};
+
+/// Bounded free stack of MsgNodes owned by one sender thread.
+class MsgNodePool {
+ public:
+  explicit MsgNodePool(std::size_t cap = 256) : cap_(cap) {}
+
+  MsgNodePool(const MsgNodePool&) = delete;
+  MsgNodePool& operator=(const MsgNodePool&) = delete;
+
+  ~MsgNodePool() {
+    // Single-threaded by now (all mailboxes referencing this pool drained).
+    MsgNode* n = free_head_.load(std::memory_order_relaxed);
+    while (n != nullptr) {
+      MsgNode* next = n->next.load(std::memory_order_relaxed);
+      delete n;
+      n = next;
+    }
+  }
+
+  /// Owner thread only (single popper — see the header comment for why
+  /// that makes the Treiber pop safe).
+  MsgNode* acquire() {
+    MsgNode* head = free_head_.load(std::memory_order_acquire);
+    while (head != nullptr) {
+      MsgNode* next = head->next.load(std::memory_order_relaxed);
+      if (free_head_.compare_exchange_weak(head, next, std::memory_order_acquire,
+                                           std::memory_order_acquire)) {
+        size_.fetch_sub(1, std::memory_order_relaxed);
+        head->pool = this;
+        return head;
+      }
+    }
+    MsgNode* fresh = new MsgNode;
+    fresh->pool = this;
+    return fresh;
+  }
+
+  /// Any thread. Returns the node to the stack, or to the heap when the
+  /// pool is at capacity (the bound is approximate — size_ is read before
+  /// the push — which is fine: it only caps memory, nothing correctness-
+  /// critical).
+  void release(MsgNode* n) {
+    if (size_.load(std::memory_order_relaxed) >=
+        static_cast<std::ptrdiff_t>(cap_)) {
+      delete n;
+      return;
+    }
+    size_.fetch_add(1, std::memory_order_relaxed);
+    MsgNode* head = free_head_.load(std::memory_order_relaxed);
+    do {
+      n->next.store(head, std::memory_order_relaxed);
+    } while (!free_head_.compare_exchange_weak(head, n, std::memory_order_release,
+                                               std::memory_order_relaxed));
+  }
+
+ private:
+  std::atomic<MsgNode*> free_head_{nullptr};
+  std::atomic<std::ptrdiff_t> size_{0};
+  std::size_t cap_;
+};
 
 class MpscMailbox {
  public:
@@ -37,16 +121,26 @@ class MpscMailbox {
   /// Any thread. The release store on prev->next publishes the node *and*
   /// the message contents to the consumer's acquire load.
   void push(sim::Message m) {
-    Node* node = new Node(std::move(m));
-    Node* prev = head_.exchange(node, std::memory_order_acq_rel);
-    prev->next.store(node, std::memory_order_release);
+    MsgNode* node = new MsgNode;
+    node->msg = std::move(m);
+    push_node(node);
+  }
+
+  /// Any thread; the allocation-free path. The node comes from `pool`
+  /// (which must be the calling thread's own — see MsgNodePool) and is
+  /// released back to it by the consumer.
+  void push(sim::Message m, MsgNodePool& pool) {
+    MsgNode* node = pool.acquire();
+    node->msg = std::move(m);
+    node->next.store(nullptr, std::memory_order_relaxed);
+    push_node(node);
   }
 
   /// Owner thread only. Returns false when empty (possibly transiently so,
   /// see the header comment).
   bool pop(sim::Message& out) {
-    Node* tail = tail_;
-    Node* next = tail->next.load(std::memory_order_acquire);
+    MsgNode* tail = tail_;
+    MsgNode* next = tail->next.load(std::memory_order_acquire);
     if (tail == &stub_) {
       // The stub carries no message; step past it first.
       if (next == nullptr) return false;
@@ -57,7 +151,7 @@ class MpscMailbox {
     if (next != nullptr) {
       out = std::move(tail->msg);
       tail_ = next;
-      delete tail;
+      recycle(tail);
       return true;
     }
     // tail is the last linked node. If a producer is mid-push behind it we
@@ -66,27 +160,52 @@ class MpscMailbox {
     if (tail != head_.load(std::memory_order_acquire)) return false;
     // Re-push the stub so the queue stays non-empty after we take tail.
     stub_.next.store(nullptr, std::memory_order_relaxed);
-    Node* prev = head_.exchange(&stub_, std::memory_order_acq_rel);
+    MsgNode* prev = head_.exchange(&stub_, std::memory_order_acq_rel);
     prev->next.store(&stub_, std::memory_order_release);
     next = tail->next.load(std::memory_order_acquire);
     if (next == nullptr) return false;  // an interleaved push will link soon
     out = std::move(tail->msg);
     tail_ = next;
-    delete tail;
+    recycle(tail);
     return true;
   }
 
- private:
-  struct Node {
-    Node() = default;
-    explicit Node(sim::Message m_) : msg(std::move(m_)) {}
-    std::atomic<Node*> next{nullptr};
-    sim::Message msg;
-  };
+  /// Owner thread only. Batched drain: pops messages in FIFO order, calling
+  /// `fn(Message&&)` on each until the mailbox reports empty, `max` messages
+  /// have been consumed, or `fn` returns false (early stop — the remaining
+  /// messages stay queued). Returns the number consumed. This is the unit
+  /// the peer loop amortizes one eventcount wake over: senders skip the
+  /// wake entirely while a drain is in progress (the sleep gate is down).
+  template <typename Fn>
+  std::size_t drain(Fn&& fn, std::size_t max = static_cast<std::size_t>(-1)) {
+    std::size_t n = 0;
+    sim::Message m;
+    while (n < max && pop(m)) {
+      ++n;
+      if (!fn(std::move(m))) break;
+    }
+    return n;
+  }
 
-  std::atomic<Node*> head_;  ///< producers swing this (most recent node)
-  Node* tail_;               ///< consumer-private (oldest node)
-  Node stub_;
+ private:
+  void push_node(MsgNode* node) {
+    MsgNode* prev = head_.exchange(node, std::memory_order_acq_rel);
+    prev->next.store(node, std::memory_order_release);
+  }
+
+  /// Consumed nodes go back to their sender's pool; pool-less ones (plain
+  /// push, e.g. tests and benchmarks) came from the heap.
+  void recycle(MsgNode* node) {
+    if (node->pool != nullptr) {
+      node->pool->release(node);
+    } else {
+      delete node;
+    }
+  }
+
+  std::atomic<MsgNode*> head_;  ///< producers swing this (most recent node)
+  MsgNode* tail_;               ///< consumer-private (oldest node)
+  MsgNode stub_;
 };
 
 }  // namespace olb::runtime

@@ -6,6 +6,13 @@
 // fault injection and speed scaling are simulator concepts. Results are
 // checked against execution-order-independent invariants (exact node
 // counts, B&B optima) rather than reproduced byte-for-byte.
+//
+// Performance: the per-message path is allocation-free in steady state
+// (sender-pooled mailbox nodes), receivers drain in batches with at most
+// one eventcount wake per batch, and the per-chunk loop performs no clock
+// reads unless a timer is armed — see thread_net.hpp and
+// docs/BENCHMARKING.md (`runtime_speedup` is the pinned metric; small
+// chunk_units puts a run in this messaging-bound regime).
 #pragma once
 
 #include "lb/driver.hpp"

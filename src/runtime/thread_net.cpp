@@ -7,7 +7,17 @@
 
 namespace olb::runtime {
 
-ThreadNet::~ThreadNet() = default;
+ThreadNet::~ThreadNet() {
+  // Mailbox nodes are returned to their *sender's* pool on pop, and hosts
+  // destruct one by one — so drain every mailbox while all pools are still
+  // alive, lest a late host's mailbox release into an already-dead pool.
+  // (run() already leaves mailboxes empty; this covers aborted setups.)
+  sim::Message m;
+  for (auto& host : hosts_) {
+    while (host->mailbox.pop(m)) {
+    }
+  }
+}
 
 int ThreadNet::add_actor(std::unique_ptr<sim::Actor> actor) {
   OLB_CHECK_MSG(!running_, "actors must be added before run()");
@@ -55,16 +65,24 @@ void ThreadNet::transport_send(sim::Actor& from, int dst, sim::Message m) {
                 dst, m.type, static_cast<std::int64_t>(m.id), 0);
   }
 
+  Host& sender = *hosts_[static_cast<std::size_t>(from.id_)];
   Host& to = *hosts_[static_cast<std::size_t>(dst)];
-  to.mailbox.push(std::move(m));
-  // Publish-then-bump: the epoch change happens-after the push, so a
-  // receiver that slept through the (possibly transiently invisible) push
-  // is guaranteed to wake and re-poll.
-  {
-    std::scoped_lock lock(to.wake_mutex);
-    ++to.wake_epoch;
+  to.mailbox.push(std::move(m), sender.pool);
+  // Wake protocol (Dekker-style pairing with the receiver's sleep path):
+  // the push above is the store, the sleeping load below is seq_cst, and
+  // the receiver raises `sleeping` (seq_cst) before its final empty
+  // re-poll — so either we see the flag and bump the eventcount, or the
+  // receiver's re-poll sees our message. An awake receiver (the common
+  // case mid-batch) costs this path one load instead of a mutex+notify
+  // per message.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (to.sleeping.load(std::memory_order_seq_cst)) {
+    {
+      std::scoped_lock lock(to.wake_mutex);
+      ++to.wake_epoch;
+    }
+    to.wake_cv.notify_one();
   }
-  to.wake_cv.notify_one();
 }
 
 void ThreadNet::transport_set_timer(sim::Actor& from, sim::Time delay,
@@ -90,6 +108,9 @@ void ThreadNet::dispatch(Host& host, sim::Message m) {
 }
 
 bool ThreadNet::fire_due_timers(Host& host) {
+  // No timers armed — the common case for compute-bound peers — must not
+  // pay a clock read: this runs once per work chunk.
+  if (host.timers.empty()) return false;
   // Snapshot the clock once: timers armed by a firing handler are measured
   // against the next poll, like the simulator's strictly-later delivery.
   const sim::Time now = transport_now();
@@ -113,11 +134,18 @@ void ThreadNet::peer_loop(Host& host,
   sim::Message m;
   while (!exit_when(a)) {
     bool progress = false;
-    while (host.mailbox.pop(m)) {
-      dispatch(host, std::move(m));
-      progress = true;
-      if (exit_when(a)) return;
-    }
+    // Batched drain: every message queued so far is processed in one sweep,
+    // and senders see sleeping == false the whole time, so the batch costs
+    // at most one eventcount round (the wake that started it) instead of
+    // one per message.
+    bool exited = false;
+    const std::size_t drained = host.mailbox.drain([&](sim::Message&& msg) {
+      dispatch(host, std::move(msg));
+      exited = exit_when(a);
+      return !exited;
+    });
+    if (exited) return;
+    if (drained > 0) progress = true;
     if (fire_due_timers(host)) progress = true;
     if (a.compute_pending_) {
       // The chunk's CPU time was spent inside Work::step(); the flag only
@@ -130,15 +158,19 @@ void ThreadNet::peer_loop(Host& host,
     if (progress) continue;
     if (std::chrono::steady_clock::now() >= deadline) return;  // watchdog
 
-    // Idle. Eventcount sleep: read the epoch, re-poll once (a sender may
-    // have pushed between the drain above and the epoch read), then block
+    // Idle. Eventcount sleep: read the epoch, raise the sleep gate, re-poll
+    // once (a sender may have pushed between the drain above and the gate
+    // going up — the seq_cst store/load pairing with transport_send
+    // guarantees we see its message if it missed our flag), then block
     // until the epoch moves or the next timer / safety poll is due.
     std::uint64_t epoch;
     {
       std::scoped_lock lock(host.wake_mutex);
       epoch = host.wake_epoch;
     }
+    host.sleeping.store(true, std::memory_order_seq_cst);
     if (host.mailbox.pop(m)) {
+      host.sleeping.store(false, std::memory_order_relaxed);
       dispatch(host, std::move(m));
       continue;
     }
@@ -149,9 +181,12 @@ void ThreadNet::peer_loop(Host& host,
       until = std::min(until, timer_at);
     }
     until = std::min(until, deadline);
-    std::unique_lock lock(host.wake_mutex);
-    host.wake_cv.wait_until(lock, until,
-                            [&] { return host.wake_epoch != epoch; });
+    {
+      std::unique_lock lock(host.wake_mutex);
+      host.wake_cv.wait_until(lock, until,
+                              [&] { return host.wake_epoch != epoch; });
+    }
+    host.sleeping.store(false, std::memory_order_relaxed);
   }
 }
 

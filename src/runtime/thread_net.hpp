@@ -6,8 +6,9 @@
 // Actor's services exactly as under the simulator, but here
 //
 //   * now()            is the wall clock (ns since run start),
-//   * send()           pushes into the receiver's MpscMailbox and bumps its
-//                      wake epoch,
+//   * send()           pushes into the receiver's MpscMailbox (on a node
+//                      from the sender's pool) and wakes the receiver only
+//                      when its sleep gate says it might be blocked,
 //   * start_compute()  is pure bookkeeping — the work already burned real
 //                      CPU inside Work::step(); the flag makes the peer loop
 //                      drain its mailbox before the next chunk, preserving
@@ -28,6 +29,7 @@
 // which is what the conformance oracles consume.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -47,7 +49,9 @@ class ThreadNet final : public sim::Transport {
   /// `seed` feeds the per-actor RNG streams with the same derivation the
   /// simulator uses, so seed-dependent protocol choices (random child
   /// order, bridge partners) cover the same space on both backends.
-  explicit ThreadNet(std::uint64_t seed) : seed_(seed) {}
+  explicit ThreadNet(std::uint64_t seed) : seed_(seed) {
+    time_is_free_ = false;  // now() is a real clock read here
+  }
   ~ThreadNet() override;
 
   /// Takes ownership; returns the actor's id (dense, starting at 0).
@@ -100,12 +104,25 @@ class ThreadNet final : public sim::Transport {
   struct Host {
     std::unique_ptr<sim::Actor> actor;
     MpscMailbox mailbox;
+    /// Nodes for messages this peer *sends* (only the owning thread
+    /// acquires; receivers release consumed nodes back — see MsgNodePool).
+    MsgNodePool pool;
     std::vector<Timer> timers;  ///< min-heap; timers are self-addressed
     std::thread thread;
 
     // Eventcount-style sleep/wake: a sender bumps epoch under the mutex
     // *after* its mailbox push, the owner re-polls after reading the epoch
     // and only blocks while the epoch is unchanged — no lost wakeups.
+    //
+    // The mutex+notify is paid only when the receiver might actually be
+    // sleeping: `sleeping` is raised before the owner's final empty re-poll
+    // and checked by senders after their push, both seq_cst (Dekker-style
+    // store;load on each side), so either the sender observes the flag and
+    // wakes, or the owner's re-poll observes the message. While the owner
+    // is awake draining a batch, sends skip the wake entirely — one
+    // eventcount round amortized over the whole batch. The peer loop's
+    // bounded cv wait (safety poll) backstops the protocol besides.
+    std::atomic<bool> sleeping{false};
     std::mutex wake_mutex;
     std::condition_variable wake_cv;
     std::uint64_t wake_epoch = 0;  ///< guarded by wake_mutex

@@ -55,13 +55,7 @@ void Engine::transport_set_timer(Actor& from, Time delay, std::int64_t tag) {
   Message m(kTimerMsgType, tag);
   m.src = from.id_;
   m.dst = from.id_;
-  Event e;
-  e.time = now_ + delay;
-  e.seq = next_seq_++;
-  e.dst = from.id_;
-  e.kind = Event::Kind::kArrival;
-  e.msg = std::move(m);
-  push_event(std::move(e));
+  emplace_event(now_ + delay, from.id_, Event::Kind::kArrival).msg = std::move(m);
 }
 
 Engine::Engine(NetworkConfig config, std::uint64_t seed)
@@ -187,24 +181,16 @@ void Engine::send_faulty(Actor& from, int dst, Message&& m, Time latency) {
 }
 
 void Engine::push_arrival(Message&& m, Time at) {
-  Event e;
-  e.time = at;
-  e.seq = next_seq_++;
-  e.dst = m.dst;
-  e.kind = Event::Kind::kArrival;
-  e.msg = std::move(m);
-  push_event(std::move(e));
+  const int dst = m.dst;
+  emplace_event(at, dst, Event::Kind::kArrival).msg = std::move(m);
 }
 
 void Engine::schedule_wake(Actor& a, Time at) {
   OLB_CHECK(!a.wake_pending_);
   a.wake_pending_ = true;
-  Event e;
-  e.time = at;
-  e.seq = next_seq_++;
-  e.dst = a.id_;
-  e.kind = Event::Kind::kWake;
-  push_event(std::move(e));
+  // Wake events never read msg, so the recycled slot's moved-from shell
+  // (payload always null after consumption) is left as-is.
+  emplace_event(at, a.id_, Event::Kind::kWake);
 }
 
 void Engine::service(Actor& a, Time t) {
@@ -303,29 +289,39 @@ template <bool Instrumented, bool Faulty>
 Engine::RunResult Engine::run_loop(Time time_limit, std::uint64_t event_limit) {
   RunResult result;
   while (!queue_.empty()) {
-    if (queue_.peek().time > time_limit || result.events >= event_limit) {
+    if (queue_.peek_time() > time_limit || result.events >= event_limit) {
       return result;  // limit hit; queue intentionally left intact
     }
-    Event e = queue_.pop();
+    // The event is consumed in place: scalars are copied out, an arrival's
+    // message is moved straight into the inbox, and drop_top() recycles the
+    // slot — the Event body itself never moves. `e` is dead after drop_top
+    // (anything that schedules — schedule_wake, service — may reuse the
+    // slot), so each branch drops before it emplaces.
+    Event& e = queue_.top();
     now_ = e.time;
     ++result.events;
     result.end_time = now_;
-    Actor& a = *actors_[static_cast<std::size_t>(e.dst)];
-    switch (e.kind) {
+    const int dst = e.dst;
+    const Event::Kind kind = e.kind;
+    Actor& a = *actors_[static_cast<std::size_t>(dst)];
+    switch (kind) {
       case Event::Kind::kArrival:
         if constexpr (Faulty) {
           if (a.crashed_) [[unlikely]] {
-            arrival_at_crashed(std::move(e));
+            Event dead = queue_.pop();
+            arrival_at_crashed(std::move(dead));
             break;
           }
         }
         if constexpr (Instrumented) e.msg.arrived_at = now_;
         a.inbox_.push_back(std::move(e.msg));
+        queue_.drop_top();
         if (!a.wake_pending_) {
           schedule_wake(a, a.busy_until_ > now_ ? a.busy_until_ : now_);
         }
         break;
       case Event::Kind::kWake:
+        queue_.drop_top();
         a.wake_pending_ = false;
         if constexpr (Faulty) {
           if (a.crashed_) [[unlikely]] break;
@@ -337,11 +333,15 @@ Engine::RunResult Engine::run_loop(Time time_limit, std::uint64_t event_limit) {
         }
         break;
       case Event::Kind::kCrash:
-        if constexpr (Faulty) apply_crash(e.dst);
+        queue_.drop_top();
+        if constexpr (Faulty) apply_crash(dst);
         break;
-      case Event::Kind::kStall:
-        if constexpr (Faulty) apply_stall(e.dst, e.msg.a);
+      case Event::Kind::kStall: {
+        const Time stall = e.msg.a;
+        queue_.drop_top();
+        if constexpr (Faulty) apply_stall(dst, stall);
         break;
+      }
     }
   }
   result.quiesced = true;
@@ -384,7 +384,8 @@ void Engine::apply_crash(int peer) {
   ++crashes_applied_;
   // Arrived-but-unserviced messages die with the peer; their payloads are
   // genuinely lost (the sender already considers them delivered).
-  for (const Message& m : a.inbox_) {
+  for (std::size_t i = 0; i < a.inbox_.size(); ++i) {
+    const Message& m = a.inbox_.at(i);
     if (m.payload != nullptr) work_lost_units_ += m.payload->amount();
   }
   a.inbox_.clear();
@@ -420,21 +421,10 @@ Engine::RunResult Engine::run(Time time_limit, std::uint64_t event_limit) {
   }
   if (faults_on_) {
     for (const CrashEvent& c : injector_.plan().crashes) {
-      Event e;
-      e.time = c.at;
-      e.seq = next_seq_++;
-      e.dst = c.peer;
-      e.kind = Event::Kind::kCrash;
-      push_event(std::move(e));
+      emplace_event(c.at, c.peer, Event::Kind::kCrash);
     }
     for (const StallEvent& s : injector_.plan().stalls) {
-      Event e;
-      e.time = s.at;
-      e.seq = next_seq_++;
-      e.dst = s.peer;
-      e.kind = Event::Kind::kStall;
-      e.msg.a = s.duration;
-      push_event(std::move(e));
+      emplace_event(s.at, s.peer, Event::Kind::kStall).msg.a = s.duration;
     }
   }
   if (faults_on_) {

@@ -18,7 +18,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <vector>
 
@@ -113,6 +112,10 @@ class Actor {
   bool computing() const { return compute_pending_; }
   void set_timer(Time delay, std::int64_t tag);
   Xoshiro256& rng() { return rng_; }
+  /// True when now() is a field read (simulator); false when it is a real
+  /// clock syscall (thread backend). Per-chunk bookkeeping that only feeds
+  /// reporting checks this before stamping timestamps.
+  bool time_is_free() const { return transport_->transport_time_is_free(); }
   /// Cluster size (peer ids are dense 0..num_peers()-1 on both backends).
   int num_peers() const;
   const ActorStats& stats() const { return stats_; }
@@ -135,7 +138,7 @@ class Actor {
   bool compute_pending_ = false;
   bool wake_pending_ = false;
   bool crashed_ = false;
-  std::deque<Message> inbox_;
+  MessageRing inbox_;
   ActorStats stats_;
 };
 
@@ -265,11 +268,15 @@ class Engine final : public Transport {
   template <bool Instrumented, bool Faulty>
   RunResult run_loop(Time time_limit, std::uint64_t event_limit);
 
-  /// Single choke point for event insertion: stamps the random tie-break
-  /// key when tie shuffling is active (0 otherwise, preserving FIFO order).
-  void push_event(Event&& e) {
-    if (perturb_ties_) [[unlikely]] e.tie = perturb_rng_();
-    queue_.push(std::move(e));
+  /// Single choke point for event insertion: stamps the insertion sequence
+  /// and the random tie-break key when tie shuffling is active (0 otherwise,
+  /// preserving FIFO order). Returns the slab-resident event so callers fill
+  /// the message in place — no whole-Event moves on the send path. The
+  /// reference dies at the next queue operation.
+  Event& emplace_event(Time at, int dst, Event::Kind kind) {
+    std::uint64_t tie = 0;
+    if (perturb_ties_) [[unlikely]] tie = perturb_rng_();
+    return queue_.emplace(at, tie, next_seq_++, dst, kind);
   }
   void push_arrival(Message&& m, Time at);
   /// Cold continuation of send_from when link faults are enabled: fate

@@ -56,6 +56,16 @@ class Transport {
   /// utilisation histogram here; the thread backend needs no bookkeeping —
   /// the span *is* the CPU time the work already consumed.
   virtual void transport_compute_started(Actor& from, Time duration) = 0;
+
+  /// Whether reading the clock is effectively free on this substrate. True
+  /// for the simulator (now() is a field read); false for the thread
+  /// backend, where it is a real clock syscall. Per-chunk bookkeeping that
+  /// only feeds reporting (PeerBase::last_active) consults this so the
+  /// thread backend's chunk loop stays clock-free.
+  bool transport_time_is_free() const { return time_is_free_; }
+
+ protected:
+  bool time_is_free_ = true;  ///< cleared by ThreadNet's constructor
 };
 
 }  // namespace olb::sim

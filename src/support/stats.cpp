@@ -19,6 +19,22 @@ Summary summarize(std::span<const double> xs) {
   return s;
 }
 
+SortedSample::SortedSample(std::vector<double> xs) : xs_(std::move(xs)) {
+  std::sort(xs_.begin(), xs_.end());
+}
+
+double SortedSample::percentile(double p) const {
+  if (xs_.empty()) return 0.0;
+  OLB_CHECK(p >= 0.0 && p <= 1.0);
+  if (xs_.size() == 1) return xs_.front();
+  const double pos = p * static_cast<double>(xs_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  const double lo_val = xs_[lo];
+  if (frac == 0.0 || lo + 1 >= xs_.size()) return lo_val;
+  return lo_val * (1.0 - frac) + xs_[lo + 1] * frac;
+}
+
 double percentile(std::span<double> xs, double p) {
   if (xs.empty()) return 0.0;  // a percentile of nothing is 0, not UB
   OLB_CHECK(p >= 0.0 && p <= 1.0);

@@ -49,6 +49,35 @@ struct Summary {
 
 Summary summarize(std::span<const double> xs);
 
+/// A sample sorted once at construction, with O(1) percentile reads.
+///
+/// percentile() below selects in O(n) per call, which is the right trade
+/// for one-off queries — but report paths that derive a whole family of
+/// quantiles from the same series (perf_lab summaries, bench trial tables)
+/// were paying that selection for every quantile. This sorts once and reads
+/// order statistics by index afterwards; the interpolation rule matches
+/// percentile() exactly, so the two agree to the last bit on any sample.
+class SortedSample {
+ public:
+  /// Takes the sample by value and sorts it (ascending) once.
+  explicit SortedSample(std::vector<double> xs);
+
+  std::size_t count() const { return xs_.size(); }
+  bool empty() const { return xs_.empty(); }
+  double min() const { return xs_.empty() ? 0.0 : xs_.front(); }
+  double max() const { return xs_.empty() ? 0.0 : xs_.back(); }
+  double median() const { return percentile(0.5); }
+
+  /// p in [0,1]; linear interpolation between adjacent order statistics.
+  /// Empty sample yields 0 (the same convention as the free percentile()).
+  double percentile(double p) const;
+
+  const std::vector<double>& sorted() const { return xs_; }
+
+ private:
+  std::vector<double> xs_;
+};
+
 /// p in [0,1]; linear interpolation between order statistics. An empty
 /// sample yields 0 (matching Summary's all-zero convention).
 ///

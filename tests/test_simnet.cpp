@@ -60,6 +60,67 @@ TEST(EventQueue, SingleElementPopKeepsMessageIntact) {
   EXPECT_NE(out.msg.payload, nullptr);
 }
 
+TEST(EventQueue, SlabReuseNeverAliasesLiveEvent) {
+  // Arena canary: pop() moves an Event out and recycles its slot; later
+  // emplace() calls reuse that slot. Messages popped earlier must stay
+  // intact — each carries a heap payload, so any aliasing write through a
+  // recycled slot is an ASan-visible use-after-move/overwrite, and the
+  // canary values below catch it in plain builds too.
+  EventQueue q;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    Event& e = q.emplace(static_cast<Time>(i), 0, i, 0, Event::Kind::kArrival);
+    e.msg = Message(static_cast<int>(i), static_cast<std::int64_t>(i) * 1000);
+    e.msg.payload = std::make_unique<MsgPayload>();
+    e.msg.b = static_cast<std::int64_t>(i);
+  }
+  std::vector<Message> held;
+  for (std::uint64_t i = 0; i < 32; ++i) held.push_back(q.pop().msg);
+  // Refill through the freelist: these land in the 32 just-recycled slots.
+  for (std::uint64_t i = 64; i < 96; ++i) {
+    Event& e = q.emplace(static_cast<Time>(i), 0, i, 0, Event::Kind::kArrival);
+    e.msg = Message(static_cast<int>(i), static_cast<std::int64_t>(i) * 1000);
+    e.msg.payload = std::make_unique<MsgPayload>();
+    e.msg.b = static_cast<std::int64_t>(i);
+  }
+  for (std::uint64_t i = 0; i < 32; ++i) {
+    EXPECT_EQ(held[i].type, static_cast<int>(i));
+    EXPECT_EQ(held[i].a, static_cast<std::int64_t>(i) * 1000);
+    ASSERT_NE(held[i].payload, nullptr);
+    EXPECT_EQ(held[i].b, static_cast<std::int64_t>(i));
+  }
+  // Drain the rest: ordering and payloads must line up despite recycling.
+  for (std::uint64_t i = 32; i < 96; ++i) {
+    const Event e = q.pop();
+    EXPECT_EQ(e.seq, i);
+    ASSERT_NE(e.msg.payload, nullptr);
+    EXPECT_EQ(e.msg.b, static_cast<std::int64_t>(i));
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, TopDropTopMatchesPop) {
+  // The engine's in-place consumption path: top() + drop_top() must see the
+  // same event pop() would return, and drop_top() must recycle the slot.
+  EventQueue q;
+  for (Time t : {30, 10, 20}) {
+    Event& e = q.emplace(t, 0, static_cast<std::uint64_t>(t), 0,
+                         Event::Kind::kWake);
+    e.msg = Message(static_cast<int>(t), t);
+  }
+  EXPECT_EQ(q.peek_time(), 10);
+  {
+    Event& top = q.top();
+    EXPECT_EQ(top.time, 10);
+    EXPECT_EQ(top.msg.a, 10);
+    q.drop_top();
+  }
+  const Event e = q.pop();
+  EXPECT_EQ(e.time, 20);
+  EXPECT_EQ(q.top().time, 30);
+  q.drop_top();
+  EXPECT_TRUE(q.empty());
+}
+
 TEST(EventQueue, StressAgainstSortedReference) {
   Xoshiro256 rng(5);
   EventQueue q;

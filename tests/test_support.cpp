@@ -199,6 +199,42 @@ TEST(Stats, PercentileMatchesSortBasedReference) {
   }
 }
 
+TEST(Stats, SortedSamplePinsKnownQuantiles) {
+  // Pin p50/p99 on a fixed vector so any future change to the
+  // interpolation rule (sort-once SortedSample or the selecting free
+  // function) shows up as a concrete number, not a drifted report.
+  std::vector<double> xs;
+  for (int i = 100; i >= 1; --i) xs.push_back(static_cast<double>(i));
+  const SortedSample s(xs);
+  EXPECT_EQ(s.count(), 100u);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  EXPECT_DOUBLE_EQ(s.median(), 50.5);          // between the 50th and 51st
+  EXPECT_DOUBLE_EQ(s.percentile(0.99), 99.01);  // 0.99 * 99 = 98.01 → x[98]+.01
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 100.0);
+}
+
+TEST(Stats, SortedSampleMatchesSelectingPercentile) {
+  Xoshiro256 rng(101);
+  std::vector<double> xs;
+  for (int i = 0; i < 321; ++i) xs.push_back(rng.uniform01() * 2e3 - 1e3);
+  const SortedSample s(xs);  // copy; the original stays for the reference
+  EXPECT_TRUE(std::is_sorted(s.sorted().begin(), s.sorted().end()));
+  for (const double p : {0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    std::vector<double> scratch = xs;
+    EXPECT_DOUBLE_EQ(s.percentile(p), percentile(scratch, p)) << "p=" << p;
+  }
+}
+
+TEST(Stats, SortedSampleEmptyYieldsZero) {
+  const SortedSample s{std::vector<double>{}};
+  EXPECT_TRUE(s.empty());
+  EXPECT_DOUBLE_EQ(s.percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
 TEST(Stats, PercentileSingleElement) {
   std::vector<double> one = {42.0};
   EXPECT_DOUBLE_EQ(percentile(one, 0.0), 42.0);
