@@ -14,6 +14,9 @@ namespace {
 /// Process-wide backend default, armed by parse_run_flags and consumed by
 /// common_config — see the parse_run_flags doc comment.
 lb::Backend g_default_backend = lb::Backend::kSim;
+/// Process-wide metrics hub, built by parse_run_flags from --metrics and
+/// carried by every RunConfig common_config builds.
+std::unique_ptr<metrics::MetricsHub> g_metrics_hub;
 }  // namespace
 
 Flags& define_run_flags(Flags& flags, const RunFlagSpec& spec) {
@@ -28,6 +31,15 @@ Flags& define_run_flags(Flags& flags, const RunFlagSpec& spec) {
     flags.define("backend", "sim",
                  "execution backend: sim (simulator) or threads (real "
                  "threads, overlay strategies only)");
+  }
+  if (spec.metrics) {
+    flags
+        .define("metrics", "",
+                "live metrics snapshot stream (path; .prom = Prometheus text "
+                "exposition, anything else = NDJSON for tools/olb_top)")
+        .define("metrics-interval", "100",
+                "metrics flush interval in ms (simulated time on sim, wall "
+                "time on threads)");
   }
   return flags;
 }
@@ -48,8 +60,29 @@ RunFlags parse_run_flags(const Flags& flags) {
     }
     g_default_backend = rf.backend;
   }
+  if (flags.has("metrics")) {
+    const std::string path = flags.get("metrics");
+    if (!path.empty()) {
+      metrics::MetricsHub::Options o;
+      o.path = path;
+      o.interval_ns = std::max<std::int64_t>(1, flags.get_int("metrics-interval")) *
+                      1'000'000;
+      // Sized for the writer population: the simulator is one thread; the
+      // thread backend shards global instruments across writers. A bench
+      // that suppressed --backend (e.g. runtime_speedup, which always runs
+      // threads) gets the concurrent-safe sizing — shards only cost memory,
+      // a single-writer registry with sharded globals is merely oversized,
+      // but the reverse would lose counts.
+      o.shards = !flags.has("backend") || rf.backend == lb::Backend::kThreads
+                     ? 16
+                     : 1;
+      g_metrics_hub = std::make_unique<metrics::MetricsHub>(std::move(o));
+    }
+  }
   return rf;
 }
+
+metrics::MetricsHub* metrics_hub() { return g_metrics_hub.get(); }
 
 lb::Strategy parse_strategy_flag(const Flags& flags, const char* flag) {
   const std::string name = flags.get(flag);
@@ -120,6 +153,7 @@ lb::RunConfig common_config(lb::Strategy s, int n, std::uint64_t seed, int dmax,
   c.net = lb::paper_network(n);
   c.chunk_units = chunk;
   c.backend = g_default_backend;
+  c.metrics = g_metrics_hub.get();
   return c;
 }
 }  // namespace
@@ -183,6 +217,16 @@ double sequential_seconds(lb::Workload& workload) {
   return lb::run_sequential(workload).exec_seconds;
 }
 
+std::ofstream open_output_file(const std::string& path, const char* what) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.good()) {
+    std::fprintf(stderr, "FATAL: cannot open %s output path '%s'\n", what,
+                 path.c_str());
+    std::abort();
+  }
+  return out;
+}
+
 void dump_trace_if_requested(const Flags& flags, lb::Workload& workload,
                              lb::RunConfig config, const char* what) {
   const std::string path = flags.get("trace");
@@ -192,10 +236,13 @@ void dump_trace_if_requested(const Flags& flags, lb::Workload& workload,
   config.tracer = &tracer;
   // Trace sinks are single-threaded; the timeline is a simulator feature.
   config.backend = lb::Backend::kSim;
+  // This is a diagnostic re-run of an already-measured combination: keep it
+  // out of the metrics stream (the re-run would restart simulated time and
+  // double-count every counter into the same hub).
+  config.metrics = nullptr;
   const auto metrics = run_checked(workload, config, what);
 
-  std::ofstream out(path, std::ios::binary);
-  OLB_CHECK_MSG(out.good(), "cannot open --trace output path");
+  std::ofstream out = open_output_file(path, "--trace");
   const auto events = tracer.snapshot();
   const bool ndjson = path.size() >= 7 && path.ends_with(".ndjson");
   if (ndjson) {

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <fstream>
 #include <memory>
 #include <string>
 
@@ -51,6 +52,7 @@ struct RunFlagSpec {
   bool seed = true;     ///< --seed
   bool csv = true;      ///< --csv
   bool backend = true;  ///< --backend (sim|threads)
+  bool metrics = true;  ///< --metrics / --metrics-interval (live telemetry)
 };
 
 /// Registers the flags shared by the bench mains according to `spec`.
@@ -69,8 +71,16 @@ struct RunFlags {
 /// Reads back whichever of the shared flags were defined. Parsing --backend
 /// also makes it the default backend of every RunConfig subsequently built
 /// by bb_config/uts_config, so each bench main honours the flag without
-/// threading it through by hand.
+/// threading it through by hand. Parsing --metrics likewise builds the
+/// process-wide MetricsHub (see metrics_hub below) that those configs carry.
 RunFlags parse_run_flags(const Flags& flags);
+
+/// The process-wide live-metrics hub, built by parse_run_flags when
+/// --metrics=<path> was given (shard count sized for the chosen backend,
+/// interval from --metrics-interval in ms). Null when metrics are off.
+/// Every RunConfig built by bb_config/uts_config carries this pointer, so
+/// each bench main streams telemetry without threading it through by hand.
+metrics::MetricsHub* metrics_hub();
 
 /// Parses `--<flag>` through lb::strategy_from_name, aborting with the
 /// list of valid names on a typo.
@@ -114,6 +124,12 @@ double sequential_seconds(lb::Workload& workload);
 
 /// Common header printed by every bench binary.
 void print_preamble(const char* experiment, const std::string& notes);
+
+/// Opens an output file for writing (binary, truncating), aborting with a
+/// message naming `what` if the path cannot be opened — the one place the
+/// bench mains' snapshot/trace/JSON sinks go through, so failures are loud
+/// and uniform instead of each binary hand-rolling the check.
+std::ofstream open_output_file(const std::string& path, const char* what);
 
 /// When `--trace` was given (see olb::define_trace_flags), re-runs the
 /// (workload, config) combination with a RingTracer of `--trace-limit`

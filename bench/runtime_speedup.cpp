@@ -105,6 +105,22 @@ int main(int argc, char** argv) {
   OLB_CHECK_MSG(lb::strategy_is_overlay(strategy),
                 "the thread backend runs overlay strategies only");
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  // A speedup benchmark on a single core measures only timesharing overhead:
+  // every multi-thread row is meaningless. Still run (CI smoke value), but
+  // warn loudly and stamp the condition into the JSON so nobody mistakes the
+  // committed numbers for real scaling (that happened once — the original
+  // BENCH_runtime.json was recorded on a 1-core host; see ROADMAP PR 3).
+  const bool single_core = hw < 2;
+  if (single_core) {
+    std::fprintf(stderr,
+                 "################################################################\n"
+                 "# WARNING: hardware_concurrency=%u — this host cannot measure\n"
+                 "# parallel speedup. All multi-thread rows below only timeshare\n"
+                 "# one core; do NOT quote them as scaling numbers. The JSON is\n"
+                 "# stamped with \"single_core\": true.\n"
+                 "################################################################\n",
+                 hw);
+  }
   const int trials = static_cast<int>(flags.get_int("trials"));
   OLB_CHECK(trials >= 1);
 
@@ -179,11 +195,11 @@ int main(int argc, char** argv) {
 
   const std::string json_path = flags.get("json");
   if (!json_path.empty()) {
-    std::ofstream out(json_path);
-    OLB_CHECK_MSG(out.good(), "cannot open --json output path");
+    std::ofstream out = open_output_file(json_path, "--json");
     out << "{\n  \"experiment\": \"runtime_speedup\",\n";
     out << "  \"strategy\": \"" << lb::strategy_name(strategy) << "\",\n";
     out << "  \"hardware_concurrency\": " << hw << ",\n";
+    out << "  \"single_core\": " << (single_core ? "true" : "false") << ",\n";
     out << "  \"trials\": " << trials << ",\n";
     out << "  \"uts\": {\"seed\": " << flags.get_int("uts_seed")
         << ", \"b0\": " << flags.get_int("b0") << ", \"q\": " << flags.get("q")

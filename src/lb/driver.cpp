@@ -344,6 +344,7 @@ RunMetrics run_distributed(Workload& workload, const RunConfig& config) {
   validate_faults_for_strategy(config);
   sim::Engine engine(config.net, config.seed);
   engine.set_tracer(config.tracer);
+  engine.set_metrics(config.metrics);
   engine.enable_queue_delay_stats();
   BuiltCluster built = build_cluster(engine, workload, config);
   if (config.faults.enabled()) engine.set_faults(config.faults);

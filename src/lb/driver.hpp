@@ -10,6 +10,7 @@
 
 #include "lb/overlay_lb.hpp"
 #include "lb/work.hpp"
+#include "metrics/hub.hpp"
 #include "simnet/faults.hpp"
 #include "simnet/network.hpp"
 #include "simnet/perturb.hpp"
@@ -144,6 +145,13 @@ struct RunConfig {
   /// timelines below. Null (the default) costs one predicted branch per
   /// would-be event.
   trace::TraceSink* tracer = nullptr;
+
+  /// Optional live-metrics hub (not owned; see metrics/hub.hpp). When set,
+  /// the backend registers its instruments, every peer its per-peer gauges
+  /// and histograms, and snapshots stream to the hub's file on its interval
+  /// (simulated ms on kSim, wall ms on kThreads). Metrics only read state,
+  /// so simulator runs stay byte-identical with or without a hub.
+  metrics::MetricsHub* metrics = nullptr;
 
   /// Execution backend. run_distributed only accepts kSim; kThreads runs
   /// go through runtime::run_threads (which shares this config type so

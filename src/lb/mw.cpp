@@ -14,6 +14,23 @@ MwMaster::MwMaster(MwConfig config, IntervalWorkload* factory)
                 "MW requires an interval-encoded workload (B&B)");
 }
 
+void MwMaster::on_metrics(metrics::Registry& registry) {
+  sim::Actor::on_metrics(registry);
+  m_pool_ = registry.gauge("olb_mw_pool_unowned", id());
+  m_parked_ = registry.gauge("olb_mw_parked_workers", id());
+}
+
+void MwMaster::on_metrics_poll() {
+  // Same definition as state_tap's holds_work: backlog is the unowned pool
+  // length — intervals no live worker is exploring.
+  std::int64_t backlog = 0;
+  for (const Entry& e : pool_) {
+    if (e.owner == -1) backlog += static_cast<std::int64_t>(e.length());
+  }
+  m_pool_->set(backlog);
+  m_parked_->set(static_cast<std::int64_t>(parked_.size()));
+}
+
 void MwMaster::on_start() {
   if (config_.fault_tolerant) {
     const auto n = static_cast<std::size_t>(num_peers());

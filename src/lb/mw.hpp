@@ -77,6 +77,10 @@ class MwMaster final : public sim::Actor {
   void on_start() override;
   void on_message(sim::Message m) override;
   void on_peer_down(int peer) override;
+  /// Adds the master's pool gauges (unowned backlog, parked workers) on top
+  /// of the funnel counters the Actor base arms.
+  void on_metrics(metrics::Registry& registry) override;
+  void on_metrics_poll() override;
 
  private:
   struct Entry {
@@ -101,6 +105,10 @@ class MwMaster final : public sim::Actor {
   std::int64_t bound_ = kNoBound;
   bool terminated_ = false;
   sim::Time done_time_ = -1;
+
+  // Live metrics (null unless a hub is attached; see on_metrics).
+  metrics::Gauge* m_pool_ = nullptr;    ///< olb_mw_pool_unowned
+  metrics::Gauge* m_parked_ = nullptr;  ///< olb_mw_parked_workers
 
   // fault-tolerance state
   std::vector<char> worker_down_;

@@ -757,9 +757,19 @@ void OverlayPeer::on_probe_ack(sim::Message m) {
   send(probe_parent_, std::move(msg));
 }
 
+void OverlayPeer::on_metrics(metrics::Registry& registry) {
+  PeerBase::on_metrics(registry);
+  if (is_root()) m_wave_ = registry.histogram("olb_term_wave_ns", id());
+}
+
 void OverlayPeer::finish_probe_at_root(std::uint64_t s, std::uint64_t r, bool dirty) {
   probe_outstanding_ = false;
   last_wave_end_ = now();
+  // Wave latency = launch at the root to the last ack folding back in.
+  if (m_wave_ != nullptr) [[unlikely]] {
+    const sim::Time lat = last_wave_end_ - probe_launched_at_;
+    metrics::record(m_wave_, static_cast<std::uint64_t>(lat > 0 ? lat : 0));
+  }
   const bool still_quiet = locally_quiet() && all_children_pending();
   if (config_.fault_tolerant) {
     const int epoch = std::max(probe_epoch_, crash_epoch_);

@@ -140,6 +140,9 @@ class OverlayPeer final : public PeerBase {
   void became_idle() override;
   void diffuse_bound() override;
   void after_chunk() override;
+  /// Adds the root's termination-wave latency histogram (olb_term_wave_ns)
+  /// on top of the PeerBase per-peer instruments.
+  void on_metrics(metrics::Registry& registry) override;
 
  private:
   static constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
@@ -273,6 +276,8 @@ class OverlayPeer final : public PeerBase {
   // root-only termination state
   bool probe_outstanding_ = false;
   sim::Time probe_launched_at_ = 0;
+  /// Root-only wave-latency histogram (null unless metrics attached).
+  metrics::Histogram* m_wave_ = nullptr;
   sim::Time last_wave_end_ = 0;
   std::uint64_t next_probe_id_ = 0;
   bool have_clean_probe_ = false;

@@ -8,6 +8,16 @@ namespace olb::lb {
 
 bool PeerBase::acquire_work(std::unique_ptr<Work> w) {
   if (w == nullptr || w->empty()) return holds_work();
+  // Sojourn metric: close an open idle episode — this acquisition is the
+  // work the episode was waiting for. Gated on the instrument so metrics-off
+  // runs never pay the now() read (a syscall on the thread backend).
+  if (m_sojourn_ != nullptr && m_idle_since_ >= 0 && !holds_work())
+      [[unlikely]] {
+    const sim::Time waited = now() - m_idle_since_;
+    metrics::record(m_sojourn_,
+                    static_cast<std::uint64_t>(waited > 0 ? waited : 0));
+    m_idle_since_ = -1;
+  }
   if (work_ == nullptr) {
     work_ = std::move(w);
   } else {
@@ -53,6 +63,11 @@ void PeerBase::on_compute_done() {
   if (holds_work()) {
     continue_processing();
   } else {
+    // Sojourn metric: the idle episode starts when the last local chunk
+    // finishes with nothing left, not when a request goes out.
+    if (m_sojourn_ != nullptr && m_idle_since_ < 0) [[unlikely]] {
+      m_idle_since_ = now();
+    }
     became_idle();
   }
 }
@@ -77,6 +92,25 @@ double PeerBase::on_crashed() {
 void PeerBase::count_retry(int target, int msg_type, std::int64_t attempt) {
   ++retries_;
   emit_trace(trace::EventKind::kRetry, target, msg_type, attempt);
+}
+
+void PeerBase::on_metrics(metrics::Registry& registry) {
+  sim::Actor::on_metrics(registry);
+  m_queue_ = registry.gauge("olb_peer_queue_depth", id());
+  m_inflight_ = registry.gauge("olb_peer_inflight_requests", id());
+  m_units_ = registry.counter("olb_peer_units_total", id());
+  m_sojourn_ = registry.histogram("olb_peer_sojourn_ns", id());
+  // Peers that start without work are idle from t=0: open their first
+  // sojourn episode at run start so the initial work distribution shows up.
+  if (!holds_work()) m_idle_since_ = 0;
+}
+
+void PeerBase::on_metrics_poll() {
+  const StateTap tap = state_tap();
+  m_queue_->set(static_cast<std::int64_t>(tap.work_amount));
+  m_inflight_->set(static_cast<std::int64_t>(tap.pending_requests));
+  m_units_->inc(units_done_ - m_units_reported_);
+  m_units_reported_ = units_done_;
 }
 
 void PeerBase::maybe_diffuse() {

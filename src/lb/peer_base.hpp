@@ -98,6 +98,13 @@ class PeerBase : public sim::Actor {
   /// Records one request retransmission (counter + kRetry trace event).
   void count_retry(int target, int msg_type, std::int64_t attempt);
 
+  /// Live metrics: per-peer queue-depth / in-flight gauges, a units counter,
+  /// and the sojourn-time histogram (idle-to-work latency), on top of the
+  /// protocol-event counters the Actor base arms.
+  void on_metrics(metrics::Registry& registry) override;
+  /// Sampled recompute-and-set from state_tap(): gauges can never drift.
+  void on_metrics_poll() override;
+
   const PeerConfig& peer_config() const { return config_; }
 
   std::unique_ptr<Work> work_;
@@ -112,6 +119,16 @@ class PeerBase : public sim::Actor {
   void maybe_diffuse();
 
   PeerConfig config_;
+
+  // Live metrics (all null unless a hub is attached; see on_metrics). The
+  // sojourn clock is gated on m_sojourn_ so metrics-off thread runs never
+  // pay the now() syscall in acquire_work/on_compute_done.
+  metrics::Gauge* m_queue_ = nullptr;     ///< olb_peer_queue_depth
+  metrics::Gauge* m_inflight_ = nullptr;  ///< olb_peer_inflight_requests
+  metrics::Counter* m_units_ = nullptr;   ///< olb_peer_units_total
+  metrics::Histogram* m_sojourn_ = nullptr;  ///< olb_peer_sojourn_ns
+  std::uint64_t m_units_reported_ = 0;
+  sim::Time m_idle_since_ = -1;  ///< -1 = currently holding work
 };
 
 }  // namespace olb::lb

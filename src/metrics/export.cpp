@@ -1,0 +1,153 @@
+#include "metrics/export.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <ostream>
+
+namespace olb::metrics {
+
+namespace {
+
+bool worth_emitting(const SnapshotEntry& e) {
+  switch (e.kind) {
+    case Kind::kCounter:
+      return e.counter != 0;
+    case Kind::kGauge:
+      return true;  // 0 is a real reading
+    case Kind::kHistogram:
+      return e.hist.count != 0;
+  }
+  return false;
+}
+
+const char* kind_name(Kind k) {
+  switch (k) {
+    case Kind::kCounter:
+      return "counter";
+    case Kind::kGauge:
+      return "gauge";
+    case Kind::kHistogram:
+      return "hist";
+  }
+  return "?";
+}
+
+/// "{peer=\"3\"}" or "" for globals; buf must hold ~24 bytes.
+const char* peer_label(int peer, char* buf, std::size_t n) {
+  if (peer < 0) return "";
+  std::snprintf(buf, n, "{peer=\"%d\"}", peer);
+  return buf;
+}
+
+}  // namespace
+
+void write_prometheus(std::ostream& os, const MetricsSnapshot& snap) {
+  // Group instruments of the same name under one # TYPE header, as the
+  // exposition format requires.
+  std::vector<const SnapshotEntry*> live;
+  live.reserve(snap.entries.size());
+  for (const auto& e : snap.entries)
+    if (worth_emitting(e)) live.push_back(&e);
+  std::stable_sort(live.begin(), live.end(),
+                   [](const SnapshotEntry* a, const SnapshotEntry* b) {
+                     if (a->name != b->name) return a->name < b->name;
+                     return a->peer < b->peer;
+                   });
+
+  char line[256];
+  char label[24];
+  const char* prev_name = "";
+  for (const SnapshotEntry* e : live) {
+    if (e->name != prev_name) {
+      const char* type = e->kind == Kind::kCounter  ? "counter"
+                         : e->kind == Kind::kGauge ? "gauge"
+                                                   : "histogram";
+      std::snprintf(line, sizeof(line), "# TYPE %s %s\n", e->name.c_str(), type);
+      os << line;
+      prev_name = e->name.c_str();
+    }
+    const char* lbl = peer_label(e->peer, label, sizeof(label));
+    switch (e->kind) {
+      case Kind::kCounter:
+        std::snprintf(line, sizeof(line), "%s%s %" PRIu64 "\n", e->name.c_str(),
+                      lbl, e->counter);
+        os << line;
+        break;
+      case Kind::kGauge:
+        std::snprintf(line, sizeof(line), "%s%s %" PRId64 "\n", e->name.c_str(),
+                      lbl, e->gauge);
+        os << line;
+        break;
+      case Kind::kHistogram: {
+        // Cumulative buckets over the non-empty set; le is the bucket's
+        // inclusive upper bound.
+        char inner[32];
+        const char* comma = e->peer >= 0 ? "," : "";
+        if (e->peer >= 0)
+          std::snprintf(inner, sizeof(inner), "peer=\"%d\"", e->peer);
+        else
+          inner[0] = '\0';
+        std::uint64_t cum = 0;
+        for (const auto& [idx, c] : e->hist.buckets) {
+          cum += c;
+          std::snprintf(line, sizeof(line),
+                        "%s_bucket{%s%sle=\"%" PRIu64 "\"} %" PRIu64 "\n",
+                        e->name.c_str(), inner, comma,
+                        Histogram::bucket_upper(idx), cum);
+          os << line;
+        }
+        std::snprintf(line, sizeof(line),
+                      "%s_bucket{%s%sle=\"+Inf\"} %" PRIu64 "\n",
+                      e->name.c_str(), inner, comma, cum);
+        os << line;
+        std::snprintf(line, sizeof(line), "%s_sum%s %" PRIu64 "\n",
+                      e->name.c_str(), lbl, e->hist.sum);
+        os << line;
+        std::snprintf(line, sizeof(line), "%s_count%s %" PRIu64 "\n",
+                      e->name.c_str(), lbl, e->hist.count);
+        os << line;
+        break;
+      }
+    }
+  }
+}
+
+void write_ndjson(std::ostream& os, const MetricsSnapshot& snap) {
+  char line[384];
+  for (const auto& e : snap.entries) {
+    if (!worth_emitting(e)) continue;
+    switch (e.kind) {
+      case Kind::kCounter:
+        std::snprintf(line, sizeof(line),
+                      "{\"t\":%" PRIu64 ",\"name\":\"%s\",\"peer\":%d,"
+                      "\"kind\":\"%s\",\"v\":%" PRIu64 "}\n",
+                      snap.t_ns, e.name.c_str(), e.peer, kind_name(e.kind),
+                      e.counter);
+        break;
+      case Kind::kGauge:
+        std::snprintf(line, sizeof(line),
+                      "{\"t\":%" PRIu64 ",\"name\":\"%s\",\"peer\":%d,"
+                      "\"kind\":\"%s\",\"v\":%" PRId64 "}\n",
+                      snap.t_ns, e.name.c_str(), e.peer, kind_name(e.kind),
+                      e.gauge);
+        break;
+      case Kind::kHistogram:
+        std::snprintf(
+            line, sizeof(line),
+            "{\"t\":%" PRIu64 ",\"name\":\"%s\",\"peer\":%d,\"kind\":\"hist\","
+            "\"count\":%" PRIu64 ",\"sum\":%" PRIu64 ",\"min\":%" PRIu64
+            ",\"max\":%" PRIu64 ",\"p50\":%" PRIu64 ",\"p90\":%" PRIu64
+            ",\"p99\":%" PRIu64 "}\n",
+            snap.t_ns, e.name.c_str(), e.peer, e.hist.count, e.hist.sum,
+            e.hist.min, e.hist.max,
+            static_cast<std::uint64_t>(e.hist.percentile(0.50)),
+            static_cast<std::uint64_t>(e.hist.percentile(0.90)),
+            static_cast<std::uint64_t>(e.hist.percentile(0.99)));
+        break;
+    }
+    os << line;
+  }
+}
+
+}  // namespace olb::metrics

@@ -1,0 +1,34 @@
+// Snapshot exporters. Two formats, chosen by file extension at the hub:
+//
+//  * Prometheus text exposition (".prom"): the whole registry as one
+//    scrape-shaped document, rewritten on every flush. Point promtool or a
+//    node_exporter textfile collector at it.
+//  * NDJSON time series (anything else): one JSON object per instrument per
+//    flush, appended — the same one-line-per-record convention as
+//    trace/export.cpp, and what tools/olb_top tails.
+//
+// Counters and histograms that have never been touched are skipped in both
+// formats (they carry no signal and per-peer instruments multiply fast);
+// gauges are always emitted because 0 is a real reading.
+#pragma once
+
+#include <iosfwd>
+
+#include "metrics/metrics.hpp"
+
+namespace olb::metrics {
+
+/// Full-registry Prometheus text exposition; entries are grouped by metric
+/// name with one # TYPE header each, per-peer instruments labelled
+/// {peer="N"}. Histograms emit cumulative non-empty buckets, +Inf, _sum and
+/// _count.
+void write_prometheus(std::ostream& os, const MetricsSnapshot& snap);
+
+/// One NDJSON line per live instrument:
+///   {"t":..,"name":"..","peer":N,"kind":"counter","v":..}
+///   {"t":..,"name":"..","peer":N,"kind":"gauge","v":..}
+///   {"t":..,"name":"..","peer":N,"kind":"hist","count":..,"sum":..,
+///    "min":..,"max":..,"p50":..,"p90":..,"p99":..}
+void write_ndjson(std::ostream& os, const MetricsSnapshot& snap);
+
+}  // namespace olb::metrics

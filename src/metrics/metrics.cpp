@@ -1,0 +1,240 @@
+#include "metrics/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "support/check.hpp"
+
+namespace olb::metrics {
+
+namespace {
+std::atomic<int> g_next_shard{0};
+}  // namespace
+
+int current_shard(int shards) {
+  if (shards <= 1) return 0;
+  thread_local int slot = g_next_shard.fetch_add(1, std::memory_order_relaxed);
+  return slot % shards;
+}
+
+// --- Histogram ------------------------------------------------------------
+
+std::size_t Histogram::bucket_of(std::uint64_t v) {
+  if (v < kSubBuckets) return static_cast<std::size_t>(v);
+  if (v > kMaxValue) v = kMaxValue;
+  // v in [2^k, 2^{k+1}) lands in group k-kSubBits, which splits the range
+  // into kSubBuckets/2 linear sub-buckets of width 2^{k-kSubBits+1}.
+  const int k = std::bit_width(v) - 1;  // k >= kSubBits
+  const int shift = k - kSubBits + 1;
+  const std::uint64_t sub = (v >> shift) - (kSubBuckets / 2);
+  return kSubBuckets +
+         static_cast<std::size_t>(k - kSubBits) * (kSubBuckets / 2) +
+         static_cast<std::size_t>(sub);
+}
+
+std::uint64_t Histogram::bucket_upper(std::size_t idx) {
+  OLB_CHECK(idx < kNumBuckets);
+  if (idx < kSubBuckets) return idx;
+  const std::size_t rel = idx - kSubBuckets;
+  const int k = kSubBits + static_cast<int>(rel / (kSubBuckets / 2));
+  const std::uint64_t sub = rel % (kSubBuckets / 2);
+  const int shift = k - kSubBits + 1;
+  return (((kSubBuckets / 2) + sub + 1) << shift) - 1;
+}
+
+Histogram::Histogram(int shards, bool single_writer)
+    : single_writer_(single_writer) {
+  const int n = single_writer ? 1 : shards;
+  shards_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) shards_.push_back(std::make_unique<Shard>());
+}
+
+void Histogram::record(std::uint64_t v) {
+  if (v > kMaxValue) v = kMaxValue;
+  const std::size_t b = bucket_of(v);
+  Shard& s = *shards_[shards_.size() == 1
+                          ? 0
+                          : static_cast<std::size_t>(current_shard(
+                                static_cast<int>(shards_.size())))];
+  if (single_writer_) {
+    // Plain-field cost: only the owning thread writes this shard.
+    auto bump = [](std::atomic<std::uint64_t>& a, std::uint64_t d) {
+      a.store(a.load(std::memory_order_relaxed) + d, std::memory_order_relaxed);
+    };
+    bump(s.counts[b], 1);
+    bump(s.count, 1);
+    bump(s.sum, v);
+    if (v < s.min.load(std::memory_order_relaxed))
+      s.min.store(v, std::memory_order_relaxed);
+    if (v > s.max.load(std::memory_order_relaxed))
+      s.max.store(v, std::memory_order_relaxed);
+    return;
+  }
+  s.counts[b].fetch_add(1, std::memory_order_relaxed);
+  s.count.fetch_add(1, std::memory_order_relaxed);
+  s.sum.fetch_add(v, std::memory_order_relaxed);
+  std::uint64_t cur = s.min.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !s.min.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  cur = s.max.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !s.max.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) total += s->count.load(std::memory_order_relaxed);
+  return total;
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot out;
+  out.min = ~std::uint64_t{0};
+  for (const auto& s : shards_) {
+    out.count += s->count.load(std::memory_order_relaxed);
+    out.sum += s->sum.load(std::memory_order_relaxed);
+    out.min = std::min(out.min, s->min.load(std::memory_order_relaxed));
+    out.max = std::max(out.max, s->max.load(std::memory_order_relaxed));
+  }
+  if (out.count == 0) {
+    out.min = 0;
+    return out;
+  }
+  for (std::size_t b = 0; b < kNumBuckets; ++b) {
+    std::uint64_t c = 0;
+    for (const auto& s : shards_)
+      c += s->counts[b].load(std::memory_order_relaxed);
+    if (c != 0) out.buckets.emplace_back(static_cast<std::uint32_t>(b), c);
+  }
+  return out;
+}
+
+double Histogram::Snapshot::percentile(double p) const {
+  if (count == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  // Target the same order statistic SortedSample interpolates around:
+  // rank p*(n-1) in 0-based sorted order, then interpolate linearly inside
+  // the bucket that holds it.
+  const double target = p * static_cast<double>(count - 1);
+  std::uint64_t before = 0;
+  for (const auto& [idx, c] : buckets) {
+    if (static_cast<double>(before + c) > target) {
+      const std::uint64_t upper = bucket_upper(idx);
+      const std::uint64_t lower = idx == 0 ? 0 : bucket_upper(idx - 1) + 1;
+      const double frac =
+          (target - static_cast<double>(before)) / static_cast<double>(c);
+      double est = static_cast<double>(lower) +
+                   frac * static_cast<double>(upper - lower);
+      est = std::clamp(est, static_cast<double>(min), static_cast<double>(max));
+      return est;
+    }
+    before += c;
+  }
+  return static_cast<double>(max);
+}
+
+// --- Registry -------------------------------------------------------------
+
+Registry::Registry(int shards) : shards_(std::max(1, shards)) {}
+
+Registry::Entry* Registry::get_or_create(std::string_view name, int peer,
+                                         Kind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& e : entries_) {
+    if (e->peer == peer && e->name == name) {
+      OLB_CHECK_MSG(e->kind == kind, "instrument re-registered with a different kind");
+      return e.get();
+    }
+  }
+  auto e = std::make_unique<Entry>();
+  e->name = std::string(name);
+  e->peer = peer;
+  e->kind = kind;
+  // Per-peer instruments are only touched from the owning actor's hooks, so
+  // they always take the single-writer (plain-store) path; globals shard
+  // unless the whole registry is single-threaded (simulator backend).
+  const bool single_writer = peer >= 0 || shards_ == 1;
+  switch (kind) {
+    case Kind::kCounter:
+      e->c.reset(new Counter(shards_, single_writer));
+      break;
+    case Kind::kGauge:
+      e->g.reset(new Gauge());
+      break;
+    case Kind::kHistogram:
+      e->h.reset(new Histogram(shards_, single_writer));
+      break;
+  }
+  entries_.push_back(std::move(e));
+  return entries_.back().get();
+}
+
+const Registry::Entry* Registry::find(std::string_view name, int peer,
+                                      Kind kind) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& e : entries_)
+    if (e->peer == peer && e->kind == kind && e->name == name) return e.get();
+  return nullptr;
+}
+
+Counter* Registry::counter(std::string_view name, int peer) {
+  return get_or_create(name, peer, Kind::kCounter)->c.get();
+}
+
+Gauge* Registry::gauge(std::string_view name, int peer) {
+  return get_or_create(name, peer, Kind::kGauge)->g.get();
+}
+
+Histogram* Registry::histogram(std::string_view name, int peer) {
+  return get_or_create(name, peer, Kind::kHistogram)->h.get();
+}
+
+Counter* Registry::find_counter(std::string_view name, int peer) const {
+  const Entry* e = find(name, peer, Kind::kCounter);
+  return e == nullptr ? nullptr : e->c.get();
+}
+
+Gauge* Registry::find_gauge(std::string_view name, int peer) const {
+  const Entry* e = find(name, peer, Kind::kGauge);
+  return e == nullptr ? nullptr : e->g.get();
+}
+
+Histogram* Registry::find_histogram(std::string_view name, int peer) const {
+  const Entry* e = find(name, peer, Kind::kHistogram);
+  return e == nullptr ? nullptr : e->h.get();
+}
+
+std::size_t Registry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+MetricsSnapshot Registry::snapshot(std::uint64_t t_ns) const {
+  MetricsSnapshot snap;
+  snap.t_ns = t_ns;
+  std::lock_guard<std::mutex> lock(mu_);
+  snap.entries.reserve(entries_.size());
+  for (const auto& e : entries_) {
+    SnapshotEntry out;
+    out.name = e->name;
+    out.peer = e->peer;
+    out.kind = e->kind;
+    switch (e->kind) {
+      case Kind::kCounter:
+        out.counter = e->c->value();
+        break;
+      case Kind::kGauge:
+        out.gauge = e->g->value();
+        break;
+      case Kind::kHistogram:
+        out.hist = e->h->snapshot();
+        break;
+    }
+    snap.entries.push_back(std::move(out));
+  }
+  return snap;
+}
+
+}  // namespace olb::metrics

@@ -27,6 +27,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <utility>
 
 #include "simnet/message.hpp"
@@ -75,9 +76,20 @@ class MsgNodePool {
         return head;
       }
     }
+    // Pool exhausted: fall back to the heap. The tally is the telemetry
+    // signal for undersized pools (olb_net_pool_heap_nodes); relaxed is
+    // enough — only this owner thread writes, samplers just read.
+    heap_allocs_.store(heap_allocs_.load(std::memory_order_relaxed) + 1,
+                       std::memory_order_relaxed);
     MsgNode* fresh = new MsgNode;
     fresh->pool = this;
     return fresh;
+  }
+
+  /// Times acquire() had to hit the heap because the pool ran dry. Any
+  /// thread may read (monotonic, relaxed).
+  std::uint64_t heap_allocs() const {
+    return heap_allocs_.load(std::memory_order_relaxed);
   }
 
   /// Any thread. Returns the node to the stack, or to the heap when the
@@ -101,6 +113,7 @@ class MsgNodePool {
  private:
   std::atomic<MsgNode*> free_head_{nullptr};
   std::atomic<std::ptrdiff_t> size_{0};
+  std::atomic<std::uint64_t> heap_allocs_{0};
   std::size_t cap_;
 };
 

@@ -31,6 +31,7 @@ ThreadRunMetrics run_threads(lb::Workload& workload, const lb::RunConfig& config
     locked = std::make_unique<trace::LockedSink>(config.tracer);
     net.set_tracer(locked.get());
   }
+  if (config.metrics != nullptr) net.set_metrics(config.metrics);
   std::vector<lb::OverlayPeer*> peers;
   for (int i = 0; i < config.num_peers; ++i) {
     auto peer = std::make_unique<lb::OverlayPeer>(

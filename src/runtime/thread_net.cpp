@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "metrics/hub.hpp"
 #include "support/check.hpp"
 #include "support/rng.hpp"
 
@@ -76,13 +77,18 @@ void ThreadNet::transport_send(sim::Actor& from, int dst, sim::Message m) {
   // case mid-batch) costs this path one load instead of a mutex+notify
   // per message.
   std::atomic_thread_fence(std::memory_order_seq_cst);
-  if (to.sleeping.load(std::memory_order_seq_cst)) {
+  const bool receiver_sleeping = to.sleeping.load(std::memory_order_seq_cst);
+  if (receiver_sleeping) {
     {
       std::scoped_lock lock(to.wake_mutex);
       ++to.wake_epoch;
     }
     to.wake_cv.notify_one();
   }
+  // The wake/skip split is the direct measure of how well the Dekker gate
+  // amortizes eventcount rounds over drain batches.
+  metrics::inc(nm_.sends);
+  metrics::inc(receiver_sleeping ? nm_.wakes : nm_.wakes_skipped);
 }
 
 void ThreadNet::transport_set_timer(sim::Actor& from, sim::Time delay,
@@ -145,7 +151,10 @@ void ThreadNet::peer_loop(Host& host,
       return !exited;
     });
     if (exited) return;
-    if (drained > 0) progress = true;
+    if (drained > 0) {
+      progress = true;
+      metrics::record(nm_.drain_batch, drained);
+    }
     if (fire_due_timers(host)) progress = true;
     if (a.compute_pending_) {
       // The chunk's CPU time was spent inside Work::step(); the flag only
@@ -155,8 +164,21 @@ void ThreadNet::peer_loop(Host& host,
       a.on_compute_done();
       progress = true;
     }
+    if constexpr (metrics::kMetricsCompiled) {
+      // Stride-throttled gauge sampling on the owner thread: no clock reads,
+      // no per-message cost, and the pre-sleep poll below keeps idle peers'
+      // gauges current between batches.
+      if (metrics_hub_ != nullptr && --host.metrics_countdown <= 0)
+          [[unlikely]] {
+        host.metrics_countdown = kMetricsPollStride;
+        a.on_metrics_poll();
+      }
+    }
     if (progress) continue;
     if (std::chrono::steady_clock::now() >= deadline) return;  // watchdog
+    if constexpr (metrics::kMetricsCompiled) {
+      if (metrics_hub_ != nullptr) [[unlikely]] a.on_metrics_poll();
+    }
 
     // Idle. Eventcount sleep: read the epoch, raise the sleep gate, re-poll
     // once (a sender may have pushed between the drain above and the gate
@@ -196,7 +218,30 @@ ThreadNet::RunResult ThreadNet::run(const ExitPredicate& exit_when,
   OLB_CHECK(!hosts_.empty());
   OLB_CHECK(wall_limit > 0);
   running_ = true;
+  if (metrics_hub_ != nullptr) {
+    // Single-threaded setup: arm every actor's instruments and the net's
+    // own before any peer thread exists.
+    metrics::Registry& r = metrics_hub_->registry();
+    for (auto& host : hosts_) host->actor->on_metrics(r);
+    nm_.sends = r.counter("olb_net_sends_total");
+    nm_.wakes = r.counter("olb_net_wakes_total");
+    nm_.wakes_skipped = r.counter("olb_net_wakes_skipped_total");
+    nm_.drain_batch = r.histogram("olb_net_drain_batch");
+    nm_.pool_heap = r.gauge("olb_net_pool_heap_nodes");
+    // Pull-gauge: pool exhaustion shows up as heap-spilled nodes. Summed at
+    // flush time from each pool's owner-thread tally (relaxed reads).
+    metrics_hub_->set_collect([this] {
+      std::uint64_t spilled = 0;
+      for (const auto& host : hosts_) spilled += host->pool.heap_allocs();
+      nm_.pool_heap->set(static_cast<std::int64_t>(spilled));
+    });
+  }
   start_ = std::chrono::steady_clock::now();
+  if (metrics_hub_ != nullptr) {
+    metrics_hub_->start_sampler([this] {
+      return static_cast<std::uint64_t>(transport_now());
+    });
+  }
   const auto deadline = start_ + std::chrono::nanoseconds(wall_limit);
   for (auto& host : hosts_) {
     Host* h = host.get();
@@ -204,6 +249,14 @@ ThreadNet::RunResult ThreadNet::run(const ExitPredicate& exit_when,
         std::thread([this, h, &exit_when, deadline] { peer_loop(*h, exit_when, deadline); });
   }
   for (auto& host : hosts_) host->thread.join();
+  if (metrics_hub_ != nullptr) {
+    // All peer threads are gone: take one last gauge sample per actor, let
+    // the sampler write its final snapshot, then detach the collect hook
+    // (the hub may outlive this net).
+    for (auto& host : hosts_) host->actor->on_metrics_poll();
+    metrics_hub_->stop_sampler();
+    metrics_hub_->set_collect(nullptr);
+  }
 
   RunResult result;
   result.wall_seconds =

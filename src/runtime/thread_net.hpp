@@ -92,7 +92,23 @@ class ThreadNet final : public sim::Transport {
   /// Sum of a message-type counter over all actors (call after run()).
   std::uint64_t total_sent_of_type(int type) const;
 
+  /// Attaches a live-metrics hub (not owned; must outlive run()). On this
+  /// backend the hub's wall-clock sampler thread owns the flush cadence;
+  /// run() arms every actor's instruments, registers the net's own (sends,
+  /// wake/wake-skip counts, drain-batch sizes, pool heap spill), starts the
+  /// sampler, and stops it after the join with one final snapshot. Call
+  /// before run(). nullptr (the default) leaves every instrument pointer
+  /// unarmed — the per-send cost is then two predicted branches.
+  void set_metrics(metrics::MetricsHub* hub) {
+    OLB_CHECK_MSG(!running_, "metrics must be attached before run()");
+    if constexpr (metrics::kMetricsCompiled) metrics_hub_ = hub;
+  }
+
  private:
+  /// on_metrics_poll cadence inside peer_loop: every this many loop
+  /// iterations (and once before each sleep), so sampling costs no clock
+  /// reads and stays off the per-message path.
+  static constexpr int kMetricsPollStride = 64;
   struct Timer {
     sim::Time deadline;
     std::int64_t tag;
@@ -126,6 +142,9 @@ class ThreadNet final : public sim::Transport {
     std::mutex wake_mutex;
     std::condition_variable wake_cv;
     std::uint64_t wake_epoch = 0;  ///< guarded by wake_mutex
+
+    /// Owner-thread countdown to the next on_metrics_poll (metrics only).
+    int metrics_countdown = 0;
   };
 
   // Transport services (see transport.hpp).
@@ -154,6 +173,15 @@ class ThreadNet final : public sim::Transport {
   bool running_ = false;
   std::atomic<std::uint64_t> total_messages_{0};
   trace::TraceSink* tracer_ = nullptr;  ///< must be thread-safe (LockedSink)
+  // Live metrics (unarmed and cost-free unless set_metrics was called).
+  metrics::MetricsHub* metrics_hub_ = nullptr;
+  struct NetInstruments {
+    metrics::Counter* sends = nullptr;
+    metrics::Counter* wakes = nullptr;
+    metrics::Counter* wakes_skipped = nullptr;
+    metrics::Histogram* drain_batch = nullptr;
+    metrics::Gauge* pool_heap = nullptr;
+  } nm_;
 };
 
 }  // namespace olb::runtime

@@ -1,5 +1,7 @@
 #include "simnet/engine.hpp"
 
+#include "metrics/hub.hpp"
+
 namespace olb::sim {
 
 Time Actor::now() const { return transport_->transport_now(); }
@@ -23,8 +25,42 @@ void Actor::start_compute(Time duration) {
 
 void Actor::emit_trace(trace::EventKind kind, int peer, int type, std::int64_t a,
                        std::int64_t b) {
+  // Metrics tap: every protocol already marks its request/serve/decline/
+  // retry/idle moments here, so counting at the funnel instruments all four
+  // strategies (and works even when tracing is compiled out or detached).
+  if constexpr (metrics::kMetricsCompiled) {
+    if (mcounters_.armed()) [[unlikely]] {
+      switch (kind) {
+        case trace::EventKind::kRequest:
+          mcounters_.requests->inc();
+          break;
+        case trace::EventKind::kServe:
+          mcounters_.serves->inc();
+          break;
+        case trace::EventKind::kNoServe:
+          mcounters_.declines->inc();
+          break;
+        case trace::EventKind::kRetry:
+          mcounters_.retries->inc();
+          break;
+        case trace::EventKind::kIdleBegin:
+          mcounters_.idle->inc();
+          break;
+        default:
+          break;
+      }
+    }
+  }
   trace::emit(transport_->transport_tracer(), transport_->transport_now(), kind,
               id_, peer, type, a, b);
+}
+
+void Actor::on_metrics(metrics::Registry& registry) {
+  mcounters_.requests = registry.counter("olb_peer_requests_total", id_);
+  mcounters_.serves = registry.counter("olb_peer_serves_total", id_);
+  mcounters_.declines = registry.counter("olb_peer_declines_total", id_);
+  mcounters_.retries = registry.counter("olb_peer_retries_total", id_);
+  mcounters_.idle = registry.counter("olb_peer_idle_episodes_total", id_);
 }
 
 void Actor::set_timer(Time delay, std::int64_t tag) {
@@ -284,8 +320,9 @@ void Engine::service_instrumented(Actor& a, Time t) {
 
 // `Faulty` compiles the crash/stall handling out of fault-free runs: their
 // event kinds are never queued without a plan, and the crashed-actor probes
-// would otherwise cost a load + branch on every event.
-template <bool Instrumented, bool Faulty>
+// would otherwise cost a load + branch on every event. `Metered` likewise
+// compiles the snapshot-deadline probe out of metrics-off runs.
+template <bool Instrumented, bool Faulty, bool Metered>
 Engine::RunResult Engine::run_loop(Time time_limit, std::uint64_t event_limit) {
   RunResult result;
   while (!queue_.empty()) {
@@ -301,6 +338,9 @@ Engine::RunResult Engine::run_loop(Time time_limit, std::uint64_t event_limit) {
     now_ = e.time;
     ++result.events;
     result.end_time = now_;
+    if constexpr (Metered) {
+      if (now_ >= metrics_next_) [[unlikely]] flush_metrics(result.events);
+    }
     const int dst = e.dst;
     const Event::Kind kind = e.kind;
     Actor& a = *actors_[static_cast<std::size_t>(dst)];
@@ -414,6 +454,56 @@ void Engine::apply_stall(int peer, Time duration) {
   trace::emit(tracer_, now_, trace::EventKind::kPeerStall, peer, -1, 0, duration);
 }
 
+void Engine::set_metrics(metrics::MetricsHub* hub) {
+  if constexpr (!metrics::kMetricsCompiled) {
+    (void)hub;
+    return;  // never arm: the metered loop flavour stays unreachable
+  }
+  OLB_CHECK_MSG(!running_, "metrics must be attached before run()");
+  metrics_hub_ = hub;
+  if (hub == nullptr) return;
+  metrics::Registry& r = hub->registry();
+  em_.events = r.counter("olb_sim_events_total");
+  em_.queue_len = r.gauge("olb_sim_queue_len");
+  em_.dropped = r.counter("olb_sim_msgs_dropped_total");
+  em_.duplicated = r.counter("olb_sim_msgs_duplicated_total");
+  em_.spikes = r.counter("olb_sim_latency_spikes_total");
+  em_.crashes = r.counter("olb_sim_crashes_total");
+  em_.work_lost = r.gauge("olb_sim_work_lost_units");
+}
+
+void Engine::flush_metrics(std::uint64_t events_so_far) {
+  em_.events->inc(events_so_far - m_last_events_);
+  m_last_events_ = events_so_far;
+  em_.queue_len->set(static_cast<std::int64_t>(queue_.size()));
+  em_.dropped->inc(msgs_dropped_ - m_last_dropped_);
+  m_last_dropped_ = msgs_dropped_;
+  em_.duplicated->inc(msgs_duplicated_ - m_last_duplicated_);
+  m_last_duplicated_ = msgs_duplicated_;
+  em_.spikes->inc(latency_spikes_ - m_last_spikes_);
+  m_last_spikes_ = latency_spikes_;
+  em_.crashes->inc(static_cast<std::uint64_t>(crashes_applied_ - m_last_crashes_));
+  m_last_crashes_ = crashes_applied_;
+  em_.work_lost->set(static_cast<std::int64_t>(work_lost_units_));
+  for (auto& a : actors_) {
+    if (!a->crashed_) a->on_metrics_poll();
+  }
+  metrics_hub_->flush(static_cast<std::uint64_t>(now_));
+  metrics_next_ = now_ + metrics_hub_->interval_ns();
+}
+
+template <bool Instrumented, bool Faulty>
+Engine::RunResult Engine::run_metered(Time time_limit, std::uint64_t event_limit) {
+  // Arm instruments once per run: get-or-create is idempotent, so resumed
+  // runs (limit hit, then run() again) just re-fetch the same pointers.
+  for (auto& a : actors_) a->on_metrics(metrics_hub_->registry());
+  m_last_events_ = 0;  // result.events restarts per run(); deltas must too
+  metrics_next_ = now_ + metrics_hub_->interval_ns();
+  RunResult result = run_loop<Instrumented, Faulty, true>(time_limit, event_limit);
+  flush_metrics(result.events);  // final window, so short runs still export
+  return result;
+}
+
 Engine::RunResult Engine::run(Time time_limit, std::uint64_t event_limit) {
   running_ = true;
   for (auto& a : actors_) {
@@ -427,12 +517,20 @@ Engine::RunResult Engine::run(Time time_limit, std::uint64_t event_limit) {
       emplace_event(s.at, s.peer, Event::Kind::kStall).msg.a = s.duration;
     }
   }
-  if (faults_on_) {
-    return instrumented_ ? run_loop<true, true>(time_limit, event_limit)
-                         : run_loop<false, true>(time_limit, event_limit);
+  if (metrics_hub_ != nullptr) [[unlikely]] {
+    if (faults_on_) {
+      return instrumented_ ? run_metered<true, true>(time_limit, event_limit)
+                           : run_metered<false, true>(time_limit, event_limit);
+    }
+    return instrumented_ ? run_metered<true, false>(time_limit, event_limit)
+                         : run_metered<false, false>(time_limit, event_limit);
   }
-  return instrumented_ ? run_loop<true, false>(time_limit, event_limit)
-                       : run_loop<false, false>(time_limit, event_limit);
+  if (faults_on_) {
+    return instrumented_ ? run_loop<true, true, false>(time_limit, event_limit)
+                         : run_loop<false, true, false>(time_limit, event_limit);
+  }
+  return instrumented_ ? run_loop<true, false, false>(time_limit, event_limit)
+                       : run_loop<false, false, false>(time_limit, event_limit);
 }
 
 }  // namespace olb::sim

@@ -21,6 +21,7 @@
 #include <memory>
 #include <vector>
 
+#include "metrics/metrics.hpp"
 #include "simnet/event_queue.hpp"
 #include "simnet/faults.hpp"
 #include "simnet/message.hpp"
@@ -34,6 +35,10 @@
 
 namespace olb::runtime {
 class ThreadNet;  // the shared-memory backend (src/runtime), befriended below
+}
+
+namespace olb::metrics {
+class MetricsHub;  // src/metrics/hub.hpp; engine.cpp sees the full type
 }
 
 namespace olb::sim {
@@ -102,6 +107,20 @@ class Actor {
   /// all messages that arrived during the span have been serviced.
   virtual void on_compute_done() {}
 
+  /// Called once at run start when a metrics hub is attached: create this
+  /// actor's instruments from the registry and stash the pointers. The base
+  /// implementation arms the protocol-event counters (requests, serves,
+  /// declines, retries, idle episodes) that emit_trace derives for every
+  /// strategy; overriders must call it.
+  virtual void on_metrics(metrics::Registry& registry);
+
+  /// Metrics sampling hook, called on the owning thread (simulator: at every
+  /// snapshot flush; thread backend: periodically inside the actor's own
+  /// loop and before it sleeps). Recompute-and-set gauges from current state
+  /// here — sampled gauges can never drift, unlike incrementally-maintained
+  /// ones. Never called unless a hub is attached.
+  virtual void on_metrics_poll() {}
+
   // --- services available inside hooks ---
 
   Time now() const;
@@ -140,6 +159,8 @@ class Actor {
   bool crashed_ = false;
   MessageRing inbox_;
   ActorStats stats_;
+  /// Armed by on_metrics, bumped at the emit_trace funnel (see engine.cpp).
+  metrics::ActorEventCounters mcounters_;
 };
 
 class Engine final : public Transport {
@@ -240,6 +261,16 @@ class Engine final : public Transport {
     measure_queue_delay_ = true;
     instrumented_ = true;
   }
+  /// Attaches a live-metrics hub (not owned; must outlive run()). The engine
+  /// registers its own instruments, arms every actor's via on_metrics, and
+  /// flushes a snapshot whenever simulated time crosses the hub's interval —
+  /// so the cadence is deterministic simulated milliseconds. nullptr (the
+  /// default) disables metrics; like tracing, the metered run_loop flavour
+  /// is only entered when a hub is attached, and metrics only *read* actor
+  /// state, so runs stay byte-identical with or without a hub.
+  void set_metrics(metrics::MetricsHub* hub);
+  metrics::MetricsHub* metrics_hub() const { return metrics_hub_; }
+
   Time queueing_delay_max() const { return queue_delay_max_; }
   double queueing_delay_mean() const {
     return queue_delay_samples_ > 0
@@ -265,8 +296,16 @@ class Engine final : public Transport {
   void schedule_wake(Actor& a, Time at);
   void service(Actor& a, Time t);
   void service_instrumented(Actor& a, Time t);
-  template <bool Instrumented, bool Faulty>
+  /// `Metered` adds the snapshot-deadline probe per event; like the other
+  /// two flavours it is chosen once in run() so metrics-off loops carry no
+  /// trace of it.
+  template <bool Instrumented, bool Faulty, bool Metered>
   RunResult run_loop(Time time_limit, std::uint64_t event_limit);
+  template <bool Instrumented, bool Faulty>
+  RunResult run_metered(Time time_limit, std::uint64_t event_limit);
+  /// Polls every live actor's gauges, updates the engine's own instruments,
+  /// and flushes a snapshot stamped `now_`. Cold path (once per interval).
+  void flush_metrics(std::uint64_t events_so_far);
 
   /// Single choke point for event insertion: stamps the insertion sequence
   /// and the random tie-break key when tie shuffling is active (0 otherwise,
@@ -330,6 +369,26 @@ class Engine final : public Transport {
   Time queue_delay_sum_ = 0;
   Time queue_delay_max_ = 0;
   std::uint64_t queue_delay_samples_ = 0;
+  // Live metrics (cold like tracing: nothing below is touched unless a hub
+  // is attached, and the metered loop flavour is only entered then).
+  metrics::MetricsHub* metrics_hub_ = nullptr;
+  Time metrics_next_ = kTimeMax;  ///< next snapshot deadline (simulated)
+  struct EngineInstruments {
+    metrics::Counter* events = nullptr;
+    metrics::Gauge* queue_len = nullptr;
+    metrics::Counter* dropped = nullptr;
+    metrics::Counter* duplicated = nullptr;
+    metrics::Counter* spikes = nullptr;
+    metrics::Counter* crashes = nullptr;
+    metrics::Gauge* work_lost = nullptr;
+  } em_;
+  // Deltas since the last flush (the engine's own tallies are plain fields;
+  // the counters advance by difference at each snapshot).
+  std::uint64_t m_last_events_ = 0;
+  std::uint64_t m_last_dropped_ = 0;
+  std::uint64_t m_last_duplicated_ = 0;
+  std::uint64_t m_last_spikes_ = 0;
+  int m_last_crashes_ = 0;
 };
 
 }  // namespace olb::sim
