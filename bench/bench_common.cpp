@@ -1,9 +1,13 @@
 #include "bench_common.hpp"
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <thread>
 
 #include "runtime/runtime.hpp"
+#include "runtime/transport_registry.hpp"
 #include "support/check.hpp"
 #include "support/rng.hpp"
 #include "trace/export.hpp"
@@ -17,6 +21,25 @@ lb::Backend g_default_backend = lb::Backend::kSim;
 /// Process-wide metrics hub, built by parse_run_flags from --metrics and
 /// carried by every RunConfig common_config builds.
 std::unique_ptr<metrics::MetricsHub> g_metrics_hub;
+/// Process-wide socket bring-up (rank / address table / trace prefix),
+/// armed by parse_run_flags and carried by every RunConfig common_config
+/// builds — like the backend default, so socket launches need no per-bench
+/// plumbing.
+lb::SocketBringup g_socket_bringup;
+
+std::vector<std::string> split_commas(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t comma = s.find(',', start);
+    if (comma == std::string::npos) {
+      out.push_back(s.substr(start));
+      return out;
+    }
+    out.push_back(s.substr(start, comma - start));
+    start = comma + 1;
+  }
+}
 }  // namespace
 
 Flags& define_run_flags(Flags& flags, const RunFlagSpec& spec) {
@@ -28,9 +51,20 @@ Flags& define_run_flags(Flags& flags, const RunFlagSpec& spec) {
   if (spec.seed) flags.define("seed", "1", "run seed");
   if (spec.csv) flags.define("csv", "false", "emit CSV instead of aligned tables");
   if (spec.backend) {
-    flags.define("backend", "sim",
-                 "execution backend: sim (simulator) or threads (real "
-                 "threads, overlay strategies only)");
+    flags
+        .define("backend", "sim",
+                "execution backend (" + runtime::transport_names() +
+                    "); real-time backends cover overlay strategies only")
+        .define("rank", "-1", "socket backend: this process's rank")
+        .define("peer-addrs", "",
+                "socket backend: comma-separated host:port listen address "
+                "per rank (identical on every process)")
+        .define("socket-trace", "",
+                "socket backend: per-process NDJSON trace path prefix "
+                "(writes <prefix>.run<k>.rank<r>.ndjson)")
+        .define("time-limit-ms", "0",
+                "wall-clock watchdog: kill the process (exit 124) after "
+                "this many ms; 0 = off");
   }
   if (spec.metrics) {
     flags
@@ -46,19 +80,58 @@ Flags& define_run_flags(Flags& flags, const RunFlagSpec& spec) {
 
 RunFlags parse_run_flags(const Flags& flags) {
   RunFlags rf;
-  if (flags.has("peers")) rf.peers = static_cast<int>(flags.get_int("peers"));
+  if (flags.has("peers")) {
+    const std::string peers = flags.get("peers");
+    if (peers.find(':') != std::string::npos) {
+      // Address-table form: "--peers host:port,host:port,..." both sizes
+      // the cluster and provides the socket rendezvous in one flag.
+      g_socket_bringup.peers = split_commas(peers);
+      rf.peers = static_cast<int>(g_socket_bringup.peers.size());
+    } else {
+      rf.peers = static_cast<int>(flags.get_int("peers"));
+    }
+  }
   if (flags.has("jobs")) rf.jobs = static_cast<int>(flags.get_int("jobs"));
   if (flags.has("machines")) rf.machines = static_cast<int>(flags.get_int("machines"));
   if (flags.has("seed")) rf.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
   if (flags.has("csv")) rf.csv = flags.get_bool("csv");
   if (flags.has("backend")) {
     const std::string name = flags.get("backend");
-    if (!lb::backend_from_name(name, &rf.backend)) {
-      std::fprintf(stderr, "FATAL: unknown --backend '%s' (use sim|threads)\n",
-                   name.c_str());
+    const runtime::TransportEntry* entry = runtime::find_transport(name);
+    if (entry == nullptr) {
+      std::fprintf(stderr, "FATAL: unknown --backend '%s' (use %s)\n",
+                   name.c_str(), runtime::transport_names().c_str());
       std::abort();
     }
+    rf.backend = entry->backend;
     g_default_backend = rf.backend;
+  }
+  if (flags.has("rank")) {
+    g_socket_bringup.rank = static_cast<int>(flags.get_int("rank"));
+  }
+  if (flags.has("peer-addrs")) {
+    const std::string addrs = flags.get("peer-addrs");
+    if (!addrs.empty()) g_socket_bringup.peers = split_commas(addrs);
+  }
+  if (flags.has("socket-trace")) {
+    g_socket_bringup.trace_prefix = flags.get("socket-trace");
+  }
+  if (flags.has("time-limit-ms")) {
+    const std::int64_t ms = flags.get_int("time-limit-ms");
+    if (ms > 0) {
+      // Multi-process socket runs can hang forever if a peer dies before
+      // bootstrap completes; a detached watchdog turns that into a loud,
+      // bounded failure. _Exit skips destructors deliberately — the process
+      // is wedged, not cleanly shutting down.
+      std::thread([ms] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+        std::fprintf(stderr,
+                     "FATAL: --time-limit-ms watchdog fired after %lld ms "
+                     "(hung run or lost peer)\n",
+                     static_cast<long long>(ms));
+        std::_Exit(124);
+      }).detach();
+    }
   }
   if (flags.has("metrics")) {
     const std::string path = flags.get("metrics");
@@ -154,6 +227,7 @@ lb::RunConfig common_config(lb::Strategy s, int n, std::uint64_t seed, int dmax,
   c.chunk_units = chunk;
   c.backend = g_default_backend;
   c.metrics = g_metrics_hub.get();
+  c.sockets = g_socket_bringup;
   return c;
 }
 }  // namespace
@@ -168,46 +242,34 @@ lb::RunConfig uts_config(lb::Strategy s, int n, std::uint64_t seed, int dmax) {
 
 lb::RunMetrics run_checked(lb::Workload& workload, const lb::RunConfig& config,
                            const char* what) {
-  if (config.backend == lb::Backend::kThreads) {
-    const bool supported = lb::strategy_is_overlay(config.strategy) &&
-                           !config.faults.enabled() &&
-                           config.het.fraction == 0.0 &&
-                           config.tracer == nullptr;
-    if (supported) {
-      const auto t = runtime::run_threads(workload, config);
-      if (!t.ok) {
-        std::fprintf(stderr,
-                     "FATAL: threads run did not complete cleanly: %s (%s, n=%d)\n",
-                     what, lb::strategy_name(config.strategy), config.num_peers);
-        std::abort();
-      }
-      lb::RunMetrics metrics;
-      metrics.exec_seconds = t.done_seconds;
-      metrics.last_compute_seconds = t.done_seconds;
-      metrics.total_units = t.total_units;
-      metrics.total_messages = t.total_messages;
-      metrics.work_requests = t.work_requests;
-      metrics.work_transfers = t.work_transfers;
-      metrics.best_bound = t.best_bound;
-      metrics.ok = true;
-      return metrics;
-    }
+  const runtime::TransportEntry& entry =
+      runtime::transport_entry(config.backend);
+  std::string why;
+  if (!entry.supports(config, &why)) {
+    // Only the real-time transports can decline a config (the simulator
+    // accepts everything). Fall back to the simulator with a one-time note
+    // so sweeps mixing overlay and non-overlay strategies keep working —
+    // and, on the socket backend, so every rank of a uniform multi-process
+    // launch makes the identical fallback decision in lockstep.
     static bool noted = false;
     if (!noted) {
       noted = true;
       std::fprintf(stderr,
-                   "# note: --backend=threads covers fault-free, homogeneous, "
-                   "untraced overlay runs; using the simulator for %s (%s)\n",
-                   what, lb::strategy_name(config.strategy));
+                   "# note: --backend=%s cannot run %s (%s): %s; using the "
+                   "simulator\n",
+                   entry.name, what, lb::strategy_name(config.strategy),
+                   why.c_str());
     }
     lb::RunConfig sim_config = config;
     sim_config.backend = lb::Backend::kSim;
     return run_checked(workload, sim_config, what);
   }
-  const auto metrics = lb::run_distributed(workload, config);
+  const lb::RunMetrics metrics = entry.run(workload, config);
   if (!metrics.ok) {
-    std::fprintf(stderr, "FATAL: run did not complete cleanly: %s (%s, n=%d)\n",
-                 what, lb::strategy_name(config.strategy), config.num_peers);
+    std::fprintf(stderr,
+                 "FATAL: %s run did not complete cleanly: %s (%s, n=%d)\n",
+                 entry.name, what, lb::strategy_name(config.strategy),
+                 config.num_peers);
     std::abort();
   }
   return metrics;

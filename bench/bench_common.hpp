@@ -49,9 +49,12 @@ struct RunFlagSpec {
   bool instance = true;       ///< --jobs / --machines (scaled flowshop)
   int jobs = Defaults::kSmallJobs;
   int machines = Defaults::kSmallMachines;
-  bool seed = true;     ///< --seed
-  bool csv = true;      ///< --csv
-  bool backend = true;  ///< --backend (sim|threads)
+  bool seed = true;  ///< --seed
+  bool csv = true;   ///< --csv
+  /// --backend (any name in runtime::transport_names()) plus the socket
+  /// bring-up flags --rank / --peer-addrs / --socket-trace and the
+  /// --time-limit-ms wall-clock watchdog.
+  bool backend = true;
   bool metrics = true;  ///< --metrics / --metrics-interval (live telemetry)
 };
 
@@ -72,7 +75,13 @@ struct RunFlags {
 /// also makes it the default backend of every RunConfig subsequently built
 /// by bb_config/uts_config, so each bench main honours the flag without
 /// threading it through by hand. Parsing --metrics likewise builds the
-/// process-wide MetricsHub (see metrics_hub below) that those configs carry.
+/// process-wide MetricsHub (see metrics_hub below) that those configs carry,
+/// and the socket bring-up flags (--rank / --peer-addrs / --socket-trace)
+/// arm the SocketBringup those configs carry. A `--peers` value containing
+/// ':' is read as the comma-separated address table itself (its length sets
+/// the peer count). `--time-limit-ms` > 0 starts a detached wall-clock
+/// watchdog that kills the process with exit code 124 — the multi-process
+/// hang brake.
 RunFlags parse_run_flags(const Flags& flags);
 
 /// The process-wide live-metrics hub, built by parse_run_flags when
@@ -111,11 +120,12 @@ lb::RunConfig bb_config(lb::Strategy s, int n, std::uint64_t seed, int dmax = 10
 lb::RunConfig uts_config(lb::Strategy s, int n, std::uint64_t seed, int dmax = 10);
 
 /// Runs and aborts loudly if the protocol failed to complete — a bench must
-/// never silently report a broken run. Dispatches on config.backend:
-/// Backend::kThreads runs fault-free overlay configurations through
-/// runtime::run_threads (exec time = wall time to the root's termination,
-/// sim-only metrics stay zero) and falls back to the simulator — with a
-/// one-time stderr note — for everything else.
+/// never silently report a broken run. Dispatches through the transport
+/// registry (runtime::transport_entry) on config.backend; when the chosen
+/// transport declines the config (real-time backends cover fault-free,
+/// homogeneous, untraced overlay runs only) it falls back to the simulator
+/// with a one-time stderr note naming the reason. Real-time exec time =
+/// wall time to the root's termination; sim-only metrics stay zero.
 lb::RunMetrics run_checked(lb::Workload& workload, const lb::RunConfig& config,
                            const char* what);
 

@@ -19,13 +19,17 @@ int main(int argc, char** argv) {
       .define("jobs21", std::to_string(Defaults::kBigJobs), "jobs for Ta21s")
       .define("jobs23", std::to_string(Defaults::kBig23Jobs), "jobs for Ta23s")
       .define("machines", std::to_string(Defaults::kBigMachines), "flowshop machines")
-      .define("uts_seed", std::to_string(Defaults::kUtsBigSeed), "UTS root seed");
+      .define("uts_seed", std::to_string(Defaults::kUtsBigSeed), "UTS root seed")
+      .define("print-units", "false",
+              "print a '# units:' line per run (UTS lines are "
+              "schedule-independent — the cross-backend equivalence check)");
   define_trace_flags(flags);
   if (!flags.parse(argc, argv)) return 0;
   const RunFlags rf = parse_run_flags(flags);
   const auto seed = rf.seed;
   const int machines = static_cast<int>(flags.get_int("machines"));
   const bool csv = rf.csv;
+  const bool print_units = flags.get_bool("print-units");
 
   print_preamble("Fig 5: BTD vs RWS — execution time and parallel efficiency",
                  "top: B&B Ta21s/Ta23s; bottom: UTS binomial");
@@ -52,6 +56,11 @@ int main(int argc, char** argv) {
         auto workload = make_bb(idx, jobs, machines);
         const auto metrics = run_checked(
             *workload, bb_config(strategy, static_cast<int>(n), seed), "fig5 bb");
+        if (print_units) {
+          std::printf("# units: fig5 bb Ta%ds n=%lld %s units=%llu\n", 21 + idx,
+                      static_cast<long long>(n), lb::strategy_name(strategy),
+                      static_cast<unsigned long long>(metrics.total_units));
+        }
         row.push_back(Table::cell(metrics.exec_seconds, 4));
         row.push_back(Table::cell(
             100.0 * metrics.parallel_efficiency(seq[which], static_cast<int>(n)), 1));
@@ -76,6 +85,11 @@ int main(int argc, char** argv) {
       auto workload = make_uts(static_cast<std::uint32_t>(flags.get_int("uts_seed")));
       const auto config = uts_config(strategy, static_cast<int>(n), seed);
       const auto metrics = run_checked(*workload, config, "fig5 uts");
+      if (print_units) {
+        std::printf("# units: fig5 uts n=%lld %s units=%llu\n",
+                    static_cast<long long>(n), lb::strategy_name(strategy),
+                    static_cast<unsigned long long>(metrics.total_units));
+      }
       row.push_back(Table::cell(metrics.exec_seconds, 4));
       const double pe =
           metrics.parallel_efficiency(uts_seq, static_cast<int>(n));

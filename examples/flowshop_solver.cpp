@@ -4,6 +4,11 @@
 //
 //   $ ./examples/flowshop_solver --instance 21 --jobs 12 --machines 8
 //         --strategy btd --peers 200   (one line)
+//
+// Runs on any registered transport (--backend=sim|threads|sockets). A
+// socket run launches one process per rank (see tools/olb_launch); the
+// result exchange merges the globally best schedule into every process, so
+// all ranks print the identical optimum.
 #include <cstdio>
 #include <string>
 
@@ -17,23 +22,19 @@ int main(int argc, char** argv) {
 
   Flags flags;
   flags.define("instance", "21", "Taillard 20x20 instance number (21..30)")
-      .define("jobs", "12", "jobs kept from the full instance (<= 20)")
-      .define("machines", "8", "machines kept from the full instance (<= 20)")
       .define("strategy", "btd", lb::strategy_names())
-      .define("peers", "200", "simulated cluster size")
       .define("dmax", "10", "overlay degree")
       .define("two_machine_bound", "false", "use the stronger LB2 bound")
-      .define("neh_warm_start", "false", "start from the NEH heuristic bound")
-      .define("seed", "1", "run seed")
-      .define("backend", "sim",
-              "sim = simulated cluster, threads = one real thread per peer "
-              "(overlay strategies only)");
+      .define("neh_warm_start", "false", "start from the NEH heuristic bound");
+  bench::RunFlagSpec spec;
+  spec.csv = false;
+  spec.metrics = false;
+  bench::define_run_flags(flags, spec);
   if (!flags.parse(argc, argv)) return 0;
+  const bench::RunFlags rf = bench::parse_run_flags(flags);
 
   const auto inst = bb::FlowshopInstance::ta20x20_scaled(
-      static_cast<int>(flags.get_int("instance")) - 21,
-      static_cast<int>(flags.get_int("jobs")),
-      static_cast<int>(flags.get_int("machines")));
+      static_cast<int>(flags.get_int("instance")) - 21, rf.jobs, rf.machines);
   std::printf("instance %s: %d jobs x %d machines (genuine Taillard seed)\n",
               inst.name().c_str(), inst.jobs(), inst.machines());
 
@@ -49,27 +50,11 @@ int main(int argc, char** argv) {
   bb::BBWorkload workload(inst, kind, bb::CostModel{}, initial_ub);
 
   const lb::Strategy strategy = bench::parse_strategy_flag(flags);
+  const lb::RunConfig config = bench::bb_config(
+      strategy, rf.peers, rf.seed, static_cast<int>(flags.get_int("dmax")));
 
-  lb::RunConfig config;
-  config.strategy = strategy;
-  config.num_peers = static_cast<int>(flags.get_int("peers"));
-  config.dmax = static_cast<int>(flags.get_int("dmax"));
-  config.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
-  config.net = lb::paper_network(config.num_peers);
-  config.chunk_units = 32;
-  if (!lb::backend_from_name(flags.get("backend"), &config.backend)) {
-    std::fprintf(stderr, "unknown --backend '%s' (use sim|threads)\n",
-                 flags.get("backend").c_str());
-    return 1;
-  }
-  if (config.backend == lb::Backend::kThreads &&
-      !lb::strategy_is_overlay(strategy)) {
-    std::fprintf(stderr, "--backend=threads supports TD/TR/BTD only\n");
-    return 1;
-  }
-
-  // Both backends solve the instance to optimality; bench::run_checked
-  // dispatches on config.backend and aborts on an unclean run.
+  // run_checked dispatches through the transport registry on config.backend
+  // and aborts on an unclean run; every transport solves to optimality.
   const auto metrics = bench::run_checked(workload, config, "flowshop_solver");
 
   const auto perm = workload.best().permutation();
@@ -90,7 +75,7 @@ int main(int argc, char** argv) {
   std::printf("\nrun: %s on %d peers — %.4f %s seconds, %llu B&B nodes, "
               "%llu messages\n",
               lb::strategy_name(strategy), config.num_peers, metrics.exec_seconds,
-              config.backend == lb::Backend::kThreads ? "wall" : "simulated",
+              config.backend == lb::Backend::kSim ? "simulated" : "wall",
               static_cast<unsigned long long>(metrics.total_units),
               static_cast<unsigned long long>(metrics.total_messages));
   return 0;

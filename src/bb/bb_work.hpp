@@ -64,6 +64,13 @@ class BBWork final : public lb::Work, public lb::IntervalWork {
   /// Appends an explorer for [begin, end) to the pool.
   void push_interval(std::uint64_t begin, std::uint64_t end);
 
+  /// Visits pool intervals front-to-back as fn(position, end) — the
+  /// remaining [position, end) ranges, for wire serialisation.
+  template <typename Fn>
+  void visit_intervals(Fn&& fn) const {
+    for (const IntervalExplorer& e : pool_) fn(e.position(), e.end());
+  }
+
  private:
   std::shared_ptr<const FlowshopInstance> inst_;
   BoundKind bound_kind_;
@@ -97,6 +104,9 @@ class BBWorkload final : public lb::Workload, public lb::IntervalWorkload {
 
   const FlowshopInstance& instance() const { return *inst_; }
   const BestSolution& best() const { return best_; }
+  /// Mutable incumbent access for merging remotely-found solutions
+  /// (socket backend result exchange).
+  BestSolution& best() { return best_; }
 
  private:
   std::shared_ptr<const FlowshopInstance> inst_;

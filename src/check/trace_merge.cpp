@@ -1,0 +1,61 @@
+#include "check/trace_merge.hpp"
+
+#include <cstddef>
+#include <unordered_set>
+
+namespace olb::check {
+
+std::vector<trace::TraceEvent> merge_causal(
+    std::span<const std::vector<trace::TraceEvent>> streams) {
+  // Ids some stream sends: only deliveries of these can be held back; a
+  // delivery with no send anywhere must flow through for the conservation
+  // oracle to flag.
+  std::unordered_set<std::int64_t> sent_somewhere;
+  std::size_t total = 0;
+  for (const auto& stream : streams) {
+    total += stream.size();
+    for (const trace::TraceEvent& e : stream) {
+      if (e.kind == trace::EventKind::kMsgSend) sent_somewhere.insert(e.a);
+    }
+  }
+
+  std::vector<std::size_t> head(streams.size(), 0);
+  std::unordered_set<std::int64_t> emitted_sends;
+  std::vector<trace::TraceEvent> out;
+  out.reserve(total);
+
+  while (out.size() < total) {
+    // Scan the stream heads, tracking the earliest ready head and — as the
+    // corrupt-trace fallback — the earliest causally blocked one. Streams
+    // are scanned in index order and compared with strict <, so ties break
+    // by stream index and the merge is deterministic.
+    int ready = -1;
+    int blocked = -1;
+    for (std::size_t i = 0; i < streams.size(); ++i) {
+      if (head[i] >= streams[i].size()) continue;
+      const trace::TraceEvent& e = streams[i][head[i]];
+      const bool held = e.kind == trace::EventKind::kMsgDeliver &&
+                        sent_somewhere.contains(e.a) &&
+                        !emitted_sends.contains(e.a);
+      int& slot = held ? blocked : ready;
+      if (slot < 0 ||
+          e.time < streams[static_cast<std::size_t>(slot)]
+                       [head[static_cast<std::size_t>(slot)]]
+                           .time) {
+        slot = static_cast<int>(i);
+      }
+    }
+    // Ranks have no common clock, so a blocked delivery cannot cyclically
+    // block the stream holding its send in a faithful trace (real time
+    // orders send before delivery within each pair). If every head is
+    // blocked anyway the input is corrupt; emit the earliest blocked head
+    // rather than deadlock — the oracles will report it.
+    const auto pick = static_cast<std::size_t>(ready >= 0 ? ready : blocked);
+    const trace::TraceEvent& e = streams[pick][head[pick]++];
+    if (e.kind == trace::EventKind::kMsgSend) emitted_sends.insert(e.a);
+    out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace olb::check

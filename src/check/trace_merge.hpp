@@ -1,0 +1,32 @@
+// Causal merge of per-process trace streams (the socket backend writes one
+// NDJSON file per rank) into a single stream the invariant oracles accept.
+//
+// The oracles assume *causal stream order*: a message's kMsgSend is recorded
+// before its kMsgDeliver. Within one rank's file that holds by construction
+// (SocketNet emits the send before queueing the frame), but socket ranks
+// have no common clock — a receiver's wall clock may run ahead of the
+// sender's, so sorting the union by timestamp can put a delivery before its
+// send. merge_causal therefore performs a topological k-way merge: it only
+// ever pops stream *heads* (per-stream order is preserved exactly, keeping
+// the per-receiver FIFO invariant intact), prefers the lowest-timestamped
+// head whose dependencies are satisfied, and holds back a head delivery
+// whose matching send (same message id, emitted by some other stream) has
+// not been output yet. Deliveries whose id no stream ever sent pass through
+// undelayed — that *is* the violation the conservation oracle exists to
+// catch, so the merge must not mask or deadlock on it.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace olb::check {
+
+/// Merges per-process streams (each internally in recorded order) into one
+/// causally ordered stream. Ties and causal holds break by (timestamp,
+/// stream index), so the result is deterministic for a given input set.
+std::vector<trace::TraceEvent> merge_causal(
+    std::span<const std::vector<trace::TraceEvent>> streams);
+
+}  // namespace olb::check

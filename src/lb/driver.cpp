@@ -37,6 +37,7 @@ const char* backend_name(Backend b) {
   switch (b) {
     case Backend::kSim: return "sim";
     case Backend::kThreads: return "threads";
+    case Backend::kSockets: return "sockets";
   }
   return "?";
 }
@@ -54,6 +55,10 @@ bool backend_from_name(std::string_view name, Backend* out) {
   }
   if (n == "threads") {
     *out = Backend::kThreads;
+    return true;
+  }
+  if (n == "sockets") {
+    *out = Backend::kSockets;
     return true;
   }
   return false;
@@ -339,8 +344,8 @@ OverlayConfig make_overlay_config(const RunConfig& config) {
 
 RunMetrics run_distributed(Workload& workload, const RunConfig& config) {
   OLB_CHECK_MSG(config.backend == Backend::kSim,
-                "run_distributed is the simulator backend; threads runs go "
-                "through runtime::run_threads");
+                "run_distributed is the simulator backend; threads/sockets "
+                "runs go through runtime::run_threads / runtime::run_sockets");
   validate_faults_for_strategy(config);
   sim::Engine engine(config.net, config.seed);
   engine.set_tracer(config.tracer);
@@ -353,7 +358,9 @@ RunMetrics run_distributed(Workload& workload, const RunConfig& config) {
     engine.set_planted_payload_drop(config.plant.lose_nth);
   }
 
+  engine.transport_start();  // lifecycle contract; a no-op on the simulator
   const auto result = engine.run(config.limits.time_limit, config.limits.event_limit);
+  engine.transport_shutdown();
 
   RunMetrics metrics;
   metrics.events = result.events;

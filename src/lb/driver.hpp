@@ -35,16 +35,18 @@ bool strategy_is_overlay(Strategy s);
 
 /// Execution backend for a run. kSim is the discrete-event simulator
 /// (sim::Engine); kThreads runs the same protocol objects on real threads
-/// (runtime::ThreadNet) over real shared-memory work.
+/// (runtime::ThreadNet) over real shared-memory work; kSockets runs one
+/// peer per OS process joined by TCP (runtime::SocketNet).
 enum class Backend {
   kSim,
   kThreads,
+  kSockets,
 };
 
 const char* backend_name(Backend b);
 
-/// Case-insensitive lookup ("sim", "threads"). Returns false (leaving *out
-/// untouched) for unknown names.
+/// Case-insensitive lookup ("sim", "threads", "sockets"). Returns false
+/// (leaving *out untouched) for unknown names.
 bool backend_from_name(std::string_view name, Backend* out);
 
 /// Registry: every Strategy value, in display order.
@@ -81,10 +83,26 @@ struct Heterogeneity {
   bool capacity_weighted = false;
 };
 
-/// Watchdogs: a correct run quiesces long before either limit.
+/// Watchdogs: a correct run quiesces long before either limit. On the
+/// real-time backends time_limit is interpreted against the wall clock.
 struct Limits {
   sim::Time time_limit = sim::seconds(100000.0);
   std::uint64_t event_limit = 400'000'000;
+};
+
+/// Socket-backend bring-up parameters (Backend::kSockets only): which rank
+/// this process is and where every rank listens. The address table must be
+/// identical across all processes of a run — rank 0 redistributes it during
+/// bootstrap and every process cross-checks. Default-constructed =
+/// unconfigured; the sockets transport refuses to run.
+struct SocketBringup {
+  int rank = -1;
+  std::vector<std::string> peers;  ///< "host:port" per rank, index = rank
+  /// When non-empty, each run writes `<prefix>.run<k>.rank<r>.ndjson`
+  /// protocol traces for the conformance oracles (tools/olb_check_trace).
+  std::string trace_prefix;
+
+  bool configured() const { return rank >= 0 && !peers.empty(); }
 };
 
 /// Deliberate protocol mutations for the conformance harness (src/check):
@@ -154,9 +172,13 @@ struct RunConfig {
   metrics::MetricsHub* metrics = nullptr;
 
   /// Execution backend. run_distributed only accepts kSim; kThreads runs
-  /// go through runtime::run_threads (which shares this config type so
-  /// flag parsing and sweep code stay backend-agnostic).
+  /// go through runtime::run_threads and kSockets through
+  /// runtime::run_sockets (both share this config type so flag parsing and
+  /// sweep code stay backend-agnostic).
   Backend backend = Backend::kSim;
+
+  /// Per-process bring-up for Backend::kSockets; ignored otherwise.
+  SocketBringup sockets;
 };
 
 /// Builds the overlay tree for an overlay-strategy run exactly the way the

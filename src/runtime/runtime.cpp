@@ -40,11 +40,13 @@ ThreadRunMetrics run_threads(lb::Workload& workload, const lb::RunConfig& config
     net.add_actor(std::move(peer));
   }
 
+  net.transport_start();  // lifecycle contract; a no-op on this backend
   const auto result = net.run(
       [](const sim::Actor& a) {
         return static_cast<const lb::PeerBase&>(a).saw_terminate();
       },
       config.limits.time_limit);
+  net.transport_shutdown();
 
   ThreadRunMetrics metrics;
   metrics.wall_seconds = result.wall_seconds;

@@ -41,4 +41,15 @@ struct ThreadRunMetrics {
 /// the wall clock (a watchdog — a correct run finishes long before it).
 ThreadRunMetrics run_threads(lb::Workload& workload, const lb::RunConfig& config);
 
+/// Socket-backend counterpart: runs THIS process's single peer
+/// (config.sockets.rank) of a multi-process cluster over TCP
+/// (runtime::SocketNet), then all-gathers per-rank results so the returned
+/// metrics are the cluster-wide aggregate — identical on every process.
+/// Requires an overlay strategy, no fault plan, no heterogeneity, no
+/// tracer/metrics hub in the config (socket traces go to per-process
+/// NDJSON files via config.sockets.trace_prefix), and a configured
+/// SocketBringup whose address table has exactly config.num_peers entries.
+/// `config.limits.time_limit` caps the wall clock per process.
+ThreadRunMetrics run_sockets(lb::Workload& workload, const lb::RunConfig& config);
+
 }  // namespace olb::runtime

@@ -1,0 +1,141 @@
+#include "runtime/transport_registry.hpp"
+
+#include "runtime/runtime.hpp"
+#include "support/check.hpp"
+
+namespace olb::runtime {
+namespace {
+
+bool eq_icase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto lo = [](char c) {
+      return c >= 'A' && c <= 'Z' ? static_cast<char>(c - 'A' + 'a') : c;
+    };
+    if (lo(a[i]) != lo(b[i])) return false;
+  }
+  return true;
+}
+
+/// Real-time backends share these restrictions: they run the overlay
+/// protocol objects directly and have no simulator to model faults or
+/// per-peer speed with.
+bool real_time_supports(const lb::RunConfig& config, std::string* why) {
+  if (!lb::strategy_is_overlay(config.strategy)) {
+    if (why != nullptr) *why = "only overlay strategies (TD/TR/BTD)";
+    return false;
+  }
+  if (config.faults.enabled()) {
+    if (why != nullptr) *why = "fault injection is a simulator concept";
+    return false;
+  }
+  if (config.het.fraction != 0.0) {
+    if (why != nullptr) *why = "speed scaling is a simulator concept";
+    return false;
+  }
+  return true;
+}
+
+/// Both real-time backends report ThreadRunMetrics; normalise to the
+/// simulator's RunMetrics shape. Wall-clock analogues fill the timing
+/// fields; simulator-only series (utilisation, queueing delay, per-peer
+/// message vectors) stay zero/empty.
+lb::RunMetrics from_thread_metrics(const ThreadRunMetrics& t) {
+  lb::RunMetrics m;
+  m.exec_seconds = t.done_seconds;
+  m.last_compute_seconds = t.done_seconds;
+  m.total_units = t.total_units;
+  m.total_messages = t.total_messages;
+  m.work_requests = t.work_requests;
+  m.work_transfers = t.work_transfers;
+  m.best_bound = t.best_bound;
+  m.ok = t.ok;
+  m.final_state = t.final_state;
+  return m;
+}
+
+bool sim_supports(const lb::RunConfig&, std::string*) { return true; }
+
+lb::RunMetrics sim_run(lb::Workload& workload, const lb::RunConfig& config) {
+  lb::RunConfig c = config;  // sweeps pass configs tagged for other backends
+  c.backend = lb::Backend::kSim;
+  return lb::run_distributed(workload, c);
+}
+
+bool threads_supports(const lb::RunConfig& config, std::string* why) {
+  if (!real_time_supports(config, why)) return false;
+  if (config.tracer != nullptr) {
+    if (why != nullptr) *why = "schedule-dependent traces are sim-only";
+    return false;
+  }
+  return true;
+}
+
+lb::RunMetrics threads_run(lb::Workload& workload, const lb::RunConfig& config) {
+  return from_thread_metrics(run_threads(workload, config));
+}
+
+bool sockets_supports(const lb::RunConfig& config, std::string* why) {
+  if (!real_time_supports(config, why)) return false;
+  if (config.tracer != nullptr || config.metrics != nullptr) {
+    if (why != nullptr) {
+      *why = "socket runs trace via --socket-trace, not in-process sinks";
+    }
+    return false;
+  }
+  if (!config.sockets.configured()) {
+    if (why != nullptr) *why = "needs --rank and a peer address table";
+    return false;
+  }
+  if (static_cast<int>(config.sockets.peers.size()) != config.num_peers) {
+    if (why != nullptr) *why = "address table size must equal --peers";
+    return false;
+  }
+  return true;
+}
+
+lb::RunMetrics sockets_run(lb::Workload& workload, const lb::RunConfig& config) {
+  return from_thread_metrics(run_sockets(workload, config));
+}
+
+}  // namespace
+
+const std::vector<TransportEntry>& transport_registry() {
+  static const std::vector<TransportEntry> kRegistry = {
+      {"sim", lb::Backend::kSim,
+       "discrete-event simulator (deterministic, all strategies)",
+       &sim_supports, &sim_run},
+      {"threads", lb::Backend::kThreads,
+       "one OS thread per peer over real shared-memory work",
+       &threads_supports, &threads_run},
+      {"sockets", lb::Backend::kSockets,
+       "one OS process per peer joined by TCP (runtime::SocketNet)",
+       &sockets_supports, &sockets_run},
+  };
+  return kRegistry;
+}
+
+const TransportEntry* find_transport(std::string_view name) {
+  for (const TransportEntry& e : transport_registry()) {
+    if (eq_icase(name, e.name)) return &e;
+  }
+  return nullptr;
+}
+
+const TransportEntry& transport_entry(lb::Backend backend) {
+  for (const TransportEntry& e : transport_registry()) {
+    if (e.backend == backend) return e;
+  }
+  OLB_CHECK_MSG(false, "backend missing from transport registry");
+}
+
+std::string transport_names() {
+  std::string out;
+  for (const TransportEntry& e : transport_registry()) {
+    if (!out.empty()) out += '|';
+    out += e.name;
+  }
+  return out;
+}
+
+}  // namespace olb::runtime

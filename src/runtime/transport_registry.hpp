@@ -1,0 +1,44 @@
+// Transport factory registry: every execution backend (simulator, threads,
+// sockets) registers here once, mirroring the PR 2 strategy registry, so
+// bench mains and sweeps pick backends by name with no per-binary if/else
+// chains — and a future backend becomes available everywhere by adding one
+// table entry.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lb/driver.hpp"
+
+namespace olb::runtime {
+
+struct TransportEntry {
+  const char* name;     ///< CLI name ("sim", "threads", "sockets")
+  lb::Backend backend;  ///< the RunConfig enum value it executes
+  const char* help;     ///< one-line description for flag help text
+  /// True when this transport can execute `config`. On false, `*why` (if
+  /// non-null) receives a short human-readable reason — callers decide
+  /// whether to fall back or fail.
+  bool (*supports)(const lb::RunConfig& config, std::string* why);
+  /// Runs the workload on this transport. Results are normalised to the
+  /// simulator's RunMetrics shape (real-time backends fill the wall-clock
+  /// analogue fields and leave simulator-only ones zero); `ok` reports
+  /// clean protocol termination, and callers abort on !ok.
+  lb::RunMetrics (*run)(lb::Workload& workload, const lb::RunConfig& config);
+};
+
+/// Every registered transport, in display order.
+const std::vector<TransportEntry>& transport_registry();
+
+/// Case-insensitive lookup by CLI name; nullptr for unknown names (callers
+/// report transport_names() as the valid set).
+const TransportEntry* find_transport(std::string_view name);
+
+/// The entry for an already-parsed Backend value (always exists).
+const TransportEntry& transport_entry(lb::Backend backend);
+
+/// "sim|threads|sockets" — for flag help strings and error messages.
+std::string transport_names();
+
+}  // namespace olb::runtime

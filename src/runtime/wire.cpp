@@ -1,0 +1,35 @@
+#include "runtime/wire.hpp"
+
+namespace olb::runtime {
+
+ParseStatus parse_frame_header(const std::uint8_t* data, std::size_t len,
+                               FrameType* type, std::uint32_t* body_len) {
+  if (len < kFrameHeaderSize) return ParseStatus::kNeedMore;
+  WireReader r(data, kFrameHeaderSize);
+  const std::uint32_t magic = r.u32();
+  const std::uint16_t version = r.u16();
+  const std::uint16_t raw_type = r.u16();
+  const std::uint32_t n = r.u32();
+  if (magic != kWireMagic || version != kWireVersion) return ParseStatus::kBad;
+  if (raw_type < static_cast<std::uint16_t>(FrameType::kHello) ||
+      raw_type > static_cast<std::uint16_t>(FrameType::kSummary)) {
+    return ParseStatus::kBad;
+  }
+  if (n > kMaxFrameBody) return ParseStatus::kBad;
+  *type = static_cast<FrameType>(raw_type);
+  *body_len = n;
+  return ParseStatus::kOk;
+}
+
+std::vector<std::uint8_t> make_frame(FrameType type, const WireWriter& body) {
+  WireWriter header;
+  header.u32(kWireMagic);
+  header.u16(kWireVersion);
+  header.u16(static_cast<std::uint16_t>(type));
+  header.u32(static_cast<std::uint32_t>(body.size()));
+  std::vector<std::uint8_t> frame = header.take();
+  frame.insert(frame.end(), body.data().begin(), body.data().end());
+  return frame;
+}
+
+}  // namespace olb::runtime

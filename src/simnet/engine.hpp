@@ -35,6 +35,7 @@
 
 namespace olb::runtime {
 class ThreadNet;  // the shared-memory backend (src/runtime), befriended below
+class SocketNet;  // the TCP multi-process backend (src/runtime), ditto
 }
 
 namespace olb::metrics {
@@ -146,6 +147,7 @@ class Actor {
  private:
   friend class Engine;
   friend class olb::runtime::ThreadNet;
+  friend class olb::runtime::SocketNet;
 
   Transport* transport_ = nullptr;
   int id_ = -1;

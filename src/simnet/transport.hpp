@@ -2,7 +2,7 @@
 //
 // Every service an Actor uses from inside its hooks — sending, timers,
 // compute spans, the clock, the cluster size — goes through this interface.
-// Two implementations exist:
+// Three implementations exist:
 //
 //  * sim::Engine (engine.hpp): the discrete-event simulator. Time is
 //    simulated, sends become queued arrival events, compute spans advance a
@@ -10,11 +10,39 @@
 //  * runtime::ThreadNet (src/runtime): real threads, one per peer. Time is
 //    the wall clock, sends push into lock-free MPSC mailboxes, compute spans
 //    are the actual CPU time of the application work.
+//  * runtime::SocketNet (src/runtime): real processes, one per peer, joined
+//    by TCP. Time is the wall clock relative to a bootstrap-synchronised
+//    epoch; sends are serialised through the versioned wire codec
+//    (runtime/wire.hpp) and delivered by an epoll event loop.
 //
 // Protocol classes (OverlayPeer and friends) are written once against Actor's
-// services and run unmodified on either substrate — the point of the split.
+// services and run unmodified on any substrate — the point of the split.
 // Methods carry a transport_ prefix so Engine can implement them while
 // keeping its richer public API (now(), tracer(), ...) unshadowed.
+//
+// ## Actor/transport lifecycle contract
+//
+// A transport moves through three explicit stages, driven by its harness
+// (sim::Engine::run, runtime::run_threads, runtime::run_sockets):
+//
+//  1. transport_start() — acquire external resources and rendezvous with
+//     the rest of the cluster. After it returns, transport_now(),
+//     transport_num_peers() and transport_send() are fully operational.
+//     In-process backends need nothing here (the default no-op); SocketNet
+//     binds its listener, connects to every peer and runs the bootstrap
+//     barrier, so actors on all processes observe time 0 together.
+//  2. The run: each actor gets on_start() exactly once, then an arbitrary
+//     interleaving of on_message / on_timer / on_compute_done, always on
+//     its own logical thread of control (no hook ever needs locking).
+//     Actors may call send()/set_timer()/start_compute() from any hook.
+//  3. transport_shutdown() — flush and release external resources
+//     (SocketNet: drain outbound queues, write the NDJSON trace, close
+//     sockets). Idempotent; also invoked by the transport's destructor, so
+//     an exceptional exit still releases OS resources. After shutdown no
+//     actor hook will run and transport_send() must not be called.
+//
+// Harnesses call the pair unconditionally on every backend; backends that
+// need no bring-up simply inherit the no-ops.
 #pragma once
 
 #include <cstdint>
@@ -30,6 +58,15 @@ class Actor;
 class Transport {
  public:
   virtual ~Transport() = default;
+
+  /// Lifecycle stage 1 (see the contract above): acquire external
+  /// resources and rendezvous with the cluster. No-op for in-process
+  /// backends.
+  virtual void transport_start() {}
+
+  /// Lifecycle stage 3: flush and release external resources. Must be
+  /// idempotent (destructors call it too). No-op for in-process backends.
+  virtual void transport_shutdown() {}
 
   /// Current time in nanoseconds (simulated or wall, see above).
   virtual Time transport_now() const = 0;
@@ -65,7 +102,7 @@ class Transport {
   bool transport_time_is_free() const { return time_is_free_; }
 
  protected:
-  bool time_is_free_ = true;  ///< cleared by ThreadNet's constructor
+  bool time_is_free_ = true;  ///< cleared by the real-time backends' ctors
 };
 
 }  // namespace olb::sim

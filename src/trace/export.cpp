@@ -4,6 +4,7 @@
 #include <cinttypes>
 #include <cstdio>
 #include <string>
+#include <string_view>
 
 namespace olb::trace {
 
@@ -39,6 +40,36 @@ void write_ndjson(std::ostream& os, std::span<const TraceEvent> events) {
                   e.time, kind_name(e.kind), e.actor, e.peer, e.type, e.a, e.b);
     os << line;
   }
+}
+
+std::vector<TraceEvent> read_ndjson(std::istream& is) {
+  std::vector<TraceEvent> events;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    TraceEvent e;
+    char kind[32] = {0};
+    int consumed = 0;
+    const int n = std::sscanf(
+        line.c_str(),
+        "{\"t\":%" SCNd64 ",\"k\":\"%31[^\"]\",\"actor\":%d,\"peer\":%d,"
+        "\"type\":%d,\"a\":%" SCNd64 ",\"b\":%" SCNd64 "}%n",
+        &e.time, kind, &e.actor, &e.peer, &e.type, &e.a, &e.b, &consumed);
+    OLB_CHECK_MSG(n == 7 && consumed == static_cast<int>(line.size()),
+                  "malformed NDJSON trace line");
+    bool known = false;
+    for (int k = 0; k <= static_cast<int>(EventKind::kRetry); ++k) {
+      const auto candidate = static_cast<EventKind>(k);
+      if (std::string_view(kind) == kind_name(candidate)) {
+        e.kind = candidate;
+        known = true;
+        break;
+      }
+    }
+    OLB_CHECK_MSG(known, "unknown event kind in NDJSON trace");
+    events.push_back(e);
+  }
+  return events;
 }
 
 void write_perfetto(std::ostream& os, std::span<const TraceEvent> events,

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <istream>
 #include <ostream>
 #include <span>
 #include <vector>
@@ -29,6 +30,13 @@ namespace olb::trace {
 using TypeNameFn = const char* (*)(int type);
 
 void write_ndjson(std::ostream& os, std::span<const TraceEvent> events);
+
+/// Parses a stream produced by write_ndjson back into events (file order).
+/// Strict inverse of the exporter: a line that deviates from its exact
+/// format or names an unknown kind aborts (OLB_CHECK) — trace checkers must
+/// fail loudly on corrupt input, never skip it. Empty lines are ignored so
+/// concatenated files round-trip.
+std::vector<TraceEvent> read_ndjson(std::istream& is);
 
 struct PerfettoOptions {
   int num_actors = 0;          ///< tracks to pre-name (0 = infer from events)

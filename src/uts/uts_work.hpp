@@ -38,6 +38,20 @@ class UtsWork final : public lb::Work {
 
   std::uint64_t nodes_counted() const { return nodes_counted_; }
 
+  // --- wire-serialisation access (runtime work codec) ---
+
+  std::size_t pending_count() const { return pending_.size(); }
+  /// Visits pending nodes front-to-back as fn(const NodeState&, int depth).
+  template <typename Fn>
+  void visit_pending(Fn&& fn) const {
+    for (const Pending& p : pending_) fn(p.state, p.depth);
+  }
+  /// Appends one pending node at the back (decode rebuilds in visit order).
+  void push_pending(const NodeState& state, int depth) {
+    pending_.push_back(Pending{state, depth});
+  }
+  void add_nodes_counted(std::uint64_t n) { nodes_counted_ += n; }
+
  private:
   struct Pending {
     NodeState state;

@@ -1,0 +1,209 @@
+// End-to-end tests of the socket backend (runtime::SocketNet +
+// runtime::run_sockets): a real multi-rank cluster over loopback TCP —
+// ranks as in-process threads, each with its own workload instance and
+// transport, exactly as separate processes would be — must reproduce the
+// execution-order-independent invariants: exact UTS node counts, exact B&B
+// optima, identical aggregate metrics on every rank, and per-rank traces
+// that pass the conformance oracles after a causal merge.
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bb/bb_work.hpp"
+#include "check/oracles.hpp"
+#include "check/trace_merge.hpp"
+#include "lb/driver.hpp"
+#include "lb/messages.hpp"
+#include "runtime/runtime.hpp"
+#include "trace/export.hpp"
+#include "uts/uts_work.hpp"
+
+namespace olb {
+namespace {
+
+/// Kernel-chosen free loopback ports. The bind-then-close race against
+/// other processes is acceptable for a test.
+std::vector<std::string> loopback_address_table(int n) {
+  std::vector<std::string> table;
+  for (int i = 0; i < n; ++i) {
+    const int fd = socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    EXPECT_EQ(bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+    socklen_t len = sizeof addr;
+    EXPECT_EQ(getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+    table.push_back("127.0.0.1:" + std::to_string(ntohs(addr.sin_port)));
+    close(fd);
+  }
+  return table;
+}
+
+lb::RunConfig socket_config(lb::Strategy strategy, int rank,
+                            const std::vector<std::string>& table,
+                            std::uint64_t chunk) {
+  lb::RunConfig c;
+  c.strategy = strategy;
+  c.num_peers = static_cast<int>(table.size());
+  c.dmax = 3;
+  c.seed = 1;
+  c.chunk_units = chunk;
+  c.backend = lb::Backend::kSockets;
+  c.limits.time_limit = sim::seconds(120.0);  // wall-clock watchdog
+  c.sockets.rank = rank;
+  c.sockets.peers = table;
+  return c;
+}
+
+uts::Params small_uts_params() {
+  uts::Params p;
+  p.b0 = 200;
+  p.q = 0.45;
+  p.m = 2;
+  p.root_seed = 3;  // ~2000 expected nodes
+  return p;
+}
+
+/// Runs every rank of a socket cluster as an in-process thread, each with
+/// its own workload built by `make_workload` — process-isolation semantics
+/// without fork, since SocketNet holds no process-global state.
+template <typename MakeWorkload>
+std::vector<runtime::ThreadRunMetrics> run_cluster(
+    int n, lb::Strategy strategy, std::uint64_t chunk,
+    const MakeWorkload& make_workload, const std::string& trace_prefix = "",
+    std::vector<std::unique_ptr<lb::Workload>>* keep_workloads = nullptr) {
+  const auto table = loopback_address_table(n);
+  std::vector<runtime::ThreadRunMetrics> results(static_cast<std::size_t>(n));
+  std::vector<std::unique_ptr<lb::Workload>> workloads;
+  for (int rank = 0; rank < n; ++rank) workloads.push_back(make_workload());
+  std::vector<std::thread> ranks;
+  for (int rank = 0; rank < n; ++rank) {
+    ranks.emplace_back([&, rank] {
+      lb::RunConfig config = socket_config(strategy, rank, table, chunk);
+      config.sockets.trace_prefix = trace_prefix;
+      results[static_cast<std::size_t>(rank)] = runtime::run_sockets(
+          *workloads[static_cast<std::size_t>(rank)], config);
+    });
+  }
+  for (std::thread& t : ranks) t.join();
+  if (keep_workloads != nullptr) *keep_workloads = std::move(workloads);
+  return results;
+}
+
+TEST(SocketNet, UtsExactNodeCountAcrossFourRanks) {
+  uts::UtsWorkload reference(small_uts_params(), uts::CostModel{});
+  const auto seq = lb::run_sequential(reference);
+  ASSERT_GT(seq.units, 100u);
+
+  const auto results = run_cluster(4, lb::Strategy::kOverlayBTD, 64, [] {
+    return std::make_unique<uts::UtsWorkload>(small_uts_params(),
+                                              uts::CostModel{});
+  });
+  for (const auto& m : results) {
+    EXPECT_TRUE(m.ok);
+    // Every rank aggregates the same cluster-wide totals.
+    EXPECT_EQ(m.total_units, seq.units);
+    EXPECT_EQ(m.total_messages, results.front().total_messages);
+    EXPECT_EQ(m.work_transfers, results.front().work_transfers);
+    ASSERT_EQ(m.final_state.size(), 4u);
+    for (const auto& tap : m.final_state) {
+      EXPECT_TRUE(tap.terminated);
+      EXPECT_FALSE(tap.holds_work);
+    }
+  }
+}
+
+TEST(SocketNet, UtsTdStrategyAlsoExact) {
+  uts::UtsWorkload reference(small_uts_params(), uts::CostModel{});
+  const auto seq = lb::run_sequential(reference);
+
+  const auto results = run_cluster(3, lb::Strategy::kOverlayTD, 32, [] {
+    return std::make_unique<uts::UtsWorkload>(small_uts_params(),
+                                              uts::CostModel{});
+  });
+  for (const auto& m : results) {
+    EXPECT_TRUE(m.ok);
+    EXPECT_EQ(m.total_units, seq.units);
+  }
+}
+
+TEST(SocketNet, BBOptimumAndSolutionMergeAcrossRanks) {
+  auto make = [] {
+    return std::make_unique<bb::BBWorkload>(
+        bb::FlowshopInstance::ta20x20_scaled(0, 8, 5),
+        bb::BoundKind::kOneMachine, bb::CostModel{});
+  };
+  auto reference = make();
+  const auto seq = lb::run_sequential(*reference);
+  ASSERT_NE(seq.bound, lb::kNoBound);
+
+  std::vector<std::unique_ptr<lb::Workload>> workloads;
+  const auto results =
+      run_cluster(4, lb::Strategy::kOverlayBTD, 32, make, "", &workloads);
+  for (const auto& m : results) {
+    EXPECT_TRUE(m.ok);
+    EXPECT_EQ(m.best_bound, seq.bound);
+  }
+  // The result exchange merged the winning schedule into every rank's
+  // incumbent, not just the rank that found it.
+  for (const auto& wl : workloads) {
+    auto* bb_wl = dynamic_cast<bb::BBWorkload*>(wl.get());
+    ASSERT_NE(bb_wl, nullptr);
+    EXPECT_EQ(bb_wl->best().makespan(), seq.bound);
+    EXPECT_EQ(bb_wl->best().permutation(),
+              dynamic_cast<bb::BBWorkload*>(workloads.front().get())
+                  ->best()
+                  .permutation());
+  }
+}
+
+TEST(SocketNet, PerRankTracesPassOraclesAfterCausalMerge) {
+  const std::string prefix = testing::TempDir() + "socket_trace";
+  const int n = 4;
+  const auto results = run_cluster(n, lb::Strategy::kOverlayBTD, 64, [] {
+    return std::make_unique<uts::UtsWorkload>(small_uts_params(),
+                                              uts::CostModel{});
+  }, prefix);
+  for (const auto& m : results) ASSERT_TRUE(m.ok);
+
+  std::vector<std::vector<trace::TraceEvent>> streams;
+  for (int rank = 0; rank < n; ++rank) {
+    const std::string path =
+        prefix + ".run0.rank" + std::to_string(rank) + ".ndjson";
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good()) << path;
+    streams.push_back(trace::read_ndjson(in));
+    EXPECT_FALSE(streams.back().empty()) << path;
+  }
+  const auto merged = check::merge_causal(streams);
+
+  check::OracleOptions options;
+  options.work_msg_type = lb::kWork;
+  options.faults_possible = false;
+  options.expect_no_clamp = true;
+  options.strict_link_fifo = false;  // ranks share no clock or link order
+  check::OracleSet oracles(options);
+  for (const trace::TraceEvent& e : merged) oracles.record(e);
+  oracles.finish();
+  for (const auto& v : oracles.violations()) {
+    ADD_FAILURE() << check::to_string(v);
+  }
+
+  int terminated = 0;
+  for (const trace::TraceEvent& e : merged) {
+    if (e.kind == trace::EventKind::kTerminated) ++terminated;
+  }
+  EXPECT_EQ(terminated, n);
+}
+
+}  // namespace
+}  // namespace olb
