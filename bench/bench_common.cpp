@@ -1,9 +1,11 @@
 #include "bench_common.hpp"
 
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <mutex>
 #include <thread>
 
 #include "runtime/runtime.hpp"
@@ -123,14 +125,41 @@ RunFlags parse_run_flags(const Flags& flags) {
       // bootstrap completes; a detached watchdog turns that into a loud,
       // bounded failure. _Exit skips destructors deliberately — the process
       // is wedged, not cleanly shutting down.
-      std::thread([ms] {
-        std::this_thread::sleep_for(std::chrono::milliseconds(ms));
-        std::fprintf(stderr,
-                     "FATAL: --time-limit-ms watchdog fired after %lld ms "
-                     "(hung run or lost peer)\n",
-                     static_cast<long long>(ms));
-        std::_Exit(124);
-      }).detach();
+      //
+      // The watchdog must be disarmable: a plain detached sleep-then-_Exit
+      // races normal process exit, so a run that finished a hair under the
+      // limit could still die with a spurious 124 while atexit handlers were
+      // flushing output. An atexit hook flips `disarmed` and wakes the
+      // thread; the state is heap-leaked because the detached thread may
+      // outlive every static destructor.
+      struct WatchdogState {
+        std::mutex mu;
+        std::condition_variable cv;
+        bool disarmed = false;
+      };
+      static WatchdogState* g_watchdog = nullptr;
+      if (g_watchdog == nullptr) {
+        g_watchdog = new WatchdogState;
+        std::atexit([] {
+          {
+            std::scoped_lock lock(g_watchdog->mu);
+            g_watchdog->disarmed = true;
+          }
+          g_watchdog->cv.notify_all();
+        });
+        std::thread([ms, state = g_watchdog] {
+          std::unique_lock lock(state->mu);
+          const bool disarmed = state->cv.wait_for(
+              lock, std::chrono::milliseconds(ms),
+              [state] { return state->disarmed; });
+          if (disarmed) return;  // clean exit beat the deadline
+          std::fprintf(stderr,
+                       "FATAL: --time-limit-ms watchdog fired after %lld ms "
+                       "(hung run or lost peer)\n",
+                       static_cast<long long>(ms));
+          std::_Exit(124);
+        }).detach();
+      }
     }
   }
   if (flags.has("metrics")) {
@@ -196,6 +225,25 @@ sim::FaultPlan parse_fault_flags(const Flags& flags, int num_peers) {
   plan.link.spike_latency = ms(flags.get_double("spike-ms"));
   plan.salt = salt;
   return plan;
+}
+
+Flags& define_churn_flags(Flags& flags) {
+  return flags.define("joins", "0", "dormant peers that join mid-run")
+      .define("leaves", "0", "initial members that leave gracefully")
+      .define("churn-from-ms", "1", "membership window start (ms)")
+      .define("churn-to-ms", "10", "membership window end (ms)")
+      .define("churn-salt", "0", "extra key for the churn RNG stream");
+}
+
+lb::ChurnPlan parse_churn_flags(const Flags& flags, int num_peers) {
+  const int joins = static_cast<int>(flags.get_int("joins"));
+  const int leaves = static_cast<int>(flags.get_int("leaves"));
+  if (joins == 0 && leaves == 0) return {};
+  auto ms = [](double v) { return static_cast<sim::Time>(v * 1e6); };
+  return lb::make_random_churn(
+      joins, leaves, num_peers, ms(flags.get_double("churn-from-ms")),
+      ms(flags.get_double("churn-to-ms")),
+      mix64(static_cast<std::uint64_t>(flags.get_int("churn-salt")) ^ 0xc401));
 }
 
 std::unique_ptr<bb::BBWorkload> make_bb(int index, int jobs, int machines) {

@@ -106,6 +106,17 @@ Flags& define_fault_flags(Flags& flags);
 /// --fault-salt so sweeps can vary the pattern independently of the seed.
 sim::FaultPlan parse_fault_flags(const Flags& flags, int num_peers);
 
+/// Registers the shared elastic-membership flags: --joins (dormant peers
+/// that join mid-run), --leaves (initial members that leave gracefully),
+/// --churn-from-ms / --churn-to-ms (the event window) and --churn-salt.
+/// All-zero defaults mean the resulting plan is disabled.
+Flags& define_churn_flags(Flags& flags);
+
+/// Builds the ChurnPlan the churn flags describe via lb::make_random_churn,
+/// keyed by --churn-salt so sweeps can vary the schedule independently of
+/// the run seed. Disabled (default-constructed) when both counts are 0.
+lb::ChurnPlan parse_churn_flags(const Flags& flags, int num_peers);
+
 /// B&B workload on the scaled analogue of Ta(21+index).
 std::unique_ptr<bb::BBWorkload> make_bb(int index, int jobs, int machines);
 

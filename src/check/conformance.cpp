@@ -114,9 +114,14 @@ OracleOptions oracle_options_for(const lb::RunConfig& config) {
   // information; proportional splits on a homogeneous fault-free cluster
   // never produce an out-of-range raw fraction. (A planted split bias does
   // not change this: it is applied after the clamp.)
-  o.expect_no_clamp = !config.faults.enabled() && config.het.fraction == 0.0 &&
+  // Elastic churn makes subtree sizes live estimates (deltas race the
+  // join/leave handovers), so a firing clamp is legitimate there too.
+  o.expect_no_clamp = !config.faults.enabled() && !config.churn.enabled() &&
+                      config.het.fraction == 0.0 &&
                       !config.het.capacity_weighted &&
                       config.overlay.split == lb::SplitPolicy::kSubtreeProportional;
+  o.churn_initial_peers =
+      config.churn.enabled() ? config.churn.initial_peers : 0;
   // With zero jitter, no perturbation and no faults the simulator's network
   // delivers every link in send order.
   o.strict_link_fifo = config.net.latency_jitter == 0 &&

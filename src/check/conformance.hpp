@@ -26,7 +26,9 @@ namespace olb::check {
 ///  * expect_no_clamp   — proportional splits, homogeneous, fault-free:
 ///    the overlay's fraction clamp must never fire;
 ///  * strict_link_fifo  — zero latency jitter, no perturbation, no faults:
-///    per-link overtaking is impossible in the simulator's network model.
+///    per-link overtaking is impossible in the simulator's network model;
+///  * churn_initial_peers — forwarded from the ChurnPlan so the membership
+///    oracle knows which peers start dormant (0 when churn is disabled).
 OracleOptions oracle_options_for(const lb::RunConfig& config);
 
 struct ConformanceReport {

@@ -87,13 +87,13 @@ sim::Time random_time(Xoshiro256& rng, sim::Time from, sim::Time to) {
 }  // namespace
 
 std::string format_case(const FuzzCase& c) {
-  char buf[160];
+  char buf[176];
   std::snprintf(buf, sizeof(buf),
                 "strategy=%s peers=%d dmax=%d workload=%d seed=%llu fault=%d "
-                "sched=%llu",
+                "sched=%llu churn=%d",
                 lb::strategy_name(c.strategy), c.peers, c.dmax, c.workload_id,
                 static_cast<unsigned long long>(c.seed), c.fault_id,
-                static_cast<unsigned long long>(c.sched_seed));
+                static_cast<unsigned long long>(c.sched_seed), c.churn_id);
   return buf;
 }
 
@@ -140,6 +140,8 @@ bool parse_case(std::string_view text, FuzzCase* out) {
       c.workload_id = static_cast<int>(v);
     } else if (key == "fault") {
       c.fault_id = static_cast<int>(v);
+    } else if (key == "churn") {
+      c.churn_id = static_cast<int>(v);
     } else {
       return false;
     }
@@ -149,6 +151,13 @@ bool parse_case(std::string_view text, FuzzCase* out) {
   if (c.dmax < 1) return false;
   if (c.workload_id < 0 || c.workload_id >= kNumWorkloads) return false;
   if (c.fault_id < 0 || c.fault_id >= kNumFaultPlans) return false;
+  if (c.churn_id < 0 || c.churn_id >= kNumChurnPlans) return false;
+  // Membership is an overlay feature, and churn + faults is rejected by
+  // validate_churn — keep the repro space identical to the legal space.
+  if (c.churn_id != 0 &&
+      (c.fault_id != 0 || !lb::strategy_is_overlay(c.strategy))) {
+    return false;
+  }
   *out = c;
   return true;
 }
@@ -229,6 +238,30 @@ sim::FaultPlan make_case_faults(const FuzzCase& c) {
   return plan;
 }
 
+lb::ChurnPlan make_case_churn(const FuzzCase& c) {
+  if (c.churn_id == 0) return {};
+  OLB_CHECK(c.churn_id > 0 && c.churn_id < kNumChurnPlans);
+  // Wanted (joins, leaves) per plan id, clamped to what the cluster admits
+  // (joins < peers, leaves < initial members) so the plan stays legal at any
+  // peer count the shrinker reaches; a cluster too small to churn at all
+  // degenerates to a disabled plan.
+  struct Want {
+    int joins, leaves;
+  };
+  constexpr Want kWant[kNumChurnPlans] = {{0, 0}, {1, 0}, {0, 1},
+                                          {1, 1}, {3, 1}, {4, 3}};
+  const Want want = kWant[c.churn_id];
+  const int joins = std::min(want.joins, c.peers - 1);
+  const int initial = c.peers - joins;
+  const int leaves = std::min(want.leaves, initial - 1);
+  if (joins == 0 && leaves == 0) return {};
+  // Keyed by (seed, churn_id) only — a printed repro rebuilds it exactly.
+  return lb::make_random_churn(
+      joins, leaves, c.peers, sim::milliseconds(1), sim::milliseconds(20),
+      mix64(c.seed ^ 0x63687572ull) ^
+          mix64(static_cast<std::uint64_t>(c.churn_id)));
+}
+
 lb::RunConfig make_case_config(const FuzzCase& c) {
   lb::RunConfig config;
   config.strategy = c.strategy;
@@ -242,6 +275,7 @@ lb::RunConfig make_case_config(const FuzzCase& c) {
   config.limits.time_limit = sim::seconds(5.0);
   config.limits.event_limit = 30'000'000;
   config.faults = make_case_faults(c);
+  config.churn = make_case_churn(c);
   if (c.fault_id == 0 && c.sched_seed == 0) {
     // The baseline slice of the population runs on reorder-free links, so
     // the strict per-link FIFO and BTD counter-monotonicity oracles (which
@@ -283,6 +317,7 @@ ShrinkResult shrink_case(const FuzzCase& failing, const lb::PlantedBug& plant) {
       candidates.push_back(c);
     };
     if (base.fault_id != 0) push([](FuzzCase& c) { c.fault_id = 0; });
+    if (base.churn_id != 0) push([](FuzzCase& c) { c.churn_id = 0; });
     if (base.sched_seed != 0) push([](FuzzCase& c) { c.sched_seed = 0; });
     if (base.peers > 2) {
       push([](FuzzCase& c) { c.peers = std::max(2, c.peers / 2); });
@@ -321,6 +356,14 @@ FuzzCase random_case(std::uint64_t base_seed, std::uint64_t index,
   // A quarter of cases run the unperturbed schedule — the byte-identity
   // baseline must stay in the swept population, not just in unit tests.
   c.sched_seed = rng.below(4) == 0 ? 0 : 1 + rng.below(1'000'000);
+  // Half the fault-free overlay cases churn: membership is the newest
+  // protocol surface, and validate_churn makes it mutually exclusive with
+  // fault plans, so only that slice of the population can carry it.
+  if (c.fault_id == 0 && lb::strategy_is_overlay(c.strategy)) {
+    c.churn_id = rng.below(2) == 0
+                     ? 0
+                     : static_cast<int>(1 + rng.below(kNumChurnPlans - 1));
+  }
   return c;
 }
 

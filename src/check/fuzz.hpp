@@ -30,10 +30,15 @@ struct FuzzCase {
   std::uint64_t seed = 1;        ///< protocol/topology seed
   int fault_id = 0;              ///< [0, kNumFaultPlans); 0 = fault-free
   std::uint64_t sched_seed = 0;  ///< schedule perturbation; 0 = unperturbed
+  /// [0, kNumChurnPlans); 0 = no churn. Overlay strategies only, and
+  /// mutually exclusive with fault_id (validate_churn's rule) — parse_case
+  /// rejects tuples that mix them.
+  int churn_id = 0;
 };
 
 inline constexpr int kNumWorkloads = 4;
 inline constexpr int kNumFaultPlans = 8;
+inline constexpr int kNumChurnPlans = 6;
 
 /// "strategy=BTD peers=8 dmax=3 workload=0 seed=1 fault=2 sched=7" — the
 /// repro string printed on failure and accepted by olb_fuzz --repro.
@@ -57,6 +62,12 @@ lb::SequentialMetrics case_reference(const FuzzCase& c);
 /// capped to what the strategy survives, so the plan always passes
 /// validate_faults_for_strategy at any peer count the shrinker reaches.
 sim::FaultPlan make_case_faults(const FuzzCase& c);
+
+/// Churn plan `churn_id` under this case's cluster. Join/leave counts are
+/// clamped to what the peer count admits (joins < peers, leaves < initial
+/// members), so the plan stays legal at any size the shrinker reaches; a
+/// cluster too small to churn degenerates to a disabled plan.
+lb::ChurnPlan make_case_churn(const FuzzCase& c);
 
 /// The RunConfig the case denotes: paper network, tight watchdog limits
 /// (a stuck protocol must fail fast, not eat the fuzz budget), the case's

@@ -347,6 +347,78 @@ class FifoOracle final : public Oracle {
   std::map<std::pair<int, int>, std::deque<std::uint32_t>> link_queue_;
 };
 
+// -------------------------------------------------------------- membership ---
+
+// Elastic membership follows the protocol's life cycle. With a ChurnPlan
+// (churn_initial_peers > 0): only dormant peers (id >= initial members) may
+// join, each at most once; each member leaves at most once, and only after
+// being a member; and no peer computes (kComputeSpan) or opens an idle
+// episode (kIdleBegin) outside its membership window — before its join or
+// after its leave. kServe *after* a leave stays legal: a departed peer
+// forwards late work to the member side as a counted bridge transfer.
+// Without a ChurnPlan any membership event is itself a violation.
+class MembershipOracle final : public Oracle {
+ public:
+  explicit MembershipOracle(const OracleOptions& options)
+      : Oracle("membership"), initial_(options.churn_initial_peers) {}
+
+  void on_event(const TraceEvent& e) override {
+    switch (e.kind) {
+      case EventKind::kMemberJoin:
+        if (initial_ == 0) {
+          report(e.time, e.actor, "member join in a run without a churn plan");
+          return;
+        }
+        if (e.actor < initial_) {
+          report(e.time, e.actor,
+                 "initial member emitted a join (only dormant peers join)");
+          return;
+        }
+        if (!joined_.insert(e.actor).second) {
+          report(e.time, e.actor, "peer joined twice");
+        }
+        if (left_.count(e.actor) != 0) {
+          report(e.time, e.actor, "peer re-joined after leaving");
+        }
+        break;
+      case EventKind::kMemberLeave:
+        if (initial_ == 0) {
+          report(e.time, e.actor, "member leave in a run without a churn plan");
+          return;
+        }
+        if (e.actor >= initial_ && joined_.count(e.actor) == 0) {
+          report(e.time, e.actor, "dormant peer left without ever joining");
+        }
+        if (!left_.insert(e.actor).second) {
+          report(e.time, e.actor, "peer left twice");
+        }
+        break;
+      case EventKind::kComputeSpan:
+      case EventKind::kIdleBegin: {
+        if (initial_ == 0) return;
+        const char* what =
+            e.kind == EventKind::kComputeSpan ? "computed" : "went idle";
+        if (e.actor >= initial_ && joined_.count(e.actor) == 0) {
+          report(e.time, e.actor,
+                 std::string("dormant peer ") + what + " before its join");
+        }
+        if (left_.count(e.actor) != 0) {
+          report(e.time, e.actor,
+                 std::string("departed peer ") + what + " after its leave");
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+ private:
+  const int initial_;
+  std::unordered_set<int> joined_;
+  std::unordered_set<int> left_;
+};
+
 }  // namespace
 
 std::unique_ptr<Oracle> make_conservation_oracle(const OracleOptions& options) {
@@ -364,6 +436,9 @@ std::unique_ptr<Oracle> make_split_fraction_oracle(const OracleOptions& options)
 std::unique_ptr<Oracle> make_fifo_oracle(const OracleOptions& options) {
   return std::make_unique<FifoOracle>(options);
 }
+std::unique_ptr<Oracle> make_membership_oracle(const OracleOptions& options) {
+  return std::make_unique<MembershipOracle>(options);
+}
 
 OracleSet::OracleSet(OracleOptions options) : options_(options) {
   oracles_.push_back(make_conservation_oracle(options_));
@@ -371,6 +446,7 @@ OracleSet::OracleSet(OracleOptions options) : options_(options) {
   oracles_.push_back(make_btd_counter_oracle(options_));
   oracles_.push_back(make_split_fraction_oracle(options_));
   oracles_.push_back(make_fifo_oracle(options_));
+  oracles_.push_back(make_membership_oracle(options_));
 }
 
 OracleSet::~OracleSet() = default;

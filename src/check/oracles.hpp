@@ -25,6 +25,11 @@
 //  * fifo          — per-receiver service order equals arrival order
 //                    (inbox FIFO), and — when the schedule is unjittered,
 //                    unperturbed and fault-free — strict per-link FIFO.
+//  * membership    — elastic churn follows the protocol's life cycle: at
+//                    most one join per dormant peer and one leave per
+//                    member, no compute or idle episode outside a peer's
+//                    membership window, and no membership event at all in
+//                    a churn-free run.
 //
 // Oracles process events in *recorded stream order* (never re-sorted): on
 // the simulator that is execution order; on the threads backend the locked
@@ -67,6 +72,10 @@ struct OracleOptions {
   /// No latency jitter, no schedule perturbation, no faults: messages on
   /// one link can never overtake, so strict per-link FIFO must hold.
   bool strict_link_fifo = false;
+  /// Elastic membership: number of initial members of the run's ChurnPlan
+  /// (peers [churn_initial_peers, n) start dormant). 0 = churn disabled, in
+  /// which case any membership event in the trace is itself a violation.
+  int churn_initial_peers = 0;
 };
 
 class Oracle {
@@ -126,5 +135,6 @@ std::unique_ptr<Oracle> make_termination_oracle(const OracleOptions& options);
 std::unique_ptr<Oracle> make_btd_counter_oracle(const OracleOptions& options);
 std::unique_ptr<Oracle> make_split_fraction_oracle(const OracleOptions& options);
 std::unique_ptr<Oracle> make_fifo_oracle(const OracleOptions& options);
+std::unique_ptr<Oracle> make_membership_oracle(const OracleOptions& options);
 
 }  // namespace olb::check

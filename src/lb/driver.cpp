@@ -146,6 +146,85 @@ void validate_faults_for_strategy(const RunConfig& config) {
   }
 }
 
+void validate_churn(const RunConfig& config) {
+  const ChurnPlan& plan = config.churn;
+  if (!plan.enabled()) return;
+  OLB_CHECK_MSG(strategy_is_overlay(config.strategy),
+                "elastic membership requires an overlay strategy (TD/TR/BTD)");
+  OLB_CHECK_MSG(!config.faults.enabled(),
+                "churn and fault injection are mutually exclusive");
+  OLB_CHECK_MSG(plan.initial_peers >= 1 &&
+                    plan.initial_peers <= config.num_peers,
+                "churn.initial_peers must be in [1, num_peers]");
+  std::vector<sim::Time> join_at(static_cast<std::size_t>(config.num_peers), -1);
+  std::vector<char> leaves(static_cast<std::size_t>(config.num_peers), 0);
+  for (const ChurnEvent& e : plan.events) {
+    OLB_CHECK_MSG(e.peer >= 0 && e.peer < config.num_peers,
+                  "churn event names an out-of-range peer");
+    OLB_CHECK_MSG(e.time >= 0, "churn event times must be non-negative");
+    const auto idx = static_cast<std::size_t>(e.peer);
+    if (e.join) {
+      OLB_CHECK_MSG(e.peer >= plan.initial_peers,
+                    "join events are for dormant peers (id >= initial_peers)");
+      OLB_CHECK_MSG(join_at[idx] < 0, "at most one join per peer");
+      join_at[idx] = e.time;
+    } else {
+      OLB_CHECK_MSG(e.peer != 0, "the overlay root (peer 0) cannot leave");
+      OLB_CHECK_MSG(leaves[idx] == 0, "at most one leave per peer");
+      leaves[idx] = 1;
+    }
+  }
+  for (const ChurnEvent& e : plan.events) {
+    if (e.join) continue;
+    const auto idx = static_cast<std::size_t>(e.peer);
+    if (e.peer >= plan.initial_peers) {
+      OLB_CHECK_MSG(join_at[idx] >= 0 && join_at[idx] < e.time,
+                    "a dormant peer's leave must follow its join");
+    }
+  }
+  // A dormant peer with no scheduled join would never activate and never
+  // hear the termination broadcast — the run could not complete.
+  for (int i = plan.initial_peers; i < config.num_peers; ++i) {
+    OLB_CHECK_MSG(join_at[static_cast<std::size_t>(i)] >= 0,
+                  "every dormant peer needs a scheduled join");
+  }
+}
+
+ChurnPlan make_random_churn(int joins, int leaves, int num_peers,
+                            sim::Time from, sim::Time to, std::uint64_t seed) {
+  OLB_CHECK(joins >= 0 && leaves >= 0);
+  OLB_CHECK(from >= 0 && from <= to);
+  OLB_CHECK_MSG(joins < num_peers, "need at least one initial member");
+  const int initial = num_peers - joins;
+  OLB_CHECK_MSG(leaves < initial,
+                "leavers are drawn from the initial members (never the root)");
+  ChurnPlan plan;
+  if (joins == 0 && leaves == 0) return plan;
+  plan.initial_peers = initial;
+  Xoshiro256 rng(mix64(seed ^ 0x636875726eull));
+  const auto span = static_cast<std::uint64_t>(to - from) + 1;
+  const auto stamp = [&] {
+    return from + static_cast<sim::Time>(rng() % span);
+  };
+  // Dormant peers are exactly [initial, num_peers): one join each.
+  for (int peer = initial; peer < num_peers; ++peer) {
+    plan.events.push_back(ChurnEvent{stamp(), peer, /*join=*/true});
+  }
+  // Leavers are distinct initial members (never peer 0), so no leave needs
+  // ordering against a join.
+  std::vector<char> leaving(static_cast<std::size_t>(initial), 0);
+  int placed = 0;
+  while (placed < leaves) {
+    const int peer =
+        1 + static_cast<int>(rng() % static_cast<std::uint64_t>(initial - 1));
+    if (leaving[static_cast<std::size_t>(peer)] != 0) continue;
+    leaving[static_cast<std::size_t>(peer)] = 1;
+    plan.events.push_back(ChurnEvent{stamp(), peer, /*join=*/false});
+    ++placed;
+  }
+  return plan;
+}
+
 sim::NetworkConfig paper_network(int num_peers) {
   sim::NetworkConfig net;
   net.cluster_capacity = num_peers >= 800 ? 736 : 0;
@@ -332,6 +411,9 @@ OverlayConfig make_overlay_config(const RunConfig& config) {
   oc.retry_delay = config.overlay.retry_delay;
   oc.bridge_patience = config.overlay.bridge_patience;
   oc.capacity_weighted = config.het.capacity_weighted;
+  validate_churn(config);
+  oc.churn = config.churn;
+  oc.join_degree = std::max(1, config.dmax);
   oc.fault_tolerant = config.faults.enabled();
   oc.request_timeout = timing.request_timeout;
   oc.lease_interval = timing.lease_interval;
@@ -347,6 +429,7 @@ RunMetrics run_distributed(Workload& workload, const RunConfig& config) {
                 "run_distributed is the simulator backend; threads/sockets "
                 "runs go through runtime::run_threads / runtime::run_sockets");
   validate_faults_for_strategy(config);
+  validate_churn(config);
   sim::Engine engine(config.net, config.seed);
   engine.set_tracer(config.tracer);
   engine.set_metrics(config.metrics);

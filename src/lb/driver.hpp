@@ -149,6 +149,13 @@ struct RunConfig {
   /// strategy (see validate_for_strategy below).
   sim::FaultPlan faults;
 
+  /// Elastic membership (default-constructed = disabled = exactly the
+  /// fixed-n run; zero-churn simulator timelines stay byte-identical).
+  /// Overlay strategies only, mutually exclusive with fault injection —
+  /// see validate_churn. Works on all three backends: dormant peers are
+  /// pre-provisioned actors/ranks that activate at their scheduled join.
+  ChurnPlan churn;
+
   /// Schedule perturbation (default-constructed = disabled = byte-identical
   /// to a run that predates the feature). Simulator backend only.
   sim::SchedulePerturbation perturb;
@@ -202,6 +209,25 @@ int rws_initiator(std::uint64_t seed, int num_peers);
 /// worker, and AHMW only tolerates leaf crashes. Called by run_distributed;
 /// exposed for sweeps that want to pre-filter plans.
 void validate_faults_for_strategy(const RunConfig& config);
+
+/// Aborts (OLB_CHECK) unless config.churn is well-formed: overlay strategy,
+/// no fault plan (churn and crash recovery compose in theory but are kept
+/// mutually exclusive until the combination has an oracle), 1 <=
+/// initial_peers <= num_peers, the root never leaves, every dormant peer
+/// [initial_peers, num_peers) has exactly one join, at most one leave per
+/// member, and a late joiner's leave follows its join. No-op when churn is
+/// disabled. Called by make_overlay_config, i.e. on every backend.
+void validate_churn(const RunConfig& config);
+
+/// Deterministic random churn schedule: the last `joins` peers of an
+/// n-peer run start dormant and join at times uniform in [from, to];
+/// `leaves` distinct initial members (never peer 0) leave gracefully at
+/// times in the same window. `joins + 1 <= num_peers` and
+/// `leaves < num_peers - joins` (the root must survive). Deterministic in
+/// `seed`, so sweeps replay exactly — the membership analogue of
+/// sim::make_random_crashes.
+ChurnPlan make_random_churn(int joins, int leaves, int num_peers,
+                            sim::Time from, sim::Time to, std::uint64_t seed);
 
 struct RunMetrics {
   /// Simulated seconds until the protocol *detected* completion.

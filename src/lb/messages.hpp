@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "lb/work.hpp"
 #include "simnet/message.hpp"
@@ -45,7 +46,19 @@ enum MsgType : int {
   kTermProbe = 17,  ///< initiator polls every live peer; b = round
   kTermAck = 18,    ///< reply; b = (round << 1) | passive, c = packed counters
 
-  kNumMsgTypes = 19,
+  // --- overlay elastic membership (ChurnPlan-driven join/leave) ---
+  kJoinReq = 19,     ///< joining peer -> root, routed down; b = joiner weight,
+                     ///< c = joiner id (routing rewrites src, so the id rides
+                     ///< in the body)
+  kJoinAccept = 20,  ///< acceptor -> joiner; b = acceptor's subtree size
+  kLeave = 21,       ///< leaver -> parent; b = leaver weight,
+                     ///< payload = LeavePayload (children + drained counters)
+  kRewire = 22,      ///< leaver -> each child; b = new parent id,
+                     ///< c = new parent's last known subtree size
+  kSizeDelta = 23,   ///< incremental subtree-size update up the ancestor
+                     ///< path; b = signed delta
+
+  kNumMsgTypes = 24,
 };
 
 /// Display name of a message type (trace exporters, debug output).
@@ -70,6 +83,11 @@ inline const char* msg_type_name(int type) {
     case kMWSplitNotify: return "mw_split_notify";
     case kTermProbe: return "term_probe";
     case kTermAck: return "term_ack";
+    case kJoinReq: return "join_req";
+    case kJoinAccept: return "join_accept";
+    case kLeave: return "leave";
+    case kRewire: return "rewire";
+    case kSizeDelta: return "size_delta";
     default: return nullptr;
   }
 }
@@ -94,6 +112,11 @@ enum TimerTag : std::int64_t {
   kRwsTermPollTimer = 0x0203,        ///< initiator poll-termination cadence
   kMwRequestTimeoutTimer = 0x0302,   ///< kMWRequest retransmit
   kAhmwRequestTimeoutTimer = 0x0402, ///< kMWRequest/kSteal retransmit
+
+  // --- elastic-membership timers (armed only when a ChurnPlan is enabled;
+  // a churn-free run never sets any of them).
+  kOverlayJoinTimer = 0x0105,   ///< dormant peer's scheduled join instant
+  kOverlayLeaveTimer = 0x0106,  ///< member's scheduled graceful leave
 };
 
 /// Bits above this shift carry per-timer generation counters.
@@ -110,6 +133,40 @@ struct ProbePayload final : sim::MsgPayload {
   /// fault-tolerant root only terminates when two lease-separated waves
   /// agree on it (no crash was learned between them).
   int crash_epoch = 0;
+  /// Sum of membership events (joins accepted + leaves absorbed) over the
+  /// wave. Under churn the root requires the back-to-back clean waves to
+  /// agree on this sum too — the membership analogue of the crash-epoch
+  /// rule: a join or leave between the waves invalidates the pair.
+  std::uint64_t member_events = 0;
+};
+
+/// Payload of kLeave: the graceful leaver's handover to its parent — the
+/// child links being transferred (with the leaver's bookkeeping for each:
+/// last known subtree size, an outstanding-request flag, and the per-child
+/// aggregated bridge counters), plus the leaver's own cumulative transfer
+/// counters *after* its final drain was sent and counted. The parent keeps
+/// those counters as a "phantom child" entry so termination waves and the
+/// root's counter gate still see the departed peer's contribution.
+struct LeavePayload final : sim::MsgPayload {
+  struct ChildLink {
+    int peer = -1;
+    std::uint64_t size = 1;
+    bool pending = false;      ///< leaver owed this child a work reply
+    std::uint64_t agg_sent = 0;
+    std::uint64_t agg_recv = 0;
+  };
+  /// A phantom entry the leaver itself was keeping (an earlier departure in
+  /// its subtree): ownership transfers to the parent, so every departed
+  /// peer always has exactly one live keeper polling it in the waves.
+  struct PhantomLink {
+    int peer = -1;
+    std::uint64_t sent = 0;
+    std::uint64_t recv = 0;
+  };
+  std::vector<ChildLink> children;
+  std::vector<PhantomLink> phantoms;
+  std::uint64_t sent = 0;  ///< leaver's own cumulative transfer counters,
+  std::uint64_t recv = 0;  ///< post-drain (the drain itself is included)
 };
 
 /// Packing helpers for kTermAck (poll termination under faults): field b

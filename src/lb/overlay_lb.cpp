@@ -55,9 +55,36 @@ void OverlayPeer::send_work(int dst, std::unique_ptr<Work> w, int req_type,
 
 void OverlayPeer::on_start() {
   OLB_CHECK((initial_work_ != nullptr) == is_root());
-  parent_ = is_root() ? -1 : tree_->parent(id());
   peer_down_.assign(static_cast<std::size_t>(num_peers()), 0);
+  if (churn_enabled()) {
+    for (const ChurnEvent& e : config_.churn.events) {
+      if (e.peer != id()) continue;
+      if (e.join) join_at_ = e.time; else leave_at_ = e.time;
+    }
+    if (id() >= config_.churn.initial_peers) {
+      // Dormant peer: sits outside the overlay until its scheduled join.
+      member_ = false;
+      OLB_CHECK_MSG(join_at_ >= 0, "dormant peer without a scheduled join");
+      set_timer(std::max<sim::Time>(join_at_ - now(), 0), kOverlayJoinTimer);
+      return;
+    }
+    if (leave_at_ >= 0) {
+      leave_timer_armed_ = true;
+      set_timer(std::max<sim::Time>(leave_at_ - now(), 0), kOverlayLeaveTimer);
+    }
+  }
+  parent_ = is_root() ? -1 : tree_->parent(id());
   children_ = tree_->children(id());
+  if (churn_enabled()) {
+    // Initial members are the id-prefix [0, initial_peers); the overlay
+    // invariant parent[i] < i makes that prefix upward-closed, so filtering
+    // dormant ids out of the child lists yields a connected subtree.
+    children_.erase(std::remove_if(children_.begin(), children_.end(),
+                                   [this](int c) {
+                                     return c >= config_.churn.initial_peers;
+                                   }),
+                    children_.end());
+  }
   child_size_.assign(children_.size(), 0);
   pending_child_.assign(children_.size(), false);
   child_agg_.assign(children_.size(), {0, 0});
@@ -81,13 +108,17 @@ void OverlayPeer::on_start() {
 void OverlayPeer::on_size_up(const sim::Message& m) {
   std::size_t idx = child_index(m.src);
   if (idx == kNpos) {
-    OLB_CHECK_MSG(config_.fault_tolerant, "message from a non-child peer");
+    // Under churn a rewired child introduces itself with kSizeUp before the
+    // leaver's kLeave handover lands here (the two race on disjoint links).
+    OLB_CHECK_MSG(config_.fault_tolerant || churn_enabled(),
+                  "message from a non-child peer");
     idx = adopt_child(m.src, 0);
   }
   // A duplicated or retransmitted kSizeUp is a refresh: update the size and
   // re-send the start signal if we already have it.
   const bool refresh = ready_ || child_size_[idx] != 0;
-  OLB_CHECK_MSG(config_.fault_tolerant || !refresh, "duplicate kSizeUp");
+  OLB_CHECK_MSG(config_.fault_tolerant || churn_enabled() || !refresh,
+                "duplicate kSizeUp");
   child_size_[idx] = static_cast<std::uint64_t>(m.b);
   if (refresh) {
     if (ready_) {
@@ -104,9 +135,9 @@ void OverlayPeer::finish_converge_cast() {
   for (std::uint64_t s : child_size_) my_size_ += s;
   // The distributed converge-cast must agree with the static overlay
   // (capacity weights deliberately diverge from plain node counts; crashes
-  // remove peers from the count).
+  // and dormant peers are removed from the count).
   OLB_CHECK(config_.capacity_weighted || config_.fault_tolerant ||
-            my_size_ == tree_->subtree_size(id()));
+            churn_enabled() || my_size_ == tree_->subtree_size(id()));
   if (is_root()) {
     become_ready();
   } else {
@@ -126,7 +157,12 @@ void OverlayPeer::become_ready() {
   for (int c : children_) {
     send(c, make_msg(kSizeDown, static_cast<std::int64_t>(my_size_)));
   }
-  if (config_.fault_tolerant) {
+  if (config_.fault_tolerant || (churn_enabled() && is_root())) {
+    // FT: every peer leases its protocol state. Churn: the root alone must
+    // re-poll — a join or leave changes no transfer counter, so no kReqUp
+    // refresh reaches the root; without this tick a membership event that
+    // dirties the confirming wave would hang the run (nothing else would
+    // ever relaunch the pair).
     set_timer(config_.lease_interval, kOverlayLeaseTimer);
   }
   if (is_root()) {
@@ -135,6 +171,12 @@ void OverlayPeer::become_ready() {
   } else {
     start_idle_episode();
   }
+  // Joins that arrived mid-converge-cast were parked; adopt them now.
+  if (!parked_joins_.empty()) {
+    const auto parked = std::move(parked_joins_);
+    parked_joins_.clear();
+    for (const auto& [joiner, weight] : parked) accept_join(joiner, weight);
+  }
 }
 
 // -------------------------------------------------------- idle protocol ---
@@ -142,7 +184,7 @@ void OverlayPeer::become_ready() {
 void OverlayPeer::became_idle() { start_idle_episode(); }
 
 void OverlayPeer::start_idle_episode() {
-  if (terminated_ || !ready_ || holds_work() || computing()) return;
+  if (terminated_ || !ready_ || !member_ || holds_work() || computing()) return;
   if (!idle_) emit_trace(trace::EventKind::kIdleBegin, -1, 0, episode_ + 1);
   idle_ = true;
   ++episode_;
@@ -251,7 +293,29 @@ void OverlayPeer::send_up_request() {
 }
 
 void OverlayPeer::on_timer(std::int64_t tag) {
+  if (!member_) {
+    // Dormant peers only ever act on their join timer; a departed peer's
+    // residual retry/lease timers are stale protocol state.
+    if ((tag & kTimerTagMask) == kOverlayJoinTimer) on_join_timer();
+    return;
+  }
   switch (tag & kTimerTagMask) {
+    case kOverlayLeaveTimer:
+      leave_timer_armed_ = false;
+      if (terminated_) return;
+      if (!ready_) {
+        // Setup has not completed yet; a member cannot unwind links it has
+        // not announced. Retry shortly — converge-casts finish fast.
+        leave_timer_armed_ = true;
+        set_timer(config_.retry_delay, kOverlayLeaveTimer);
+        return;
+      }
+      if (computing()) {
+        leave_pending_ = true;  // after_chunk() picks it up
+        return;
+      }
+      begin_leave();
+      return;
     case kOverlayRetryTimer:
       retry_timer_armed_ = false;
       if (terminated_ || !idle_ || awaiting_child_ != -1 || holds_work()) return;
@@ -367,8 +431,32 @@ void OverlayPeer::on_req_down(const sim::Message& m) {
 void OverlayPeer::on_req_up(const sim::Message& m) {
   std::size_t idx = child_index(m.src);
   if (idx == kNpos) {
-    OLB_CHECK_MSG(config_.fault_tolerant, "message from a non-child peer");
-    idx = adopt_child(m.src, tree_->subtree_size(m.src));
+    if (churn_enabled()) {
+      // A departed peer refreshing its phantom ledger (after forwarding a
+      // late work delivery): update the counters, never mark it pending —
+      // phantoms are polled, not served.
+      for (PhantomChild& ph : phantoms_) {
+        if (ph.peer != m.src) continue;
+        ph.agg.first = std::max(ph.agg.first, static_cast<std::uint64_t>(m.b));
+        ph.agg.second = std::max(ph.agg.second, static_cast<std::uint64_t>(m.c));
+        if (is_root()) {
+          if (probe_outstanding_) {
+            recheck_after_probe_ = true;
+          } else {
+            check_root_termination();
+          }
+        } else if (idle_ && up_requested_ &&
+                   std::pair{agg_sent(), agg_recv()} != last_sent_agg_) {
+          send_up_request();
+        }
+        return;
+      }
+    }
+    OLB_CHECK_MSG(config_.fault_tolerant || churn_enabled(),
+                  "message from a non-child peer");
+    // Under churn: a rewired child racing its leaver's kLeave handover.
+    idx = adopt_child(m.src, std::max<std::uint64_t>(
+                                 tree_->subtree_size(m.src), 1));
   }
   pending_child_[idx] = true;
   child_agg_[idx] = {static_cast<std::uint64_t>(m.b), static_cast<std::uint64_t>(m.c)};
@@ -467,7 +555,355 @@ void OverlayPeer::serve_pending() {
   if (served_any) trace_queue_depth();
 }
 
-void OverlayPeer::after_chunk() { serve_pending(); }
+void OverlayPeer::after_chunk() {
+  if (leave_pending_) {
+    leave_pending_ = false;
+    if (!terminated_ && member_) {
+      begin_leave();
+      return;
+    }
+  }
+  serve_pending();
+}
+
+// --------------------------------------------------- elastic membership ---
+
+bool OverlayPeer::is_static_ancestor(int anc, int node) const {
+  int p = tree_->parent(node);
+  while (p != -1) {
+    if (p == anc) return true;
+    p = tree_->parent(p);
+  }
+  return false;
+}
+
+void OverlayPeer::apply_size_delta(std::int64_t delta, bool forward_up) {
+  if (delta == 0) return;
+  const std::int64_t next = static_cast<std::int64_t>(my_size_) + delta;
+  my_size_ = next < static_cast<std::int64_t>(weight_)
+                 ? weight_
+                 : static_cast<std::uint64_t>(next);
+  if (forward_up && member_ && !is_root()) {
+    send(parent_, make_msg(kSizeDelta, delta));
+  }
+}
+
+void OverlayPeer::on_size_delta(const sim::Message& m) {
+  const std::int64_t delta = m.b;
+  const std::size_t idx = child_index(m.src);
+  if (idx != kNpos) {
+    const std::int64_t next =
+        static_cast<std::int64_t>(child_size_[idx]) + delta;
+    child_size_[idx] = next < 1 ? 1 : static_cast<std::uint64_t>(next);
+  }
+  apply_size_delta(delta, /*forward_up=*/true);
+}
+
+void OverlayPeer::on_join_timer() {
+  if (member_ || terminated_ || departed_) return;
+  // Churn excludes faults, so the single request cannot be lost; it either
+  // finds a member that adopts us or a terminated peer that answers
+  // kTerminate (the run ended first).
+  send(tree_->root(), make_msg(kJoinReq, static_cast<std::int64_t>(weight_), id()));
+}
+
+void OverlayPeer::on_join_req(sim::Message m) {
+  const int joiner = static_cast<int>(m.c);
+  const auto weight = static_cast<std::uint64_t>(m.b);
+  if (!ready_) {
+    parked_joins_.emplace_back(joiner, weight);
+    return;
+  }
+  if (static_cast<int>(children_.size()) < config_.join_degree) {
+    accept_join(joiner, weight);
+    return;
+  }
+  // BON-style weighted coin: forward towards a child with probability
+  // inversely proportional to its subtree size, steering joins into the
+  // lightest regions of the overlay.
+  double total = 0.0;
+  for (std::uint64_t s : child_size_) {
+    total += 1.0 / static_cast<double>(s + 1);
+  }
+  double x = rng().uniform01() * total;
+  std::size_t pick = children_.size() - 1;
+  for (std::size_t i = 0; i < children_.size(); ++i) {
+    x -= 1.0 / static_cast<double>(child_size_[i] + 1);
+    if (x <= 0.0) {
+      pick = i;
+      break;
+    }
+  }
+  // The joiner's id travels in field c — routing rewrites m.src per hop.
+  send(children_[pick], std::move(m));
+}
+
+void OverlayPeer::accept_join(int joiner, std::uint64_t weight) {
+  OLB_CHECK(churn_enabled() && ready_ && member_);
+  if (child_index(joiner) != kNpos) return;  // duplicate request, already in
+  adopt_child(joiner, weight);
+  ++member_events_;
+  dirty_outstanding_probe();
+  // The new child starts non-pending, which blocks the termination condition
+  // until its first upward request integrates it into the quiet proof.
+  apply_size_delta(static_cast<std::int64_t>(weight), /*forward_up=*/true);
+  send(joiner, make_msg(kJoinAccept, static_cast<std::int64_t>(my_size_)));
+}
+
+void OverlayPeer::on_join_accept(const sim::Message& m) {
+  if (member_ || terminated_ || departed_) return;
+  member_ = true;
+  ready_ = true;
+  parent_ = m.src;
+  parent_size_ = static_cast<std::uint64_t>(m.b);
+  my_size_ = weight_;
+  emit_trace(trace::EventKind::kMemberJoin, parent_, 0,
+             static_cast<std::int64_t>(weight_));
+  if (leave_at_ >= 0) {
+    leave_timer_armed_ = true;
+    set_timer(std::max<sim::Time>(leave_at_ - now(), 0), kOverlayLeaveTimer);
+  }
+  start_idle_episode();
+}
+
+void OverlayPeer::begin_leave() {
+  OLB_CHECK_MSG(!is_root(), "the overlay root cannot leave");
+  OLB_CHECK(member_ && ready_ && !computing());
+  // (1) Drain: residual work moves to the parent as a counted,
+  // bridge-flagged transfer — it lands in the wave counters before the
+  // kLeave snapshot below, so termination cannot race the handover.
+  if (holds_work()) {
+    ++bridge_sent_;
+    send_work(parent_, std::move(work_), kReqBridge, 1.0);
+  }
+  // (2) Rewire every child to the parent. Children re-announce themselves
+  // (kSizeUp) and re-send any open upward request on the new link.
+  for (int c : children_) {
+    send(c, make_msg(kRewire, parent_, static_cast<std::int64_t>(parent_size_)));
+  }
+  // (3) Hand the parent our child links, inherited phantoms and final
+  // transfer counters in one message.
+  auto msg = make_msg(kLeave, static_cast<std::int64_t>(weight_), id());
+  auto payload = std::make_unique<LeavePayload>();
+  payload->children.reserve(children_.size());
+  for (std::size_t i = 0; i < children_.size(); ++i) {
+    payload->children.push_back({children_[i], child_size_[i],
+                                 pending_child_[i] != false,
+                                 child_agg_[i].first, child_agg_[i].second});
+  }
+  payload->phantoms.reserve(phantoms_.size());
+  for (const PhantomChild& ph : phantoms_) {
+    payload->phantoms.push_back({ph.peer, ph.agg.first, ph.agg.second});
+  }
+  payload->sent = own_sent();
+  payload->recv = own_recv();
+  msg.payload = std::move(payload);
+  send(parent_, std::move(msg));
+  emit_trace(trace::EventKind::kMemberLeave, parent_, 0,
+             static_cast<std::int64_t>(weight_));
+  // (4) Retire. parent_ stays valid: the departed peer keeps forwarding
+  // strays towards the member side and answering probes with its true
+  // counters (the phantom entry at the parent points the waves here).
+  if (idle_) emit_trace(trace::EventKind::kIdleEnd, parent_, kLeave, episode_);
+  member_ = false;
+  departed_ = true;
+  idle_ = false;
+  awaiting_child_ = -1;
+  children_.clear();
+  child_size_.clear();
+  pending_child_.clear();
+  child_agg_.clear();
+  pending_bridges_.clear();
+  phantoms_.clear();
+  bridge_target_ = -1;
+}
+
+void OverlayPeer::on_leave(sim::Message m) {
+  const auto* lp = static_cast<const LeavePayload*>(m.payload.get());
+  OLB_CHECK(lp != nullptr);
+  const int leaver = static_cast<int>(m.c);  // src is rewritten on forwards
+  ++member_events_;
+  dirty_outstanding_probe();
+  const std::size_t idx = child_index(leaver);
+  if (idx != kNpos) {
+    children_.erase(children_.begin() + static_cast<std::ptrdiff_t>(idx));
+    child_size_.erase(child_size_.begin() + static_cast<std::ptrdiff_t>(idx));
+    pending_child_.erase(pending_child_.begin() +
+                         static_cast<std::ptrdiff_t>(idx));
+    child_agg_.erase(child_agg_.begin() + static_cast<std::ptrdiff_t>(idx));
+  }
+  // Keep the leaver's final counters as a phantom child: subtree aggregates
+  // retain its contribution, probes keep polling it directly.
+  phantoms_.push_back({leaver, {lp->sent, lp->recv}});
+  for (const auto& ph : lp->phantoms) {
+    bool known = false;
+    for (PhantomChild& mine : phantoms_) {
+      if (mine.peer != ph.peer) continue;
+      mine.agg.first = std::max(mine.agg.first, ph.sent);
+      mine.agg.second = std::max(mine.agg.second, ph.recv);
+      known = true;
+      break;
+    }
+    if (!known) phantoms_.push_back({ph.peer, {ph.sent, ph.recv}});
+  }
+  apply_size_delta(-static_cast<std::int64_t>(m.b), /*forward_up=*/true);
+  // Merge the transferred child links. A child may have introduced itself
+  // already (its rewire-triggered kSizeUp/kReqUp raced this handover):
+  // merge component-wise, never regress a pending flag or an aggregate.
+  for (const auto& cl : lp->children) {
+    const std::size_t ci = child_index(cl.peer);
+    if (ci == kNpos) {
+      const std::size_t ni = adopt_child(cl.peer, cl.size);
+      pending_child_[ni] = cl.pending;
+      child_agg_[ni] = {cl.agg_sent, cl.agg_recv};
+    } else {
+      child_size_[ci] = std::max(child_size_[ci], cl.size);
+      pending_child_[ci] = pending_child_[ci] || cl.pending;
+      child_agg_[ci].first = std::max(child_agg_[ci].first, cl.agg_sent);
+      child_agg_[ci].second = std::max(child_agg_[ci].second, cl.agg_recv);
+    }
+  }
+  trace_queue_depth();
+  if (awaiting_child_ == leaver) {
+    // Our open downward request went to the leaver; it answered (or will
+    // answer) out of departed_dispatch, but advance defensively.
+    awaiting_child_ = -1;
+    ++down_pos_;
+    ++down_req_seq_;
+    advance_down();
+  }
+  if (is_root()) {
+    if (probe_outstanding_) {
+      recheck_after_probe_ = true;
+    } else {
+      check_root_termination();
+    }
+  } else if (idle_ && up_requested_) {
+    if (std::pair{agg_sent(), agg_recv()} != last_sent_agg_) send_up_request();
+  } else if (idle_ && awaiting_child_ == -1) {
+    arm_retry_timer();
+  }
+}
+
+void OverlayPeer::on_rewire(const sim::Message& m) {
+  const int new_parent = static_cast<int>(m.b);
+  if (new_parent == parent_) return;
+  const int old_parent = parent_;
+  parent_ = new_parent;
+  parent_size_ = std::max<std::uint64_t>(static_cast<std::uint64_t>(m.c), 1);
+  emit_trace(trace::EventKind::kReparent, parent_, 0, old_parent);
+  // Introduce ourselves: the new parent may not have processed the kLeave
+  // handover yet. kSizeUp registers us and refreshes our size there (the
+  // refresh reply also updates parent_size_ precisely).
+  if (my_size_ != 0) {
+    send(parent_, make_msg(kSizeUp, static_cast<std::int64_t>(my_size_)));
+  }
+  // Our subtree-finished signal (if any) died with the old parent.
+  if (idle_ && up_requested_) send_up_request();
+}
+
+void OverlayPeer::dirty_outstanding_probe() {
+  if (probe_acks_missing_ > 0) probe_dirty_ = true;
+}
+
+void OverlayPeer::departed_dispatch(sim::Message m) {
+  switch (m.type) {
+    case kWork: {
+      // Late serve of a request made before leaving (a parked bridge, an
+      // in-flight answer). Forward it to the member side as a counted,
+      // bridge-flagged transfer: both hops land in the wave counters, so
+      // the counter rule still sees the work while it is in flight.
+      if (m.b == 1) ++bridge_recv_;
+      ++ft_recv_;
+      ++bridge_sent_;
+      auto* payload = static_cast<WorkPayload*>(m.payload.get());
+      OLB_CHECK(payload != nullptr);
+      send_work(parent_, std::move(payload->work), kReqBridge, 1.0);
+      // Refresh the phantom ledger at our keeper so the pre-wave counter
+      // gate catches up (the probes poll our true counters directly).
+      send(parent_, make_msg(kReqUp, static_cast<std::int64_t>(own_sent()),
+                             static_cast<std::int64_t>(own_recv())));
+      break;
+    }
+    case kReqDown:
+      send(m.src, make_msg(kNoWork, 0, m.c));
+      break;
+    case kProbe: {
+      const auto* pp = static_cast<const ProbePayload*>(m.payload.get());
+      OLB_CHECK(pp != nullptr);
+      auto msg = make_msg(kProbeAck);
+      auto ack = std::make_unique<ProbePayload>();
+      ack->probe_id = pp->probe_id;
+      ack->bridge_sent = own_sent();
+      ack->bridge_recv = own_recv();
+      ack->dirty = false;
+      ack->crash_epoch = crash_epoch_;
+      ack->member_events = member_events_;
+      msg.payload = std::move(ack);
+      send(m.src, std::move(msg));
+      break;
+    }
+    case kTerminate:
+      if (!terminated_) {
+        terminated_ = true;
+        done_time_ = now();
+        emit_trace(trace::EventKind::kTerminated);
+      }
+      break;
+    case kJoinReq:
+      send(parent_, std::move(m));  // pass strays towards the member side
+      break;
+    case kLeave:
+      // A child departed before processing its own rewire and addressed the
+      // handover to us. Pass it to the member side whole: on_leave reads the
+      // leaver from the payload fields, so the src rewrite on this hop is
+      // harmless — dropping it would strand the leaver's child entry at its
+      // keeper as never-pending and wedge termination.
+      send(parent_, std::move(m));
+      break;
+    case kSizeDelta:
+      // An in-flight size update racing our departure. Forward it whole:
+      // the member side applies it to its own estimate and keeps relaying
+      // upward (our old child re-announces its absolute size on rewire, and
+      // kSizeUp refreshes never touch my_size_, so nothing double-counts) —
+      // dropping it would leave every ancestor's estimate permanently stale.
+      send(parent_, std::move(m));
+      break;
+    case kSizeUp:
+    case kReqUp:
+      // A live child still points here (its rewire raced ours). Redirect it:
+      // on_rewire makes it re-introduce itself and re-send any open upward
+      // request on the new link, so no pending flag is lost.
+      send(m.src, make_msg(kRewire, parent_,
+                           static_cast<std::int64_t>(parent_size_)));
+      break;
+    case kRewire:
+      // Our old parent left too; future forwards go to its parent.
+      parent_ = static_cast<int>(m.b);
+      break;
+    default:
+      break;  // stale control chatter addressed to the old member
+  }
+}
+
+void OverlayPeer::dormant_dispatch(sim::Message m) {
+  switch (m.type) {
+    case kJoinAccept:
+      on_join_accept(m);
+      break;
+    case kTerminate:
+      // The run ended before (or raced) our join: a kJoinReq reaching a
+      // terminated member is answered with kTerminate addressed to us.
+      if (!terminated_) {
+        terminated_ = true;
+        done_time_ = now();
+        emit_trace(trace::EventKind::kTerminated);
+      }
+      break;
+    default:
+      break;  // e.g. a bridge request sampled towards a non-member
+  }
+}
 
 // ------------------------------------------------------ bound diffusion ---
 
@@ -561,6 +997,23 @@ void OverlayPeer::on_peer_down(int peer) {
       std::remove_if(pending_bridges_.begin(), pending_bridges_.end(),
                      [peer](const auto& pb) { return pb.first == peer; }),
       pending_bridges_.end());
+  // Subtree sizes along the crashed peer's ancestor path used to stay stale
+  // until the next converge-cast refresh (which fault recovery never runs),
+  // skewing every split fraction computed from them. Decrement the local
+  // estimate and the child entry the crash hangs under; the dead peer's own
+  // child entry (if direct) is rebuilt below, where its adopted orphans
+  // bring their static sizes along. Capacity weights of remote peers are
+  // unknown here, so a crashed peer counts as weight 1 — the same
+  // approximation rebuild_children uses for adopted orphans.
+  if (my_size_ != 0 && is_static_ancestor(id(), peer)) {
+    for (std::size_t i = 0; i < children_.size(); ++i) {
+      if (children_[i] == peer) break;  // direct child: handled by rebuild
+      if (!is_static_ancestor(children_[i], peer)) continue;
+      if (child_size_[i] > 1) --child_size_[i];
+      break;
+    }
+    apply_size_delta(-1, /*forward_up=*/false);
+  }
   const int old_parent = parent_;
   if (!is_root()) parent_ = nearest_live_ancestor(id());
   rebuild_children();
@@ -607,23 +1060,33 @@ void OverlayPeer::on_lease_tick() {
 
 // ---------------------------------------------------------- termination ---
 
+// Plain runs count only bridge transfers: tree serves are covered by the
+// converge-cast discipline (a served child must report idle again before its
+// subtree reads as quiet). FT and churn runs count every transfer instead —
+// a crash or departure severs that discipline mid-flight (e.g. a tree serve
+// in flight to a peer that just left is invisible to the bridge counters,
+// and the departed peer's counted forward only starts at receipt), so the
+// four-counter rule must see all work to keep the Mattern argument sound.
 std::uint64_t OverlayPeer::own_sent() const {
-  return config_.fault_tolerant ? ft_sent_ : bridge_sent_;
+  return config_.fault_tolerant || churn_enabled() ? ft_sent_ : bridge_sent_;
 }
 
 std::uint64_t OverlayPeer::own_recv() const {
-  return config_.fault_tolerant ? ft_recv_ : bridge_recv_;
+  return config_.fault_tolerant || churn_enabled() ? ft_recv_ : bridge_recv_;
 }
+
 
 std::uint64_t OverlayPeer::agg_sent() const {
   std::uint64_t s = own_sent();
   for (const auto& [cs, cr] : child_agg_) s += cs;
+  for (const PhantomChild& ph : phantoms_) s += ph.agg.first;
   return s;
 }
 
 std::uint64_t OverlayPeer::agg_recv() const {
   std::uint64_t r = own_recv();
   for (const auto& [cs, cr] : child_agg_) r += cr;
+  for (const PhantomChild& ph : phantoms_) r += ph.agg.second;
   return r;
 }
 
@@ -647,9 +1110,12 @@ void OverlayPeer::check_root_termination() {
     launch_probe();
     return;
   }
-  if (!config_.use_bridges) {
+  if (!config_.use_bridges && !churn_enabled()) {
     // Pure tree mode: a child's upward request proves its whole subtree is
-    // finished, so the condition alone is exact.
+    // finished, so the condition alone is exact. Under churn that proof
+    // breaks — a serve can be in flight to a peer that already left (its
+    // departed forward re-injects the work outside the tree discipline) —
+    // so elastic runs always confirm with full-counter waves instead.
     declare_termination();
     return;
   }
@@ -669,22 +1135,28 @@ void OverlayPeer::launch_probe() {
   cur_probe_ = ++next_probe_id_;
   probe_s_ = own_sent();
   probe_r_ = own_recv();
+  probe_me_ = member_events_;
   probe_dirty_ = false;
   probe_epoch_ = crash_epoch_;
-  probe_acks_missing_ = static_cast<int>(children_.size());
+  probe_acks_missing_ = static_cast<int>(children_.size() + phantoms_.size());
   emit_trace(trace::EventKind::kProbeWave, -1, 0,
              static_cast<std::int64_t>(cur_probe_));
   if (probe_acks_missing_ == 0) {
     finish_probe_at_root(probe_s_, probe_r_, probe_dirty_);
     return;
   }
-  for (int c : children_) {
+  auto probe = [&](int dst) {
     auto msg = make_msg(kProbe);
     auto payload = std::make_unique<ProbePayload>();
     payload->probe_id = cur_probe_;
     msg.payload = std::move(payload);
-    send(c, std::move(msg));
-  }
+    send(dst, std::move(msg));
+  };
+  for (int c : children_) probe(c);
+  // Phantoms are polled directly: the departed peer answers with its *true*
+  // counters, so a stale phantom ledger can only block termination (the
+  // pre-wave gate), never falsely balance it.
+  for (const PhantomChild& ph : phantoms_) probe(ph.peer);
 }
 
 void OverlayPeer::on_probe(sim::Message m) {
@@ -708,9 +1180,10 @@ void OverlayPeer::on_probe(sim::Message m) {
   probe_parent_ = m.src;
   probe_s_ = own_sent();
   probe_r_ = own_recv();
+  probe_me_ = member_events_;
   probe_dirty_ = false;
   probe_epoch_ = crash_epoch_;
-  probe_acks_missing_ = static_cast<int>(children_.size());
+  probe_acks_missing_ = static_cast<int>(children_.size() + phantoms_.size());
   if (probe_acks_missing_ == 0) {
     auto msg = make_msg(kProbeAck);
     auto payload = std::make_unique<ProbePayload>();
@@ -719,17 +1192,20 @@ void OverlayPeer::on_probe(sim::Message m) {
     payload->bridge_recv = probe_r_;
     payload->dirty = false;
     payload->crash_epoch = probe_epoch_;
+    payload->member_events = probe_me_;
     msg.payload = std::move(payload);
     send(probe_parent_, std::move(msg));
     return;
   }
-  for (int c : children_) {
+  auto probe = [&](int dst) {
     auto msg = make_msg(kProbe);
     auto payload = std::make_unique<ProbePayload>();
     payload->probe_id = pid;
     msg.payload = std::move(payload);
-    send(c, std::move(msg));
-  }
+    send(dst, std::move(msg));
+  };
+  for (int c : children_) probe(c);
+  for (const PhantomChild& ph : phantoms_) probe(ph.peer);
 }
 
 void OverlayPeer::on_probe_ack(sim::Message m) {
@@ -738,6 +1214,7 @@ void OverlayPeer::on_probe_ack(sim::Message m) {
   if (pp->probe_id != cur_probe_ || probe_acks_missing_ == 0) return;  // stale
   probe_s_ += pp->bridge_sent;
   probe_r_ += pp->bridge_recv;
+  probe_me_ += pp->member_events;
   probe_dirty_ = probe_dirty_ || pp->dirty;
   probe_epoch_ = std::max(probe_epoch_, pp->crash_epoch);
   if (--probe_acks_missing_ > 0) return;
@@ -753,6 +1230,7 @@ void OverlayPeer::on_probe_ack(sim::Message m) {
   payload->bridge_recv = probe_r_;
   payload->dirty = probe_dirty_ || !still_quiet;
   payload->crash_epoch = probe_epoch_;
+  payload->member_events = probe_me_;
   msg.payload = std::move(payload);
   send(probe_parent_, std::move(msg));
 }
@@ -806,16 +1284,21 @@ void OverlayPeer::finish_probe_at_root(std::uint64_t s, std::uint64_t r, bool di
   emit_trace(trace::EventKind::kProbeWave, -1, clean ? 1 : 2,
              static_cast<std::int64_t>(cur_probe_),
              static_cast<std::int64_t>(s) - static_cast<std::int64_t>(r));
-  if (!dirty && still_quiet && s == r) {
-    if (have_clean_probe_ && clean_s_ == s && clean_r_ == r) {
+  if (clean) {
+    if (have_clean_probe_ && clean_s_ == s && clean_r_ == r &&
+        clean_me_ == probe_me_) {
       // Mattern four-counter rule: two consecutive clean waves with
-      // identical balanced counters — no transfer can be in flight.
+      // identical balanced counters — no transfer can be in flight. Under
+      // churn the waves must also agree on the membership-event sum: a
+      // join or leave between them (whose handover traffic the counters
+      // may not have caught yet) forces another pair.
       declare_termination();
       return;
     }
     have_clean_probe_ = true;
     clean_s_ = s;
     clean_r_ = r;
+    clean_me_ = probe_me_;
     launch_probe();
     return;
   }
@@ -832,6 +1315,7 @@ void OverlayPeer::declare_termination() {
   done_time_ = now();
   emit_trace(trace::EventKind::kTerminated);
   for (int c : children_) send(c, make_msg(kTerminate));
+  for (const PhantomChild& ph : phantoms_) send(ph.peer, make_msg(kTerminate));
 }
 
 void OverlayPeer::on_terminate() {
@@ -843,6 +1327,7 @@ void OverlayPeer::on_terminate() {
   idle_ = false;
   pending_bridges_.clear();
   for (int c : children_) send(c, make_msg(kTerminate));
+  for (const PhantomChild& ph : phantoms_) send(ph.peer, make_msg(kTerminate));
 }
 
 // ------------------------------------------------------------- dispatch ---
@@ -856,10 +1341,37 @@ void OverlayPeer::on_message(sim::Message m) {
     // protocol state of a dead participant.
     return;
   }
+  if (churn_enabled() && !member_) {
+    if (departed_) {
+      departed_dispatch(std::move(m));
+    } else {
+      dormant_dispatch(std::move(m));
+    }
+    return;
+  }
   if (terminated_) {
     // In-flight stragglers (requests/acks sent before the sender heard the
     // termination broadcast) are ignored; work must never straggle.
     OLB_CHECK(m.type != kWork);
+    if (churn_enabled()) {
+      // The membership protocol must not strand anyone the broadcast could
+      // not reach: a joiner whose request raced termination, a leaver whose
+      // handover (and the links it transferred) arrived after it.
+      if (m.type == kJoinReq) {
+        send(static_cast<int>(m.c), make_msg(kTerminate));
+      } else if (m.type == kLeave) {
+        const auto* lp = static_cast<const LeavePayload*>(m.payload.get());
+        OLB_CHECK(lp != nullptr);
+        send(static_cast<int>(m.c), make_msg(kTerminate));
+        for (const auto& cl : lp->children) send(cl.peer, make_msg(kTerminate));
+        for (const auto& ph : lp->phantoms) send(ph.peer, make_msg(kTerminate));
+      } else if (m.type != kTerminate) {
+        // E.g. a rewired child's kSizeUp/kReqUp introduction that the wave
+        // never polled (it was quiet and linkless at declare time).
+        send(m.src, make_msg(kTerminate));
+      }
+      return;
+    }
     if (config_.fault_tolerant && m.type != kTerminate) {
       // The sender evidently missed the broadcast (e.g. its kTerminate was
       // dropped); its own lease retransmit reached us, so answer it.
@@ -874,6 +1386,11 @@ void OverlayPeer::on_message(sim::Message m) {
     case kReqUp: on_req_up(m); break;
     case kReqBridge: on_req_bridge(m); break;
     case kWork: on_work(std::move(m)); break;
+    case kJoinReq: on_join_req(std::move(m)); break;
+    case kJoinAccept: break;  // duplicate accept for an already-joined member
+    case kLeave: on_leave(std::move(m)); break;
+    case kRewire: on_rewire(m); break;
+    case kSizeDelta: on_size_delta(m); break;
     case kNoWork:
       if (idle_ && awaiting_child_ == m.src && m.c == episode_) {
         awaiting_child_ = -1;
@@ -895,6 +1412,7 @@ StateTap OverlayPeer::state_tap() const {
   t.transfers_sent = ft_sent_;
   t.transfers_recv = ft_recv_;
   t.pending_requests = pending_bridges_.size();
+  t.subtree_size = my_size_;
   return t;
 }
 

@@ -61,6 +61,29 @@
 //     lifetime, so any transfer in flight during one wave lands — and bumps
 //     a counter — before the next wave polls its receiver. Work bounced off
 //     a crashed peer re-enters through on_work like any other transfer.
+//
+// Elastic membership (config.churn, set by the driver iff a ChurnPlan is
+// enabled; churn-free runs never take any of these paths — simulator
+// timelines stay byte-identical):
+//
+//  Join  — a dormant peer sends kJoinReq towards the root; each member
+//    either adopts it (fewer than join_degree children) or forwards the
+//    request to a child chosen by a BON-style weighted coin favouring light
+//    subtrees. The acceptor's kJoinAccept carries its post-adoption subtree
+//    size; size deltas (+weight) ride kSizeDelta up the dynamic ancestor
+//    path instead of a full converge-cast refresh.
+//  Leave — a member (never the root) drains its deque to the parent as a
+//    counted, bridge-flagged transfer, rewires each child to the parent
+//    (kRewire; children re-send kSizeUp and any pending upward request),
+//    then hands the parent a kLeave whose payload lists the transferred
+//    child links and the leaver's final transfer counters. The parent keeps
+//    those counters as a *phantom child*: termination probes visit phantoms
+//    like children (the departed peer answers with its true counters), so
+//    Mattern's counter rule still sees every transfer the leaver ever made.
+//    Probes additionally sum membership events; the root requires the two
+//    clean waves to agree on that sum, so a join or leave between the waves
+//    — whose handover traffic could otherwise race the counters — forces
+//    another wave pair.
 #pragma once
 
 #include <cstdint>
@@ -77,6 +100,28 @@ enum class SplitPolicy {
   kSubtreeProportional,  ///< the paper's overlay-dependent policy
   kHalf,                 ///< classical steal-half (Fig. 2 baseline)
   kFixedUnits,           ///< steal-k (the steal-1/steal-2 of Dinan et al.)
+};
+
+/// One scheduled membership change. Joins name a peer >= the initial member
+/// count; leaves name a member (never the root). The plan is part of the
+/// run configuration, so churn — like fault injection — is a deterministic,
+/// replayable function of the config, not an external stimulus.
+struct ChurnEvent {
+  sim::Time time = 0;
+  int peer = -1;
+  bool join = true;  ///< false = graceful leave
+};
+
+/// Elastic-membership schedule. Disabled (the default) means the classic
+/// fixed-n run: every peer is an initial member and no membership path is
+/// ever taken, keeping zero-churn simulator timelines byte-identical.
+struct ChurnPlan {
+  /// Members at t=0; peers [initial_peers, n) start dormant and only
+  /// activate at their scheduled join. 0 = everyone starts in (disabled).
+  int initial_peers = 0;
+  std::vector<ChurnEvent> events;
+
+  bool enabled() const { return initial_peers > 0 || !events.empty(); }
 };
 
 struct OverlayConfig {
@@ -101,6 +146,15 @@ struct OverlayConfig {
   /// *after* clamping, so served shares can exceed 1 — exactly the
   /// off-by-one-ish bug the split-fraction oracle must catch. 0 disables.
   double planted_split_bias = 0.0;
+
+  // --- elastic membership (driver sets these iff a ChurnPlan is enabled;
+  // churn and fault injection are mutually exclusive — see validate_churn) ---
+  ChurnPlan churn;
+  /// A member with fewer than this many children accepts a join in place;
+  /// otherwise it forwards the request to a child picked by a BON-style
+  /// weighted coin (lighter subtrees preferred). The driver sets it from
+  /// RunConfig::dmax so joined peers respect the same degree bound as TD.
+  int join_degree = 3;
 
   // --- fault tolerance (driver sets these iff a FaultPlan is enabled) ---
   bool fault_tolerant = false;
@@ -129,6 +183,13 @@ class OverlayPeer final : public PeerBase {
   int current_parent() const { return parent_; }
   /// Number of crashed peers this peer has been notified about.
   int known_crashes() const { return crash_epoch_; }
+  /// Current overlay membership (false while dormant or after a leave).
+  bool is_member() const { return member_; }
+  /// This peer's current subtree-size estimate (tests: the incremental
+  /// delta machinery must keep it consistent across churn and crashes).
+  std::uint64_t subtree_size_estimate() const { return my_size_; }
+  /// Membership events (joins accepted + leaves absorbed) witnessed here.
+  std::uint64_t member_events() const { return member_events_; }
 
   StateTap state_tap() const override;
 
@@ -199,6 +260,31 @@ class OverlayPeer final : public PeerBase {
   std::size_t adopt_child(int peer_id, std::uint64_t size_hint);
   void rebuild_children();
   void on_lease_tick();
+  /// Whether `anc` is a strict ancestor of `node` in the *static* tree.
+  bool is_static_ancestor(int anc, int node) const;
+
+  // elastic membership (every path below is gated on churn_enabled())
+  bool churn_enabled() const { return config_.churn.enabled(); }
+  /// Applies a (possibly negative) delta to my_size_ — clamped at the
+  /// peer's own weight — and forwards it up the dynamic parent chain, the
+  /// incremental replacement for a full converge-cast refresh.
+  void apply_size_delta(std::int64_t delta, bool forward_up);
+  void on_join_timer();
+  void on_join_req(sim::Message m);
+  void accept_join(int joiner, std::uint64_t weight);
+  void on_join_accept(const sim::Message& m);
+  void begin_leave();
+  void on_leave(sim::Message m);
+  void on_rewire(const sim::Message& m);
+  void on_size_delta(const sim::Message& m);
+  /// Message dispatch for a peer that already left (phantom duties: forward
+  /// strays, answer probes with its true counters, accept kTerminate).
+  void departed_dispatch(sim::Message m);
+  /// Message dispatch for a not-yet-joined peer.
+  void dormant_dispatch(sim::Message m);
+  /// Marks any outstanding probe at this node dirty — a membership event
+  /// mid-wave must not let that wave read as clean.
+  void dirty_outstanding_probe();
 
   // termination
   std::uint64_t own_sent() const;
@@ -255,6 +341,29 @@ class OverlayPeer final : public PeerBase {
   std::uint64_t bridge_sent_ = 0;
   std::uint64_t bridge_recv_ = 0;
 
+  // elastic-membership state
+  bool member_ = true;  ///< false while dormant and after a graceful leave
+  sim::Time join_at_ = -1;   ///< this peer's scheduled join (dormant peers)
+  sim::Time leave_at_ = -1;  ///< this peer's scheduled leave (members)
+  bool leave_timer_armed_ = false;
+  bool leave_pending_ = false;  ///< leave deferred until the chunk ends
+  /// Joins accepted + leaves absorbed here; summed across termination waves
+  /// so the root can tell churn happened between two otherwise clean waves.
+  std::uint64_t member_events_ = 0;
+  /// A departed child's final transfer counters, kept by its parent so the
+  /// subtree aggregates (agg_sent/agg_recv) never lose its contribution.
+  /// Phantoms are probed like children (they answer with their live-polled
+  /// counters) and receive the termination broadcast, but are never served.
+  struct PhantomChild {
+    int peer = -1;
+    std::pair<std::uint64_t, std::uint64_t> agg{0, 0};  ///< (sent, recv)
+  };
+  std::vector<PhantomChild> phantoms_;
+  /// kJoinReq accepted before this node finished its own converge-cast;
+  /// processed in become_ready().
+  std::vector<std::pair<int, std::uint64_t>> parked_joins_;  ///< (id, weight)
+  std::uint64_t probe_me_ = 0;  ///< member-events sum of the current wave
+
   // fault-tolerance state
   std::vector<char> peer_down_;   ///< peers known to have crashed
   int crash_epoch_ = 0;           ///< == count of set entries in peer_down_
@@ -284,6 +393,7 @@ class OverlayPeer final : public PeerBase {
   std::uint64_t clean_s_ = 0;
   std::uint64_t clean_r_ = 0;
   int clean_epoch_ = 0;
+  std::uint64_t clean_me_ = 0;  ///< member-events sum of the clean wave
   bool recheck_after_probe_ = false;
 
   sim::Time done_time_ = -1;

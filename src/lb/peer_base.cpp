@@ -75,6 +75,7 @@ void PeerBase::on_compute_done() {
 StateTap PeerBase::state_tap() const {
   StateTap t;
   t.peer = id();
+  t.departed = departed_;
   t.holds_work = holds_work();
   t.work_amount = holds_work() ? work_->amount() : 0.0;
   t.terminated = terminated_;

@@ -35,6 +35,7 @@ struct PeerConfig {
 struct StateTap {
   int peer = -1;
   bool crashed = false;
+  bool departed = false;  ///< left gracefully via the membership protocol
   bool holds_work = false;
   double work_amount = 0;
   bool terminated = false;
@@ -43,6 +44,11 @@ struct StateTap {
   std::uint64_t transfers_sent = 0;
   std::uint64_t transfers_recv = 0;
   std::uint64_t pending_requests = 0;
+  /// Overlay only: the peer's final subtree-size estimate (capacity
+  /// weights). At quiescence every size delta has been applied, so the
+  /// root's entry must equal the live membership weight — the regression
+  /// handle for stale sizes after crashes and churn.
+  std::uint64_t subtree_size = 0;
 };
 
 class PeerBase : public sim::Actor {
@@ -53,6 +59,8 @@ class PeerBase : public sim::Actor {
   sim::Time last_active() const { return last_active_; }
   bool saw_terminate() const { return terminated_; }
   bool holds_work() const { return work_ != nullptr && !work_->empty(); }
+  /// True once the peer completed a graceful leave (elastic membership).
+  bool departed() const { return departed_; }
   /// Request retransmissions performed by this peer (fault tolerance).
   std::uint64_t retries() const { return retries_; }
 
@@ -113,6 +121,7 @@ class PeerBase : public sim::Actor {
   std::uint64_t units_done_ = 0;
   sim::Time last_active_ = 0;
   bool terminated_ = false;
+  bool departed_ = false;  ///< set by the overlay's graceful-leave path
   std::uint64_t retries_ = 0;
 
  private:

@@ -13,6 +13,7 @@
 #include <cstring>
 #include <fstream>
 
+#include "lb/work.hpp"
 #include "support/check.hpp"
 #include "support/rng.hpp"
 #include "trace/export.hpp"
@@ -282,12 +283,24 @@ void SocketNet::schedule_reconnect(int rank) {
 
 void SocketNet::adopt_connection(Conn* conn, int rank) {
   PeerLink& link = links_[static_cast<std::size_t>(rank)];
-  if (link.conn != nullptr && link.conn != conn) {
+  if (link.conn == conn) {
+    // Duplicate HELLO on the connection we already use. Resetting
+    // front_sent here would re-send the already-written prefix of a
+    // partially flushed frame and corrupt the byte stream — leave the
+    // cursor alone.
+    link.attempts = 0;
+    link.retry_pending = false;
+    try_flush_link(rank);
+    return;
+  }
+  if (link.conn != nullptr) {
     // A stale connection for this rank (e.g. superseded by a reconnect).
     close_connection(link.conn);
   }
   conn->peer = rank;
   link.conn = conn;
+  // New byte stream: any partially written frame on the old connection
+  // must be retransmitted whole from offset 0.
   link.front_sent = 0;
   link.attempts = 0;
   link.retry_pending = false;
@@ -355,6 +368,7 @@ void SocketNet::try_flush_link(int rank) {
         link.front_sent += static_cast<std::size_t>(k);
         continue;
       }
+      if (k < 0 && errno == EINTR) continue;  // interrupted: just retry
       if (k < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
         update_epoll(conn);
         return;
@@ -393,8 +407,9 @@ void SocketNet::handle_readable(Conn* conn) {
       if (static_cast<std::size_t>(k) < sizeof buf) break;
       continue;
     }
+    if (k < 0 && errno == EINTR) continue;  // interrupted: just retry
     if (k < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
-    close_connection(conn);  // EOF or hard error
+    close_connection(conn);  // EOF (k == 0) or hard error
     return;
   }
   // Parse every complete frame. A malformed header from an identified peer
@@ -470,10 +485,17 @@ void SocketNet::handle_app_message(WireReader& r) {
   const bool ok = decode_message(r, codec_, &m) && r.exhausted();
   OLB_CHECK_MSG(ok, "malformed application message frame from peer");
   if (!accept_app_msgs_) {
-    // Control chatter racing the termination wave is dropped, like the
-    // other backends' leftover-mailbox sweep — but work may never be lost.
-    OLB_CHECK_MSG(m.payload == nullptr,
-                  "undelivered work transfer after termination");
+    // A straggler racing the termination wave. Work may never be lost, but
+    // the message itself is still delivered to the (terminated, hence
+    // inert) actor rather than dropped: a late membership request — e.g. a
+    // kJoinReq that reached rank 0 after its run ended — needs the
+    // terminated actor's kTerminate echo, or the sender hangs until its
+    // wall limit. Replies flow out through the result-exchange pumps.
+    OLB_CHECK_MSG(
+        dynamic_cast<const lb::WorkPayload*>(m.payload.get()) == nullptr,
+        "undelivered work transfer after termination");
+    m.arrived_at = started_clock_ ? transport_now() : 0;
+    dispatch(std::move(m));
     return;
   }
   m.arrived_at = started_clock_ ? transport_now() : 0;
@@ -735,14 +757,19 @@ SocketNet::RunResult SocketNet::run(const ExitPredicate& exit_when,
 std::vector<std::vector<std::uint8_t>> SocketNet::exchange_results(
     std::vector<std::uint8_t> mine) {
   accept_app_msgs_ = false;
-  // Messages still queued locally are control chatter that raced the
-  // termination wave; none may carry work (same sweep as the other
-  // backends' leftover check).
-  for (const sim::Message& m : inbox_) {
-    OLB_CHECK_MSG(m.payload == nullptr,
-                  "undelivered work transfer after termination");
+  // Messages still queued locally raced the termination wave; none may
+  // carry work (same sweep as the other backends' leftover check), but —
+  // like late arrivals in handle_app_message — they are delivered to the
+  // terminated actor, not dropped, so membership stragglers get their
+  // kTerminate echoes.
+  while (!inbox_.empty()) {
+    sim::Message m = std::move(inbox_.front());
+    inbox_.pop_front();
+    OLB_CHECK_MSG(
+        dynamic_cast<const lb::WorkPayload*>(m.payload.get()) == nullptr,
+        "undelivered work transfer after termination");
+    dispatch(std::move(m));
   }
-  inbox_.clear();
 
   const int n = transport_num_peers();
   const auto deadline = std::chrono::steady_clock::now() +

@@ -48,7 +48,8 @@ void encode_rank_result(const RankResult& r, WireWriter& w) {
   w.u64(r.work_transfers);
   const std::uint8_t flags = static_cast<std::uint8_t>(
       (r.tap.crashed ? 1 : 0) | (r.tap.holds_work ? 2 : 0) |
-      (r.tap.terminated ? 4 : 0) | (r.tap.computing ? 8 : 0));
+      (r.tap.terminated ? 4 : 0) | (r.tap.computing ? 8 : 0) |
+      (r.tap.departed ? 16 : 0));
   w.u8(flags);
   w.f64(r.tap.work_amount);
   w.u64(r.tap.units_done);
@@ -74,6 +75,7 @@ RankResult decode_rank_result(WireReader& r) {
   out.tap.holds_work = (flags & 2) != 0;
   out.tap.terminated = (flags & 4) != 0;
   out.tap.computing = (flags & 8) != 0;
+  out.tap.departed = (flags & 16) != 0;
   out.tap.work_amount = r.f64();
   out.tap.units_done = r.u64();
   out.tap.transfers_sent = r.u64();
@@ -96,6 +98,15 @@ std::uint64_t config_digest(const lb::RunConfig& config) {
   mixin(static_cast<std::uint64_t>(config.dmax));
   mixin(config.seed);
   mixin(config.chunk_units);
+  // Membership schedule: all ranks must agree on who starts dormant and on
+  // every scheduled join/leave, or the cluster's trees diverge at runtime.
+  mixin(static_cast<std::uint64_t>(config.churn.initial_peers));
+  mixin(config.churn.events.size());
+  for (const lb::ChurnEvent& e : config.churn.events) {
+    mixin(static_cast<std::uint64_t>(e.time));
+    mixin(static_cast<std::uint64_t>(e.peer));
+    mixin(e.join ? 1 : 0);
+  }
   return d;
 }
 

@@ -91,6 +91,16 @@ void ThreadNet::transport_send(sim::Actor& from, int dst, sim::Message m) {
   metrics::inc(receiver_sleeping ? nm_.wakes : nm_.wakes_skipped);
 }
 
+void ThreadNet::wake_all_hosts() {
+  for (auto& h : hosts_) {
+    {
+      std::scoped_lock lock(h->wake_mutex);
+      ++h->wake_epoch;
+    }
+    h->wake_cv.notify_one();
+  }
+}
+
 void ThreadNet::transport_set_timer(sim::Actor& from, sim::Time delay,
                                     std::int64_t tag) {
   // Timers are always self-addressed, so this runs on the owner thread and
@@ -137,20 +147,35 @@ void ThreadNet::peer_loop(Host& host,
   sim::Actor& a = *host.actor;
   a.started_ = true;
   a.on_start();
+  const int total = num_actors();
+  bool counted = false;
+  // Counts this actor as done the first time the exit predicate holds, and
+  // returns true once EVERY actor is done. The host must not stop at its
+  // own actor's termination: simulator actors stay addressable for the
+  // whole run, and the protocols rely on it — a terminated overlay root
+  // answers stragglers (a join request or leave handover that raced the
+  // termination broadcast) from its terminated state. A host that went
+  // dark here instead would strand such a sender forever.
+  auto all_done = [&] {
+    if (!counted && exit_when(a)) {
+      counted = true;
+      if (hosts_done_.fetch_add(1, std::memory_order_acq_rel) + 1 == total) {
+        wake_all_hosts();  // everyone else is idle-sleeping; end the run now
+      }
+    }
+    return hosts_done_.load(std::memory_order_acquire) == total;
+  };
   sim::Message m;
-  while (!exit_when(a)) {
+  while (!all_done()) {
     bool progress = false;
     // Batched drain: every message queued so far is processed in one sweep,
     // and senders see sleeping == false the whole time, so the batch costs
     // at most one eventcount round (the wake that started it) instead of
     // one per message.
-    bool exited = false;
     const std::size_t drained = host.mailbox.drain([&](sim::Message&& msg) {
       dispatch(host, std::move(msg));
-      exited = exit_when(a);
-      return !exited;
+      return true;
     });
-    if (exited) return;
     if (drained > 0) {
       progress = true;
       metrics::record(nm_.drain_batch, drained);

@@ -166,12 +166,19 @@ class ThreadNet final : public sim::Transport {
   void dispatch(Host& host, sim::Message m);
   /// Fires every timer whose deadline has passed; returns true if any fired.
   bool fire_due_timers(Host& host);
+  /// Bumps every host's eventcount epoch so idle sleepers re-check the
+  /// global done count (used when the last actor terminates).
+  void wake_all_hosts();
 
   std::uint64_t seed_;
   std::vector<std::unique_ptr<Host>> hosts_;
   std::chrono::steady_clock::time_point start_{};
   bool running_ = false;
   std::atomic<std::uint64_t> total_messages_{0};
+  /// Hosts whose actor has satisfied the exit predicate; the run ends when
+  /// this reaches num_actors() (see peer_loop — a host whose own actor is
+  /// done keeps serving its mailbox until then).
+  std::atomic<int> hosts_done_{0};
   trace::TraceSink* tracer_ = nullptr;  ///< must be thread-safe (LockedSink)
   // Live metrics (unarmed and cost-free unless set_metrics was called).
   metrics::MetricsHub* metrics_hub_ = nullptr;

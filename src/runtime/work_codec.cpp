@@ -16,6 +16,7 @@ enum PayloadKind : std::uint8_t {
   kPayloadNone = 0,
   kPayloadProbe = 1,
   kPayloadWork = 2,
+  kPayloadLeave = 3,
 };
 
 /// UTS work = nodes-counted tally + the deque of pending (state, depth)
@@ -155,6 +156,27 @@ void encode_message(const sim::Message& m, const WorkCodec* codec, WireWriter& w
     w.u64(probe->bridge_recv);
     w.u8(probe->dirty ? 1 : 0);
     w.i32(probe->crash_epoch);
+    w.u64(probe->member_events);
+    return;
+  }
+  if (const auto* leave = dynamic_cast<const lb::LeavePayload*>(m.payload.get())) {
+    w.u8(kPayloadLeave);
+    w.u32(static_cast<std::uint32_t>(leave->children.size()));
+    for (const auto& cl : leave->children) {
+      w.i32(cl.peer);
+      w.u64(cl.size);
+      w.u8(cl.pending ? 1 : 0);
+      w.u64(cl.agg_sent);
+      w.u64(cl.agg_recv);
+    }
+    w.u32(static_cast<std::uint32_t>(leave->phantoms.size()));
+    for (const auto& ph : leave->phantoms) {
+      w.i32(ph.peer);
+      w.u64(ph.sent);
+      w.u64(ph.recv);
+    }
+    w.u64(leave->sent);
+    w.u64(leave->recv);
     return;
   }
   if (const auto* wp = dynamic_cast<const lb::WorkPayload*>(m.payload.get())) {
@@ -191,7 +213,33 @@ bool decode_message(WireReader& r, const WorkCodec* codec, sim::Message* msg) {
       probe->bridge_recv = r.u64();
       probe->dirty = r.u8() != 0;
       probe->crash_epoch = r.i32();
+      probe->member_events = r.u64();
       m.payload = std::move(probe);
+      break;
+    }
+    case kPayloadLeave: {
+      auto leave = std::make_unique<lb::LeavePayload>();
+      const std::uint32_t nc = r.u32();
+      for (std::uint32_t i = 0; i < nc && r.ok(); ++i) {
+        lb::LeavePayload::ChildLink cl;
+        cl.peer = r.i32();
+        cl.size = r.u64();
+        cl.pending = r.u8() != 0;
+        cl.agg_sent = r.u64();
+        cl.agg_recv = r.u64();
+        leave->children.push_back(cl);
+      }
+      const std::uint32_t np = r.u32();
+      for (std::uint32_t i = 0; i < np && r.ok(); ++i) {
+        lb::LeavePayload::PhantomLink ph;
+        ph.peer = r.i32();
+        ph.sent = r.u64();
+        ph.recv = r.u64();
+        leave->phantoms.push_back(ph);
+      }
+      leave->sent = r.u64();
+      leave->recv = r.u64();
+      m.payload = std::move(leave);
       break;
     }
     case kPayloadWork: {

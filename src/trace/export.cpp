@@ -58,7 +58,7 @@ std::vector<TraceEvent> read_ndjson(std::istream& is) {
     OLB_CHECK_MSG(n == 7 && consumed == static_cast<int>(line.size()),
                   "malformed NDJSON trace line");
     bool known = false;
-    for (int k = 0; k <= static_cast<int>(EventKind::kRetry); ++k) {
+    for (int k = 0; k <= static_cast<int>(EventKind::kMemberLeave); ++k) {
       const auto candidate = static_cast<EventKind>(k);
       if (std::string_view(kind) == kind_name(candidate)) {
         e.kind = candidate;
@@ -206,6 +206,12 @@ void write_perfetto(std::ostream& os, std::span<const TraceEvent> events,
         break;
       case EventKind::kRetry:
         instant(e, "retry");
+        break;
+      case EventKind::kMemberJoin:
+        instant(e, "member_join");
+        break;
+      case EventKind::kMemberLeave:
+        instant(e, "member_leave");
         break;
       case EventKind::kSplitClamp:
         instant(e, "split_clamp");

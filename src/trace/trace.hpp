@@ -39,6 +39,8 @@
 //  kPeerStall    | peer       | —         | —          | duration     | —
 //  kReparent     | orphan     | new parent| —          | old parent   | —
 //  kRetry        | peer       | target    | msg type   | attempt      | —
+//  kMemberJoin   | joiner     | parent    | —          | weight       | —
+//  kMemberLeave  | leaver     | parent    | —          | weight       | —
 //
 //  (*) 0 = wave launched, 1 = wave came back clean, 2 = wave came back dirty.
 //  (**) 0 = link fault, 1 = destination crashed, 2 = bounce destroyed.
@@ -91,6 +93,9 @@ enum class EventKind : std::uint8_t {
   kPeerStall,
   kReparent,
   kRetry,
+  // --- elastic membership ---
+  kMemberJoin,
+  kMemberLeave,
 };
 
 inline const char* kind_name(EventKind k) {
@@ -116,6 +121,8 @@ inline const char* kind_name(EventKind k) {
     case EventKind::kPeerStall: return "peer_stall";
     case EventKind::kReparent: return "reparent";
     case EventKind::kRetry: return "retry";
+    case EventKind::kMemberJoin: return "member_join";
+    case EventKind::kMemberLeave: return "member_leave";
   }
   return "?";
 }

@@ -313,6 +313,97 @@ TEST(FifoOracle, InOrderLinksPassUnderStrictFifo) {
   EXPECT_TRUE(oracle->violations().empty());
 }
 
+// -------------------------------------------------------------- membership ---
+
+TEST(MembershipOracle, AnyMembershipEventWithoutAChurnPlanIsReported) {
+  const auto oracle = make_membership_oracle(OracleOptions{});
+  feed(*oracle, {
+      ev(EventKind::kMemberJoin, 100, 5),
+  });
+  ASSERT_EQ(oracle->violations().size(), 1u);
+  EXPECT_EQ(oracle->violations()[0].oracle, "membership");
+  EXPECT_NE(oracle->violations()[0].detail.find("without a churn plan"),
+            std::string::npos);
+}
+
+TEST(MembershipOracle, InitialMemberMayNotJoin) {
+  OracleOptions options;
+  options.churn_initial_peers = 4;
+  const auto oracle = make_membership_oracle(options);
+  feed(*oracle, {
+      ev(EventKind::kMemberJoin, 100, /*actor=*/2),  // id < initial
+  });
+  ASSERT_EQ(oracle->violations().size(), 1u);
+  EXPECT_NE(oracle->violations()[0].detail.find("only dormant peers join"),
+            std::string::npos);
+}
+
+TEST(MembershipOracle, JoiningTwiceIsReported) {
+  OracleOptions options;
+  options.churn_initial_peers = 4;
+  const auto oracle = make_membership_oracle(options);
+  feed(*oracle, {
+      ev(EventKind::kMemberJoin, 100, 5),
+      ev(EventKind::kMemberJoin, 200, 5),
+  });
+  ASSERT_EQ(oracle->violations().size(), 1u);
+  EXPECT_EQ(oracle->violations()[0].time, 200);
+  EXPECT_NE(oracle->violations()[0].detail.find("joined twice"),
+            std::string::npos);
+}
+
+TEST(MembershipOracle, DormantPeerComputingBeforeItsJoinIsReported) {
+  OracleOptions options;
+  options.churn_initial_peers = 4;
+  const auto oracle = make_membership_oracle(options);
+  feed(*oracle, {
+      ev(EventKind::kComputeSpan, 100, 6),
+      ev(EventKind::kMemberJoin, 200, 6),
+  });
+  ASSERT_EQ(oracle->violations().size(), 1u);
+  EXPECT_NE(oracle->violations()[0].detail.find("before its join"),
+            std::string::npos);
+}
+
+TEST(MembershipOracle, DepartedPeerComputingAfterItsLeaveIsReported) {
+  OracleOptions options;
+  options.churn_initial_peers = 4;
+  const auto oracle = make_membership_oracle(options);
+  feed(*oracle, {
+      ev(EventKind::kMemberLeave, 100, 2),
+      ev(EventKind::kComputeSpan, 200, 2),
+  });
+  ASSERT_EQ(oracle->violations().size(), 1u);
+  EXPECT_NE(oracle->violations()[0].detail.find("after its leave"),
+            std::string::npos);
+}
+
+TEST(MembershipOracle, LeaveWithoutEverJoiningIsReported) {
+  OracleOptions options;
+  options.churn_initial_peers = 4;
+  const auto oracle = make_membership_oracle(options);
+  feed(*oracle, {
+      ev(EventKind::kMemberLeave, 100, /*actor=*/7),  // dormant, never joined
+  });
+  ASSERT_EQ(oracle->violations().size(), 1u);
+  EXPECT_NE(oracle->violations()[0].detail.find("without ever joining"),
+            std::string::npos);
+}
+
+TEST(MembershipOracle, LegalJoinComputeLeaveLifecycleIsQuiet) {
+  OracleOptions options;
+  options.churn_initial_peers = 4;
+  const auto oracle = make_membership_oracle(options);
+  feed(*oracle, {
+      ev(EventKind::kComputeSpan, 50, 0),   // initial member computes freely
+      ev(EventKind::kMemberJoin, 100, 5),   // dormant peer joins...
+      ev(EventKind::kComputeSpan, 150, 5),  // ...then computes...
+      ev(EventKind::kMemberLeave, 200, 5),  // ...then drains out,
+      ev(EventKind::kMemberLeave, 250, 1),  // and an initial member leaves.
+  });
+  EXPECT_TRUE(oracle->violations().empty());
+}
+
 // -------------------------------------------------------- options derivation ---
 
 TEST(OracleOptionsFor, FaultFreeUnperturbedRunGetsStrictFifo) {
@@ -340,6 +431,21 @@ TEST(OracleOptionsFor, FaultsAndPerturbationRelaxTheOracles) {
   EXPECT_FALSE(po.strict_link_fifo);
 }
 
+TEST(OracleOptionsFor, ChurnArmsTheMembershipOracleAndRelaxesClamp) {
+  FuzzCase c;
+  c.strategy = lb::Strategy::kOverlayTR;
+  c.peers = 12;
+  c.churn_id = 4;  // wants 3 joins + 1 leave, so initial members < peers
+  const auto options = oracle_options_for(make_case_config(c));
+  EXPECT_GT(options.churn_initial_peers, 0);
+  EXPECT_LT(options.churn_initial_peers, c.peers);
+  EXPECT_FALSE(options.expect_no_clamp);  // deltas race handovers
+
+  FuzzCase quiet = c;
+  quiet.churn_id = 0;
+  EXPECT_EQ(oracle_options_for(make_case_config(quiet)).churn_initial_peers, 0);
+}
+
 // -------------------------------------------------------------- fuzz cases ---
 
 TEST(FuzzCaseCodec, FormatParseRoundTrips) {
@@ -362,12 +468,51 @@ TEST(FuzzCaseCodec, FormatParseRoundTrips) {
   EXPECT_EQ(parsed.sched_seed, c.sched_seed);
 }
 
+TEST(FuzzCaseCodec, ChurnKeyRoundTrips) {
+  FuzzCase c;
+  c.strategy = lb::Strategy::kOverlayTR;
+  c.peers = 18;
+  c.dmax = 2;
+  c.workload_id = 1;
+  c.seed = 485546;
+  c.fault_id = 0;
+  c.sched_seed = 694894;
+  c.churn_id = 3;
+  const std::string repro = format_case(c);
+  EXPECT_NE(repro.find("churn=3"), std::string::npos);
+  FuzzCase parsed;
+  ASSERT_TRUE(parse_case(repro, &parsed));
+  EXPECT_EQ(parsed.churn_id, c.churn_id);
+  EXPECT_EQ(format_case(parsed), repro);
+}
+
 TEST(FuzzCaseCodec, ParseRejectsGarbage) {
   FuzzCase c;
   EXPECT_FALSE(parse_case("strategy=XYZ", &c));
   EXPECT_FALSE(parse_case("peers=notanumber", &c));
   EXPECT_FALSE(parse_case("unknown_key=1", &c));
   EXPECT_FALSE(parse_case("workload=99", &c));
+}
+
+TEST(FuzzCaseCodec, ParseRejectsIllegalChurnCombos) {
+  FuzzCase c;
+  // Out-of-range plan id.
+  EXPECT_FALSE(parse_case(
+      "strategy=TD peers=8 dmax=3 workload=0 seed=1 fault=0 sched=0 churn=99",
+      &c));
+  // Churn + faults is rejected (validate_churn's rule, mirrored by the codec
+  // so the repro space stays identical to the legal case space).
+  EXPECT_FALSE(parse_case(
+      "strategy=TD peers=8 dmax=3 workload=0 seed=1 fault=2 sched=0 churn=1",
+      &c));
+  // Churn on a non-overlay strategy is rejected too.
+  EXPECT_FALSE(parse_case(
+      "strategy=MW peers=8 dmax=3 workload=0 seed=1 fault=0 sched=0 churn=1",
+      &c));
+  // The same combos are legal once the churn key is dropped or zero.
+  EXPECT_TRUE(parse_case(
+      "strategy=MW peers=8 dmax=3 workload=0 seed=1 fault=0 sched=0 churn=0",
+      &c));
 }
 
 TEST(FuzzCaseCodec, RandomCaseIsAPureFunctionOfSeedAndIndex) {

@@ -11,7 +11,10 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
+#include <cstring>
 #include <fstream>
+#include <functional>
 #include <memory>
 #include <string>
 #include <thread>
@@ -23,6 +26,7 @@
 #include "lb/driver.hpp"
 #include "lb/messages.hpp"
 #include "runtime/runtime.hpp"
+#include "runtime/wire.hpp"
 #include "trace/export.hpp"
 #include "uts/uts_work.hpp"
 
@@ -80,7 +84,8 @@ template <typename MakeWorkload>
 std::vector<runtime::ThreadRunMetrics> run_cluster(
     int n, lb::Strategy strategy, std::uint64_t chunk,
     const MakeWorkload& make_workload, const std::string& trace_prefix = "",
-    std::vector<std::unique_ptr<lb::Workload>>* keep_workloads = nullptr) {
+    std::vector<std::unique_ptr<lb::Workload>>* keep_workloads = nullptr,
+    const std::function<void(lb::RunConfig&)>& tweak = {}) {
   const auto table = loopback_address_table(n);
   std::vector<runtime::ThreadRunMetrics> results(static_cast<std::size_t>(n));
   std::vector<std::unique_ptr<lb::Workload>> workloads;
@@ -90,6 +95,7 @@ std::vector<runtime::ThreadRunMetrics> run_cluster(
     ranks.emplace_back([&, rank] {
       lb::RunConfig config = socket_config(strategy, rank, table, chunk);
       config.sockets.trace_prefix = trace_prefix;
+      if (tweak) tweak(config);
       results[static_cast<std::size_t>(rank)] = runtime::run_sockets(
           *workloads[static_cast<std::size_t>(rank)], config);
     });
@@ -203,6 +209,124 @@ TEST(SocketNet, PerRankTracesPassOraclesAfterCausalMerge) {
     if (e.kind == trace::EventKind::kTerminated) ++terminated;
   }
   EXPECT_EQ(terminated, n);
+}
+
+TEST(SocketNet, UtsExactUnderJoinAndLeaveChurn) {
+  // One dormant rank joins mid-run and one initial member drains out — the
+  // same elastic-membership protocol the sim tests cover, here over real
+  // TCP links on every rank of a four-process-shaped cluster.
+  uts::UtsWorkload reference(small_uts_params(), uts::CostModel{});
+  const auto seq = lb::run_sequential(reference);
+
+  const auto results = run_cluster(
+      4, lb::Strategy::kOverlayBTD, 64,
+      [] {
+        return std::make_unique<uts::UtsWorkload>(small_uts_params(),
+                                                  uts::CostModel{});
+      },
+      "", nullptr, [](lb::RunConfig& config) {
+        config.churn = lb::make_random_churn(
+            /*joins=*/1, /*leaves=*/1, /*num_peers=*/4, sim::milliseconds(1),
+            sim::milliseconds(10), /*seed=*/99);
+      });
+  for (const auto& m : results) {
+    EXPECT_TRUE(m.ok);
+    EXPECT_EQ(m.total_units, seq.units);
+    ASSERT_EQ(m.final_state.size(), 4u);
+    for (const auto& tap : m.final_state) {
+      EXPECT_TRUE(tap.terminated);
+      EXPECT_FALSE(tap.holds_work);
+    }
+  }
+}
+
+TEST(SocketNet, RogueConnectionKilledMidFrameDoesNotDisturbTheCluster) {
+  // Regression for the partially-written-frame path: a connection that dies
+  // after delivering only a prefix of a frame header must park as kNeedMore
+  // and be torn down on the EOF/RST, never tripping the garbage-header
+  // check or wedging the rank. Two rogues hit rank 0 mid-run — one closing
+  // cleanly (FIN after 5 header bytes), one abruptly (RST via SO_LINGER 0)
+  // — and the cluster must still finish with exact counts.
+  uts::UtsWorkload reference(small_uts_params(), uts::CostModel{});
+  const auto seq = lb::run_sequential(reference);
+
+  const int n = 3;
+  const auto table = loopback_address_table(n);
+  const std::string& target = table[0];
+  const auto port = static_cast<std::uint16_t>(
+      std::stoi(target.substr(target.find(':') + 1)));
+
+  std::vector<runtime::ThreadRunMetrics> results(n);
+  std::vector<std::unique_ptr<lb::Workload>> workloads;
+  for (int rank = 0; rank < n; ++rank) {
+    workloads.push_back(std::make_unique<uts::UtsWorkload>(small_uts_params(),
+                                                           uts::CostModel{}));
+  }
+  const auto launch_rank = [&](int rank) {
+    return std::thread([&, rank] {
+      const lb::RunConfig config =
+          socket_config(lb::Strategy::kOverlayTD, rank, table, 32);
+      results[static_cast<std::size_t>(rank)] =
+          runtime::run_sockets(*workloads[static_cast<std::size_t>(rank)],
+                               config);
+    });
+  };
+  // Only rank 0 at first: it cannot finish (or even leave bootstrap) until
+  // ranks 1 and 2 appear, so the rogues below are guaranteed to hit a live,
+  // mid-run epoll loop — no race against the cluster completing.
+  std::vector<std::thread> ranks;
+  ranks.push_back(launch_rank(0));
+
+  // Rank 0 binds its listener during startup; retry until it is up.
+  const auto connect_rogue = [&]() -> int {
+    for (int attempt = 0; attempt < 5000; ++attempt) {
+      const int fd = socket(AF_INET, SOCK_STREAM, 0);
+      if (fd < 0) return -1;
+      sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+      addr.sin_port = htons(port);
+      if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) == 0) {
+        return fd;
+      }
+      close(fd);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return -1;
+  };
+
+  // A valid frame truncated after 5 bytes: well inside the 12-byte header,
+  // so the receiver cannot tell it from a slow legitimate peer.
+  const auto frame =
+      runtime::make_frame(runtime::FrameType::kHello, runtime::WireWriter{});
+  static_assert(runtime::kFrameHeaderSize > 5);
+  bool rogues_connected = true;
+  for (const bool abortive : {false, true}) {
+    const int fd = connect_rogue();
+    if (fd < 0) {
+      rogues_connected = false;  // reported after the join below
+      continue;
+    }
+    EXPECT_EQ(send(fd, frame.data(), 5, MSG_NOSIGNAL), 5);
+    // Give the rank a chance to read the partial header before the close
+    // lands, so both orderings (bytes then EOF, bytes+EOF together) occur
+    // across the two rogues.
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    if (abortive) {
+      const linger hard{1, 0};  // close() sends RST, not FIN
+      EXPECT_EQ(setsockopt(fd, SOL_SOCKET, SO_LINGER, &hard, sizeof hard), 0);
+    }
+    close(fd);
+  }
+
+  // Now let the cluster form and run to completion.
+  for (int rank = 1; rank < n; ++rank) ranks.push_back(launch_rank(rank));
+  for (std::thread& t : ranks) t.join();
+  EXPECT_TRUE(rogues_connected) << "rank 0 never started listening";
+  for (const auto& m : results) {
+    EXPECT_TRUE(m.ok);
+    EXPECT_EQ(m.total_units, seq.units);
+  }
 }
 
 }  // namespace

@@ -21,6 +21,7 @@ namespace {
 
 constexpr std::int64_t kI64Min = std::numeric_limits<std::int64_t>::min();
 constexpr std::int64_t kI64Max = std::numeric_limits<std::int64_t>::max();
+constexpr std::uint64_t kU64Max = std::numeric_limits<std::uint64_t>::max();
 
 // ------------------------------------------------------------- primitives ---
 
@@ -191,6 +192,7 @@ TEST(WorkCodec, EveryMessageTypeRoundTripsWithExtremeFields) {
       probe->bridge_recv = 2;
       probe->dirty = true;
       probe->crash_epoch = -3;
+      probe->member_events = std::numeric_limits<std::uint64_t>::max() - 1;
       m.payload = std::move(probe);
     } else if (type == lb::kWork) {
       auto root = workload->make_root_work();
@@ -214,6 +216,8 @@ TEST(WorkCodec, EveryMessageTypeRoundTripsWithExtremeFields) {
       EXPECT_EQ(probe->bridge_recv, 2u);
       EXPECT_TRUE(probe->dirty);
       EXPECT_EQ(probe->crash_epoch, -3);
+      EXPECT_EQ(probe->member_events,
+                std::numeric_limits<std::uint64_t>::max() - 1);
     } else if (type == lb::kWork) {
       const auto* wp = dynamic_cast<const lb::WorkPayload*>(out.payload.get());
       ASSERT_NE(wp, nullptr);
@@ -222,6 +226,82 @@ TEST(WorkCodec, EveryMessageTypeRoundTripsWithExtremeFields) {
     } else {
       EXPECT_EQ(out.payload, nullptr);
     }
+  }
+}
+
+TEST(WorkCodec, LeaveHandoverRoundTripsChildrenPhantomsAndCounters) {
+  auto workload = test_uts();
+  const auto codec = runtime::make_work_codec(*workload);
+  sim::Message m(lb::kLeave);
+  m.id = 41;
+  m.src = 5;
+  m.dst = 2;
+  auto leave = std::make_unique<lb::LeavePayload>();
+  leave->children.push_back({/*peer=*/9, /*size=*/kU64Max, /*pending=*/true,
+                             /*agg_sent=*/3, /*agg_recv=*/kU64Max - 7});
+  leave->children.push_back({11, 1, false, 0, 0});
+  leave->phantoms.push_back({/*peer=*/4, /*sent=*/17, /*recv=*/17});
+  leave->sent = kU64Max;
+  leave->recv = 12345;
+  m.payload = std::move(leave);
+
+  runtime::WireWriter w;
+  runtime::encode_message(m, codec.get(), w);
+  runtime::WireReader r(w.data());
+  sim::Message out;
+  ASSERT_TRUE(runtime::decode_message(r, codec.get(), &out));
+  EXPECT_TRUE(r.exhausted());
+  expect_messages_equal(m, out);
+
+  const auto* lp = dynamic_cast<const lb::LeavePayload*>(out.payload.get());
+  ASSERT_NE(lp, nullptr);
+  ASSERT_EQ(lp->children.size(), 2u);
+  EXPECT_EQ(lp->children[0].peer, 9);
+  EXPECT_EQ(lp->children[0].size, kU64Max);
+  EXPECT_TRUE(lp->children[0].pending);
+  EXPECT_EQ(lp->children[0].agg_sent, 3u);
+  EXPECT_EQ(lp->children[0].agg_recv, kU64Max - 7);
+  EXPECT_EQ(lp->children[1].peer, 11);
+  EXPECT_FALSE(lp->children[1].pending);
+  ASSERT_EQ(lp->phantoms.size(), 1u);
+  EXPECT_EQ(lp->phantoms[0].peer, 4);
+  EXPECT_EQ(lp->phantoms[0].sent, 17u);
+  EXPECT_EQ(lp->phantoms[0].recv, 17u);
+  EXPECT_EQ(lp->sent, kU64Max);
+  EXPECT_EQ(lp->recv, 12345u);
+
+  // An empty handover (leaf leaver, nothing kept) round-trips too.
+  sim::Message leaf(lb::kLeave);
+  leaf.payload = std::make_unique<lb::LeavePayload>();
+  runtime::WireWriter w2;
+  runtime::encode_message(leaf, codec.get(), w2);
+  runtime::WireReader r2(w2.data());
+  sim::Message out2;
+  ASSERT_TRUE(runtime::decode_message(r2, codec.get(), &out2));
+  const auto* lp2 = dynamic_cast<const lb::LeavePayload*>(out2.payload.get());
+  ASSERT_NE(lp2, nullptr);
+  EXPECT_TRUE(lp2->children.empty());
+  EXPECT_TRUE(lp2->phantoms.empty());
+}
+
+TEST(WorkCodec, TruncatedLeaveHandoverIsRejected) {
+  auto workload = test_uts();
+  const auto codec = runtime::make_work_codec(*workload);
+  sim::Message m(lb::kLeave);
+  auto leave = std::make_unique<lb::LeavePayload>();
+  leave->children.push_back({3, 5, true, 1, 2});
+  leave->phantoms.push_back({8, 4, 4});
+  leave->sent = 10;
+  leave->recv = 9;
+  m.payload = std::move(leave);
+  runtime::WireWriter w;
+  runtime::encode_message(m, codec.get(), w);
+  const auto& full = w.data();
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    runtime::WireReader r(full.data(), len);
+    sim::Message out;
+    EXPECT_FALSE(runtime::decode_message(r, codec.get(), &out))
+        << "prefix " << len;
   }
 }
 
