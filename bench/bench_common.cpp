@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <iostream>
 #include <mutex>
 #include <thread>
 
@@ -369,6 +370,45 @@ void dump_trace_if_requested(const Flags& flags, lb::Workload& workload,
               ndjson ? "ndjson" : "perfetto",
               static_cast<unsigned long long>(metrics.trace_events),
               static_cast<unsigned long long>(metrics.trace_dropped), path.c_str());
+}
+
+std::vector<double> parse_double_list(const std::string& spec) {
+  std::vector<double> out;
+  for (const std::string& item : split_commas(spec)) {
+    out.push_back(std::strtod(item.c_str(), nullptr));
+  }
+  return out;
+}
+
+std::vector<lb::Strategy> parse_strategy_list(const std::string& spec,
+                                              bool overlay_only,
+                                              const char* flag) {
+  std::vector<lb::Strategy> out;
+  for (const std::string& item : split_commas(spec)) {
+    lb::Strategy s;
+    if (!lb::strategy_from_name(item, &s)) {
+      std::fprintf(stderr, "FATAL: unknown --%s entry '%s' (use %s)\n", flag,
+                   item.c_str(), lb::strategy_names().c_str());
+      std::abort();
+    }
+    if (overlay_only && !lb::strategy_is_overlay(s)) {
+      std::fprintf(stderr, "FATAL: --%s wants overlay names, got '%s'\n", flag,
+                   item.c_str());
+      std::abort();
+    }
+    out.push_back(s);
+  }
+  return out;
+}
+
+void print_ladder(const Table& table, bool csv,
+                  const std::string& expected_shape) {
+  if (csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  std::printf("\n# Expected shape: %s\n", expected_shape.c_str());
 }
 
 void print_preamble(const char* experiment, const std::string& notes) {

@@ -12,6 +12,7 @@
 #include <fstream>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "bb/bb_work.hpp"
 #include "lb/driver.hpp"
@@ -145,6 +146,24 @@ double sequential_seconds(lb::Workload& workload);
 
 /// Common header printed by every bench binary.
 void print_preamble(const char* experiment, const std::string& notes);
+
+/// Comma-separated doubles ("0,0.01,0.1") — the get_int_list reading would
+/// truncate the fractions, so the ladder sweeps parse their axes with this.
+std::vector<double> parse_double_list(const std::string& spec);
+
+/// Comma-separated strategy names, aborting loudly on a typo. With
+/// `overlay_only`, non-overlay names abort too (for sweeps exercising
+/// overlay-only features: churn, service mode). `flag` names the flag in
+/// the error message.
+std::vector<lb::Strategy> parse_strategy_list(const std::string& spec,
+                                              bool overlay_only,
+                                              const char* flag);
+
+/// Uniform tail of every ladder sweep: the finished table as CSV or aligned
+/// text, then the "# Expected shape" trailer that tells a reader what a
+/// healthy ladder looks like against the paper's claim.
+void print_ladder(const Table& table, bool csv,
+                  const std::string& expected_shape);
 
 /// Opens an output file for writing (binary, truncating), aborting with a
 /// message naming `what` if the path cannot be opened — the one place the

@@ -87,24 +87,8 @@ int main(int argc, char** argv) {
     levels = parse_levels(flags.get("levels"));
   }
 
-  std::vector<lb::Strategy> strategies;
-  {
-    const std::string name = flags.get("strategies");
-    std::size_t pos = 0;
-    while (pos < name.size()) {
-      std::size_t comma = name.find(',', pos);
-      if (comma == std::string::npos) comma = name.size();
-      lb::Strategy s;
-      const std::string tok = name.substr(pos, comma - pos);
-      if (!lb::strategy_from_name(tok, &s) || !lb::strategy_is_overlay(s)) {
-        std::fprintf(stderr, "FATAL: --strategies wants overlay names, got '%s'\n",
-                     tok.c_str());
-        return 1;
-      }
-      strategies.push_back(s);
-      pos = comma + 1;
-    }
-  }
+  const std::vector<lb::Strategy> strategies = parse_strategy_list(
+      flags.get("strategies"), /*overlay_only=*/true, "strategies");
 
   const auto uts_seed = static_cast<std::uint32_t>(flags.get_int("uts_seed"));
   const int uts_b0 = static_cast<int>(flags.get_int("uts_b0"));
@@ -198,10 +182,10 @@ int main(int argc, char** argv) {
       }
     }
   }
-  if (rf.csv) table.print_csv(std::cout); else table.print(std::cout);
-  std::printf("\n# Expected shape: every cell checks out exactly (100%% "
-              "explored, sequential optimum) at every churn level; message "
-              "counts grow mildly with churn (rewire + size-delta traffic); "
-              "level 0:0 is byte-identical to a churn-free run.\n");
+  print_ladder(table, rf.csv,
+               "every cell checks out exactly (100% explored, sequential "
+               "optimum) at every churn level; message counts grow mildly "
+               "with churn (rewire + size-delta traffic); level 0:0 is "
+               "byte-identical to a churn-free run.");
   return 0;
 }

@@ -61,18 +61,7 @@ int main(int argc, char** argv) {
   print_preamble("Fault sweep: BTD vs RWS under message loss and crashes",
                  "UTS workload; explored=100% required whenever lost=0");
 
-  // --drops accepts decimals; get_int_list would truncate them.
-  std::vector<double> drops;
-  {
-    const std::string v = flags.get("drops");
-    std::size_t pos = 0;
-    while (pos < v.size()) {
-      std::size_t comma = v.find(',', pos);
-      if (comma == std::string::npos) comma = v.size();
-      drops.push_back(std::strtod(v.substr(pos, comma - pos).c_str(), nullptr));
-      pos = comma + 1;
-    }
-  }
+  const std::vector<double> drops = parse_double_list(flags.get("drops"));
 
   auto uts = make_uts(static_cast<std::uint32_t>(flags.get_int("uts_seed")),
                       static_cast<int>(flags.get_int("uts_b0")));
@@ -125,10 +114,10 @@ int main(int argc, char** argv) {
       }
     }
   }
-  if (rf.csv) table.print_csv(std::cout); else table.print(std::cout);
-  std::printf("\n# Expected shape: BTD finishes every cell, its retries grow "
-              "with the drop rate and its exec time degrades gracefully; RWS "
-              "retry traffic explodes at high drop rates (DNF = event budget "
-              "exhausted); crashes cost at most the victims' in-flight work.\n");
+  print_ladder(table, rf.csv,
+               "BTD finishes every cell, its retries grow with the drop rate "
+               "and its exec time degrades gracefully; RWS retry traffic "
+               "explodes at high drop rates (DNF = event budget exhausted); "
+               "crashes cost at most the victims' in-flight work.");
   return 0;
 }

@@ -87,13 +87,14 @@ sim::Time random_time(Xoshiro256& rng, sim::Time from, sim::Time to) {
 }  // namespace
 
 std::string format_case(const FuzzCase& c) {
-  char buf[176];
+  char buf[192];
   std::snprintf(buf, sizeof(buf),
                 "strategy=%s peers=%d dmax=%d workload=%d seed=%llu fault=%d "
-                "sched=%llu churn=%d",
+                "sched=%llu churn=%d jobs=%d",
                 lb::strategy_name(c.strategy), c.peers, c.dmax, c.workload_id,
                 static_cast<unsigned long long>(c.seed), c.fault_id,
-                static_cast<unsigned long long>(c.sched_seed), c.churn_id);
+                static_cast<unsigned long long>(c.sched_seed), c.churn_id,
+                c.jobs_id);
   return buf;
 }
 
@@ -142,6 +143,8 @@ bool parse_case(std::string_view text, FuzzCase* out) {
       c.fault_id = static_cast<int>(v);
     } else if (key == "churn") {
       c.churn_id = static_cast<int>(v);
+    } else if (key == "jobs") {
+      c.jobs_id = static_cast<int>(v);
     } else {
       return false;
     }
@@ -156,6 +159,15 @@ bool parse_case(std::string_view text, FuzzCase* out) {
   // validate_churn — keep the repro space identical to the legal space.
   if (c.churn_id != 0 &&
       (c.fault_id != 0 || !lb::strategy_is_overlay(c.strategy))) {
+    return false;
+  }
+  if (c.jobs_id < 0 || c.jobs_id >= kNumJobPlans) return false;
+  // Service mode is overlay-only and fault/churn-free (validate_service),
+  // and run_service does not apply schedule perturbation — reject tuples
+  // that would silently drop one of their dimensions.
+  if (c.jobs_id != 0 &&
+      (c.fault_id != 0 || c.churn_id != 0 || c.sched_seed != 0 ||
+       !lb::strategy_is_overlay(c.strategy))) {
     return false;
   }
   *out = c;
@@ -290,8 +302,129 @@ lb::RunConfig make_case_config(const FuzzCase& c) {
   return config;
 }
 
+svc::ServiceConfig make_case_service(const FuzzCase& c) {
+  OLB_CHECK(c.jobs_id > 0 && c.jobs_id < kNumJobPlans);
+  svc::ServiceConfig sc;
+  sc.run = make_case_config(c);
+
+  // All plans reuse the case's UTS shape, so workload_id still matters in
+  // job cases; horizons are short (~40 ms, a handful of jobs) to keep one
+  // case well under a second including its per-job sequential references.
+  const UtsSpec& spec = kUtsSpecs[c.workload_id];
+  auto uts_class = [&](svc::ArrivalKind kind, double rate) {
+    svc::JobClass cls;
+    cls.kind = svc::JobClass::Kind::kUts;
+    cls.arrivals.kind = kind;
+    cls.arrivals.rate_per_sec = rate;
+    cls.arrivals.horizon = sim::milliseconds(40);
+    cls.arrivals.on_period = sim::milliseconds(8);
+    cls.arrivals.off_period = sim::milliseconds(8);
+    cls.uts.shape = uts::TreeShape::kBinomial;
+    cls.uts.hash = uts::HashMode::kFast;
+    cls.uts.b0 = spec.b0;
+    cls.uts.q = spec.q;
+    cls.uts.m = 2;
+    cls.uts.root_seed = spec.root_seed;
+    return cls;
+  };
+  switch (c.jobs_id) {
+    case 1:  // one class, steady stream, modest queue
+      sc.classes.push_back(uts_class(svc::ArrivalKind::kPoisson, 120.0));
+      sc.admission.max_in_service = 2;
+      sc.admission.queue_bound = 2;
+      break;
+    case 2:  // steady high class over a bursty low class, shed-prone queue
+      sc.classes.push_back(uts_class(svc::ArrivalKind::kPoisson, 80.0));
+      sc.classes.push_back(uts_class(svc::ArrivalKind::kBursty, 200.0));
+      sc.admission.max_in_service = 2;
+      sc.admission.queue_bound = 1;
+      break;
+    default: {  // 3: UTS + flowshop B&B under a diurnal ramp
+      sc.classes.push_back(uts_class(svc::ArrivalKind::kPoisson, 80.0));
+      svc::JobClass bnb;
+      bnb.kind = svc::JobClass::Kind::kFlowshop;
+      bnb.arrivals.kind = svc::ArrivalKind::kDiurnal;
+      bnb.arrivals.rate_per_sec = 120.0;
+      bnb.arrivals.horizon = sim::milliseconds(40);
+      bnb.fs_jobs = 6;
+      bnb.fs_machines = 3;
+      bnb.fs_seed = 1 + c.workload_id;
+      sc.classes.push_back(bnb);
+      sc.admission.max_in_service = 3;
+      sc.admission.queue_bound = 4;
+      break;
+    }
+  }
+  return sc;
+}
+
+namespace {
+
+/// Service-mode counterpart of run_case: runs the job plan with every
+/// oracle armed (jobs = true), then checks the end-of-run job properties —
+/// completion, admission bounds, and each job's exact unit count / optimum
+/// against its own sequential reference.
+ConformanceReport run_job_case(const FuzzCase& c, trace::TraceSink* tracer) {
+  svc::ServiceConfig sc = make_case_service(c);
+  OracleOptions options = oracle_options_for(sc.run);
+  options.jobs = true;
+  OracleSet oracles(options);
+  trace::TeeSink tee(tracer, &oracles);
+  sc.run.tracer = &tee;
+
+  ConformanceReport report;
+  const svc::ServiceMetrics m = svc::run_service(sc);
+  oracles.finish();
+  report.violations = oracles.violations();
+  report.metrics.ok = m.ok;
+  auto add = [&](std::string detail) {
+    report.violations.push_back(
+        Violation{"job_sweep", std::move(detail), -1, -1});
+  };
+  if (!m.ok) {
+    add("service run did not complete every admitted job");
+    return report;  // the checks below assume a completed run
+  }
+  if (m.peak_pending > sc.admission.queue_bound) {
+    add("pending queue exceeded its bound: peak " +
+        std::to_string(m.peak_pending) + " vs bound " +
+        std::to_string(sc.admission.queue_bound));
+  }
+  if (m.bad_rejects != 0) {
+    add(std::to_string(m.bad_rejects) + " jobs shed while the queue had room");
+  }
+  for (const svc::JobRecord& rec : m.jobs) {
+    if (rec.rejected) {
+      if (rec.units != 0) {
+        add("rejected job " + std::to_string(rec.job) + " still processed " +
+            std::to_string(rec.units) + " units");
+      }
+      continue;
+    }
+    if (rec.expected_bound == lb::kNoBound &&
+        rec.units != rec.expected_units) {
+      add("job " + std::to_string(rec.job) + " counted " +
+          std::to_string(rec.units) + " units, sequential reference " +
+          std::to_string(rec.expected_units));
+    }
+    if (rec.bound != rec.expected_bound) {
+      add("job " + std::to_string(rec.job) + " found bound " +
+          std::to_string(rec.bound) + ", sequential reference " +
+          std::to_string(rec.expected_bound));
+    }
+  }
+  return report;
+}
+
+}  // namespace
+
 ConformanceReport run_case(const FuzzCase& c, const lb::PlantedBug& plant,
                            trace::TraceSink* tracer) {
+  if (c.jobs_id != 0) {
+    // Planted bugs mutate the single-job protocol paths (validate_service
+    // rejects them), so job cases run the service sweep unplanted.
+    return run_job_case(c, tracer);
+  }
   const auto workload = make_case_workload(c);
   lb::RunConfig config = make_case_config(c);
   config.plant = plant;
@@ -318,6 +451,7 @@ ShrinkResult shrink_case(const FuzzCase& failing, const lb::PlantedBug& plant) {
     };
     if (base.fault_id != 0) push([](FuzzCase& c) { c.fault_id = 0; });
     if (base.churn_id != 0) push([](FuzzCase& c) { c.churn_id = 0; });
+    if (base.jobs_id != 0) push([](FuzzCase& c) { c.jobs_id = 0; });
     if (base.sched_seed != 0) push([](FuzzCase& c) { c.sched_seed = 0; });
     if (base.peers > 2) {
       push([](FuzzCase& c) { c.peers = std::max(2, c.peers / 2); });
@@ -363,6 +497,15 @@ FuzzCase random_case(std::uint64_t base_seed, std::uint64_t index,
     c.churn_id = rng.below(2) == 0
                      ? 0
                      : static_cast<int>(1 + rng.below(kNumChurnPlans - 1));
+  }
+  // A slice of the fault-free, unperturbed, churn-free overlay cases runs
+  // multi-job service mode, so the job layer rides every sweep without
+  // displacing much of the classic population.
+  if (c.fault_id == 0 && c.churn_id == 0 && c.sched_seed == 0 &&
+      lb::strategy_is_overlay(c.strategy)) {
+    c.jobs_id = rng.below(2) == 0
+                    ? 0
+                    : static_cast<int>(1 + rng.below(kNumJobPlans - 1));
   }
   return c;
 }

@@ -19,6 +19,7 @@
 
 #include "check/conformance.hpp"
 #include "lb/driver.hpp"
+#include "svc/service.hpp"
 
 namespace olb::check {
 
@@ -34,11 +35,18 @@ struct FuzzCase {
   /// mutually exclusive with fault_id (validate_churn's rule) — parse_case
   /// rejects tuples that mix them.
   int churn_id = 0;
+  /// [0, kNumJobPlans); 0 = classic single-job case. Nonzero runs the case
+  /// as a multi-job service sweep (src/svc) with the job-conservation
+  /// oracle armed. Overlay strategies only, and mutually exclusive with
+  /// fault_id, churn_id and sched_seed (service runs are fault-free and do
+  /// not apply schedule perturbation) — parse_case rejects mixed tuples.
+  int jobs_id = 0;
 };
 
 inline constexpr int kNumWorkloads = 4;
 inline constexpr int kNumFaultPlans = 8;
 inline constexpr int kNumChurnPlans = 6;
+inline constexpr int kNumJobPlans = 4;
 
 /// "strategy=BTD peers=8 dmax=3 workload=0 seed=1 fault=2 sched=7" — the
 /// repro string printed on failure and accepted by olb_fuzz --repro.
@@ -75,9 +83,16 @@ lb::ChurnPlan make_case_churn(const FuzzCase& c);
 /// run_case() owns those.
 lb::RunConfig make_case_config(const FuzzCase& c);
 
+/// The multi-job service configuration job plan `jobs_id` denotes under
+/// this case's cluster: small per-class arrival processes (keyed by the
+/// case seed) over the case's workload shapes. Requires jobs_id != 0.
+svc::ServiceConfig make_case_service(const FuzzCase& c);
+
 /// Runs the case with every oracle attached. `plant` optionally mutates
 /// the protocol (the harness self-test: a planted bug must be caught);
-/// `tracer` tees off the full event stream for --trace replays.
+/// `tracer` tees off the full event stream for --trace replays. Job cases
+/// (jobs_id != 0) run the service sweep instead; planted bugs target the
+/// single-job protocol, so they ignore `plant`.
 ConformanceReport run_case(const FuzzCase& c, const lb::PlantedBug& plant = {},
                            trace::TraceSink* tracer = nullptr);
 

@@ -419,6 +419,168 @@ class MembershipOracle final : public Oracle {
   std::unordered_set<int> left_;
 };
 
+// --------------------------------------------------------- job_conservation ---
+
+// Multi-job service runs (src/svc): the per-job work ledgers must balance
+// end to end. The gate submits each job exactly once and either admits or
+// rejects it, never both. Every job-tagged transfer is matched — a job's
+// kJobXfer events (the gate's injection counts as the first) equal its
+// kJobMerge events in both count and milli-amount, so a work unit can
+// never slip from one job's ledger into another's: a retagged unit shows
+// up as an unknown tag or as two unbalanced ledgers. A job declared done
+// must have drained completely (admitted amount + the sum of its compute-
+// chunk deltas == 0; workload amounts are integral node/interval counts,
+// so the milli-unit arithmetic is exact), and nothing may move or compute
+// under its tag afterwards — a too-eager per-job termination wave lands
+// here. Without service mode, any job event is itself a violation.
+class JobConservationOracle final : public Oracle {
+ public:
+  explicit JobConservationOracle(const OracleOptions& options)
+      : Oracle("job_conservation"), enabled_(options.jobs) {}
+
+  void on_event(const TraceEvent& e) override {
+    switch (e.kind) {
+      case EventKind::kJobSubmit:
+      case EventKind::kJobAdmit:
+      case EventKind::kJobReject:
+      case EventKind::kJobXfer:
+      case EventKind::kJobMerge:
+      case EventKind::kJobChunk:
+      case EventKind::kJobDone:
+        break;
+      default:
+        return;
+    }
+    if (!enabled_) {
+      report(e.time, e.actor, "job event in a run without service mode");
+      return;
+    }
+    const int job = e.type;  // job ids ride the type field of kJob* events
+    switch (e.kind) {
+      case EventKind::kJobSubmit:
+        if (!submitted_.insert(job).second) {
+          report(e.time, e.actor, "job " + std::to_string(job) +
+                                      " submitted twice");
+        }
+        break;
+      case EventKind::kJobAdmit: {
+        if (submitted_.count(job) == 0) {
+          report(e.time, e.actor, "job " + std::to_string(job) +
+                                      " admitted without a submission");
+        }
+        if (rejected_.count(job) != 0) {
+          report(e.time, e.actor, "job " + std::to_string(job) +
+                                      " admitted after being rejected");
+        }
+        Ledger ledger;
+        ledger.admit_milli = e.b;
+        if (!ledgers_.emplace(job, ledger).second) {
+          report(e.time, e.actor, "job " + std::to_string(job) +
+                                      " admitted twice");
+        }
+        break;
+      }
+      case EventKind::kJobReject:
+        if (submitted_.count(job) == 0) {
+          report(e.time, e.actor, "job " + std::to_string(job) +
+                                      " rejected without a submission");
+        }
+        if (ledgers_.count(job) != 0) {
+          report(e.time, e.actor, "job " + std::to_string(job) +
+                                      " rejected after being admitted");
+        }
+        if (!rejected_.insert(job).second) {
+          report(e.time, e.actor, "job " + std::to_string(job) +
+                                      " rejected twice");
+        }
+        break;
+      case EventKind::kJobXfer:
+        if (Ledger* l = admitted(e, "transferred")) {
+          ++l->xfer_count;
+          l->xfer_milli += e.a;
+        }
+        break;
+      case EventKind::kJobMerge:
+        if (Ledger* l = admitted(e, "merged")) {
+          ++l->merge_count;
+          l->merge_milli += e.a;
+        }
+        break;
+      case EventKind::kJobChunk:
+        if (Ledger* l = admitted(e, "computed")) l->chunk_delta += e.b;
+        break;
+      case EventKind::kJobDone:
+        if (Ledger* l = admitted(e, "declared done")) {
+          if (l->done) {
+            report(e.time, e.actor, "job " + std::to_string(job) +
+                                        " declared done twice");
+          }
+          l->done = true;
+        }
+        break;
+      default:
+        break;
+    }
+  }
+
+  void finish() override {
+    for (const auto& [job, l] : ledgers_) {
+      if (l.xfer_count != l.merge_count || l.xfer_milli != l.merge_milli) {
+        report(-1, -1,
+               "job " + std::to_string(job) + " transfers do not balance: " +
+                   std::to_string(l.xfer_count) + " sends of " +
+                   std::to_string(l.xfer_milli) + " milli-units vs " +
+                   std::to_string(l.merge_count) + " merges of " +
+                   std::to_string(l.merge_milli));
+      }
+      if (l.done && l.admit_milli + l.chunk_delta != 0) {
+        report(-1, -1,
+               "job " + std::to_string(job) +
+                   " was declared done without draining: admitted " +
+                   std::to_string(l.admit_milli) +
+                   " milli-units, net compute delta " +
+                   std::to_string(l.chunk_delta));
+      }
+    }
+  }
+
+ private:
+  struct Ledger {
+    std::int64_t admit_milli = 0;
+    std::uint64_t xfer_count = 0;
+    std::int64_t xfer_milli = 0;
+    std::uint64_t merge_count = 0;
+    std::int64_t merge_milli = 0;
+    std::int64_t chunk_delta = 0;
+    bool done = false;
+  };
+
+  /// The event's job must have an open ledger; `verb` names the activity
+  /// for the two failure modes (unknown tag, activity after done).
+  Ledger* admitted(const TraceEvent& e, const char* verb) {
+    const auto it = ledgers_.find(e.type);
+    if (it == ledgers_.end()) {
+      report(e.time, e.actor, std::string("work ") + verb +
+                                  " under the tag of job " +
+                                  std::to_string(e.type) +
+                                  ", which was never admitted");
+      return nullptr;
+    }
+    if (it->second.done && e.kind != EventKind::kJobDone) {
+      report(e.time, e.actor, std::string("work ") + verb +
+                                  " under the tag of job " +
+                                  std::to_string(e.type) +
+                                  " after the job was declared done");
+    }
+    return &it->second;
+  }
+
+  const bool enabled_;
+  std::set<int> submitted_;
+  std::set<int> rejected_;
+  std::map<int, Ledger> ledgers_;
+};
+
 }  // namespace
 
 std::unique_ptr<Oracle> make_conservation_oracle(const OracleOptions& options) {
@@ -439,6 +601,10 @@ std::unique_ptr<Oracle> make_fifo_oracle(const OracleOptions& options) {
 std::unique_ptr<Oracle> make_membership_oracle(const OracleOptions& options) {
   return std::make_unique<MembershipOracle>(options);
 }
+std::unique_ptr<Oracle> make_job_conservation_oracle(
+    const OracleOptions& options) {
+  return std::make_unique<JobConservationOracle>(options);
+}
 
 OracleSet::OracleSet(OracleOptions options) : options_(options) {
   oracles_.push_back(make_conservation_oracle(options_));
@@ -447,6 +613,7 @@ OracleSet::OracleSet(OracleOptions options) : options_(options) {
   oracles_.push_back(make_split_fraction_oracle(options_));
   oracles_.push_back(make_fifo_oracle(options_));
   oracles_.push_back(make_membership_oracle(options_));
+  oracles_.push_back(make_job_conservation_oracle(options_));
 }
 
 OracleSet::~OracleSet() = default;

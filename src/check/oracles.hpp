@@ -30,6 +30,15 @@
 //                    member, no compute or idle episode outside a peer's
 //                    membership window, and no membership event at all in
 //                    a churn-free run.
+//  * job_conservation — multi-job service runs (src/svc) keep every
+//                    admitted job's ledger balanced: submissions are
+//                    unique, a job is admitted or rejected (never both),
+//                    job-tagged transfers balance per job in count and
+//                    amount, a done job's admitted amount is fully drained
+//                    by its compute chunks, nothing moves under a job's tag
+//                    after its done declaration, and no event references a
+//                    job that was never admitted. Without service mode any
+//                    job event is itself a violation.
 //
 // Oracles process events in *recorded stream order* (never re-sorted): on
 // the simulator that is execution order; on the threads backend the locked
@@ -76,6 +85,10 @@ struct OracleOptions {
   /// (peers [churn_initial_peers, n) start dormant). 0 = churn disabled, in
   /// which case any membership event in the trace is itself a violation.
   int churn_initial_peers = 0;
+  /// Multi-job service mode (src/svc): job-tagged events are expected and
+  /// the job-conservation oracle audits them. false = single-job run, where
+  /// any job event is itself a violation.
+  bool jobs = false;
 };
 
 class Oracle {
@@ -136,5 +149,6 @@ std::unique_ptr<Oracle> make_btd_counter_oracle(const OracleOptions& options);
 std::unique_ptr<Oracle> make_split_fraction_oracle(const OracleOptions& options);
 std::unique_ptr<Oracle> make_fifo_oracle(const OracleOptions& options);
 std::unique_ptr<Oracle> make_membership_oracle(const OracleOptions& options);
+std::unique_ptr<Oracle> make_job_conservation_oracle(const OracleOptions& options);
 
 }  // namespace olb::check

@@ -58,7 +58,19 @@ enum MsgType : int {
   kSizeDelta = 23,   ///< incremental subtree-size update up the ancestor
                      ///< path; b = signed delta
 
-  kNumMsgTypes = 24,
+  // --- multi-job service layer (src/svc; only service-mode runs send
+  // these, so single-job timelines never contain them) ---
+  kJobInject = 24,    ///< gate -> root: admit a job into the fleet;
+                      ///< b = priority class, c = job id,
+                      ///< payload = JobPayload
+  kJobDone = 25,      ///< root -> gate: job c fully drained (wave-confirmed)
+  kJobProbe = 26,     ///< service accounting wave down the tree;
+                      ///< payload = JobProbePayload
+  kJobProbeAck = 27,  ///< reply to kJobProbe; payload = JobProbePayload
+  kSvcShutdown = 28,  ///< gate -> root: stream exhausted, all jobs resolved —
+                      ///< run the normal termination machinery
+
+  kNumMsgTypes = 29,
 };
 
 /// Display name of a message type (trace exporters, debug output).
@@ -88,6 +100,11 @@ inline const char* msg_type_name(int type) {
     case kLeave: return "leave";
     case kRewire: return "rewire";
     case kSizeDelta: return "size_delta";
+    case kJobInject: return "job_inject";
+    case kJobDone: return "job_done";
+    case kJobProbe: return "job_probe";
+    case kJobProbeAck: return "job_probe_ack";
+    case kSvcShutdown: return "svc_shutdown";
     default: return nullptr;
   }
 }
@@ -117,6 +134,11 @@ enum TimerTag : std::int64_t {
   // a churn-free run never sets any of them).
   kOverlayJoinTimer = 0x0105,   ///< dormant peer's scheduled join instant
   kOverlayLeaveTimer = 0x0106,  ///< member's scheduled graceful leave
+
+  // --- service-layer timers (armed only in service mode; single-job runs
+  // never set either).
+  kOverlayJobWaveTimer = 0x0107,  ///< root's per-job accounting-wave cadence
+  kSvcArrivalTimer = 0x0601,      ///< the gate's next scheduled job arrival
 };
 
 /// Bits above this shift carry per-timer generation counters.
@@ -167,6 +189,38 @@ struct LeavePayload final : sim::MsgPayload {
   std::vector<PhantomLink> phantoms;
   std::uint64_t sent = 0;  ///< leaver's own cumulative transfer counters,
   std::uint64_t recv = 0;  ///< post-drain (the drain itself is included)
+};
+
+/// Payload of kJobInject: one admitted job entering the fleet. The job id
+/// and class ride the payload as well as the message fields so a decoded
+/// (wire) message is self-contained.
+struct JobPayload final : sim::MsgPayload {
+  std::uint64_t job = 0;
+  int job_class = 0;  ///< lower = higher priority
+  std::unique_ptr<Work> work;
+
+  double amount() const override { return work != nullptr ? work->amount() : 0.0; }
+};
+
+/// One job's accounting row in a service wave: the subtree's transfer
+/// counters for pieces tagged with this job, plus the work amount still held
+/// (milli-units, like the kJob* trace events).
+struct JobStat {
+  std::uint64_t job = 0;
+  std::uint64_t sent = 0;
+  std::uint64_t recv = 0;
+  std::int64_t holds_milli = 0;
+};
+
+/// Payload of kJobProbe / kJobProbeAck: the root's per-job accounting wave.
+/// Unlike kProbe, a service wave always recurses — busy peers answer too —
+/// because it measures *where each job's work is*, not whether the system is
+/// quiet. The root declares a job done after two consecutive waves agree:
+/// sent == recv, holds == 0, and sent unchanged between them (Mattern's
+/// stability rule applied per job).
+struct JobProbePayload final : sim::MsgPayload {
+  std::uint64_t probe_id = 0;
+  std::vector<JobStat> stats;  ///< sorted by job id (map iteration order)
 };
 
 /// Packing helpers for kTermAck (poll termination under faults): field b

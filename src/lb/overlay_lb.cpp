@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "lb/job_work.hpp"
 #include "support/check.hpp"
 
 namespace olb::lb {
@@ -46,7 +47,18 @@ void OverlayPeer::send_work(int dst, std::unique_ptr<Work> w, int req_type,
   // termination waves read it via own_sent(), the conformance state taps
   // always do.
   ++ft_sent_;
-  auto msg = make_msg(kWork, req_type == kReqBridge ? 1 : 0);
+  std::int64_t job_tag = 0;
+  if (svc_enabled()) {
+    // Every service transfer is a single-job JobBag piece; tag the message
+    // with its id, bump the per-job counter the accounting waves read, and
+    // record the tagged transfer for the conservation oracle.
+    const JobBag::Slot& slot = static_cast<JobBag*>(w.get())->sole_slot();
+    job_tag = static_cast<std::int64_t>(slot.job);
+    ++svc_counters_[slot.job].first;
+    emit_trace(trace::EventKind::kJobXfer, dst, static_cast<std::int32_t>(slot.job),
+               amount_milli(w->amount()), req_type);
+  }
+  auto msg = make_msg(kWork, req_type == kReqBridge ? 1 : 0, job_tag);
   msg.payload = std::make_unique<WorkPayload>(std::move(w));
   send(dst, std::move(msg));
 }
@@ -54,7 +66,8 @@ void OverlayPeer::send_work(int dst, std::unique_ptr<Work> w, int req_type,
 // ---------------------------------------------------------------- setup ---
 
 void OverlayPeer::on_start() {
-  OLB_CHECK((initial_work_ != nullptr) == is_root());
+  // Service mode: the root starts workless — jobs arrive from the gate.
+  OLB_CHECK((initial_work_ != nullptr) == (is_root() && !svc_enabled()));
   peer_down_.assign(static_cast<std::size_t>(num_peers()), 0);
   if (churn_enabled()) {
     for (const ChurnEvent& e : config_.churn.events) {
@@ -166,8 +179,16 @@ void OverlayPeer::become_ready() {
     set_timer(config_.lease_interval, kOverlayLeaseTimer);
   }
   if (is_root()) {
-    OLB_CHECK(acquire_work(std::move(initial_work_)));
-    continue_processing();
+    if (svc_enabled()) {
+      // Workless start: the gate streams jobs in. The wave timer is the
+      // root's only self-driven cadence — it launches per-job accounting
+      // waves while jobs are in flight and dies with termination.
+      set_timer(config_.service.wave_interval, kOverlayJobWaveTimer);
+      start_idle_episode();
+    } else {
+      OLB_CHECK(acquire_work(std::move(initial_work_)));
+      continue_processing();
+    }
   } else {
     start_idle_episode();
   }
@@ -194,7 +215,7 @@ void OverlayPeer::start_idle_episode() {
 }
 
 void OverlayPeer::send_bridge_request() {
-  const int n = num_peers();
+  const int n = fleet_size();  // the service gate is never a bridge partner
   if (!config_.use_bridges || n < 2) return;
   if (config_.fault_tolerant && crash_epoch_ >= n - 1) return;  // no live partner
   // At most one bridge request is ever parked: if the previous partner has
@@ -341,6 +362,15 @@ void OverlayPeer::on_timer(std::int64_t tag) {
       return;
     case kOverlayLeaseTimer:
       on_lease_tick();
+      return;
+    case kOverlayJobWaveTimer:
+      // Per-job accounting cadence (service mode, root only). Stops re-arming
+      // once the fleet terminates so the simulation can quiesce.
+      if (terminated_) return;
+      if (!svc_wave_outstanding_ && svc_done_.size() < svc_injected_.size()) {
+        svc_launch_wave();
+      }
+      set_timer(config_.service.wave_interval, kOverlayJobWaveTimer);
       return;
     default:
       OLB_CHECK_MSG(false, "unexpected timer tag for OverlayPeer");
@@ -519,6 +549,15 @@ void OverlayPeer::on_work(sim::Message m) {
   awaiting_child_ = -1;
   auto* payload = static_cast<WorkPayload*>(m.payload.get());
   OLB_CHECK(payload != nullptr);
+  if (svc_enabled()) {
+    // The piece's job tag rides field c (send_work); count the receipt for
+    // the accounting waves and record the merge for the oracle before the
+    // acquire consumes the piece.
+    const auto job = static_cast<std::uint64_t>(m.c);
+    ++svc_counters_[job].second;
+    emit_trace(trace::EventKind::kJobMerge, m.src, static_cast<std::int32_t>(job),
+               amount_milli(payload->work->amount()), m.b);
+  }
   acquire_work(std::move(payload->work));
   serve_pending();
   continue_processing();
@@ -556,6 +595,7 @@ void OverlayPeer::serve_pending() {
 }
 
 void OverlayPeer::after_chunk() {
+  if (svc_enabled()) svc_emit_chunks();
   if (leave_pending_) {
     leave_pending_ = false;
     if (!terminated_ && member_) {
@@ -1092,6 +1132,9 @@ std::uint64_t OverlayPeer::agg_recv() const {
 
 void OverlayPeer::check_root_termination() {
   if (!is_root() || terminated_) return;
+  // Service mode: the gate owns end-of-stream. Until it says kSvcShutdown
+  // more jobs may still be injected, so global quiescence means nothing.
+  if (svc_enabled() && !svc_shutdown_) return;
   if (!locally_quiet() || !all_children_pending()) return;
   if (config_.fault_tolerant) {
     // Unreliable links can leave pending flags stale, so even pure tree
@@ -1316,6 +1359,8 @@ void OverlayPeer::declare_termination() {
   emit_trace(trace::EventKind::kTerminated);
   for (int c : children_) send(c, make_msg(kTerminate));
   for (const PhantomChild& ph : phantoms_) send(ph.peer, make_msg(kTerminate));
+  // The gate sits outside the tree; tell it directly so it can exit.
+  if (svc_enabled()) send(config_.service.gate, make_msg(kTerminate));
 }
 
 void OverlayPeer::on_terminate() {
@@ -1328,6 +1373,172 @@ void OverlayPeer::on_terminate() {
   pending_bridges_.clear();
   for (int c : children_) send(c, make_msg(kTerminate));
   for (const PhantomChild& ph : phantoms_) send(ph.peer, make_msg(kTerminate));
+}
+
+// ------------------------------------------------ multi-job service mode ---
+//
+// Per-job completion is detected with root-led accounting waves (kJobProbe /
+// kJobProbeAck) that ALWAYS recurse — busy peers answer too, unlike the
+// termination probes — aggregating per job: transfer pieces sent, pieces
+// received, and milli-units currently held. A job is declared done when two
+// consecutive waves (ids w-1 and w) both read sent == recv, holds == 0, with
+// the sent total unchanged between them: Mattern's stability argument per
+// job. Sent/recv counters are monotone and execute-then-advance makes a
+// peer's held amount externally consistent by the time it answers a probe,
+// so a stable balanced pair proves no piece of the job is in flight and no
+// peer holds any of it.
+
+JobBag* OverlayPeer::bag() { return static_cast<JobBag*>(work_.get()); }
+
+void OverlayPeer::svc_emit_chunks() {
+  JobBag* b = bag();
+  if (b == nullptr) return;
+  for (const JobBag::ChunkRecord& cr : b->take_chunk_records()) {
+    emit_trace(trace::EventKind::kJobChunk, -1, static_cast<int>(cr.job),
+               static_cast<std::int64_t>(cr.units), cr.delta_milli);
+  }
+}
+
+void OverlayPeer::on_job_inject(sim::Message m) {
+  OLB_CHECK(svc_enabled() && is_root());
+  OLB_CHECK_MSG(!terminated_, "inject after termination (gate bug)");
+  auto* jp = static_cast<JobPayload*>(m.payload.get());
+  OLB_CHECK(jp != nullptr && jp->work != nullptr);
+  const std::uint64_t job = jp->job;
+  // Done-eligibility is restricted to injected jobs: a wave that ran while
+  // this inject was in flight must not declare the job done-by-absence.
+  svc_injected_.insert(job);
+  // The inject is not a peer transfer (the gate sits outside the fleet), so
+  // it does not bump svc_counters_ — waves stay sent == recv symmetric. The
+  // oracle's transfer balance instead pairs the gate's kJobXfer with this:
+  emit_trace(trace::EventKind::kJobMerge, m.src, static_cast<int>(job),
+             amount_milli(jp->work->amount()), 0);
+  if (idle_) emit_trace(trace::EventKind::kIdleEnd, m.src, m.type, episode_);
+  idle_ = false;
+  awaiting_child_ = -1;
+  auto piece = std::make_unique<JobBag>();
+  piece->add_job(job, jp->job_class, std::move(jp->work));
+  acquire_work(std::move(piece));
+  serve_pending();
+  continue_processing();
+}
+
+void OverlayPeer::svc_fill_own_stats() {
+  svc_table_.clear();
+  for (const auto& [job, sr] : svc_counters_) {
+    JobStat& st = svc_table_[job];
+    st.job = job;
+    st.sent = sr.first;
+    st.recv = sr.second;
+  }
+  const JobBag* b = bag();
+  if (b != nullptr) {
+    b->for_each_hold([&](std::uint64_t job, double amount) {
+      JobStat& st = svc_table_[job];
+      st.job = job;
+      st.holds_milli += amount_milli(amount);
+    });
+  }
+}
+
+void OverlayPeer::svc_launch_wave() {
+  OLB_CHECK(is_root());
+  svc_wave_outstanding_ = true;
+  svc_probe_id_ = ++svc_next_wave_;
+  svc_fill_own_stats();
+  svc_acks_missing_ = static_cast<int>(children_.size());
+  if (svc_acks_missing_ == 0) {
+    svc_finish_wave_at_root();
+    return;
+  }
+  for (int c : children_) {
+    auto msg = make_msg(kJobProbe);
+    auto payload = std::make_unique<JobProbePayload>();
+    payload->probe_id = svc_probe_id_;
+    msg.payload = std::move(payload);
+    send(c, std::move(msg));
+  }
+}
+
+void OverlayPeer::on_job_probe(sim::Message m) {
+  OLB_CHECK(svc_enabled());
+  if (terminated_) return;
+  const auto* pp = static_cast<const JobProbePayload*>(m.payload.get());
+  svc_probe_id_ = pp->probe_id;
+  svc_probe_parent_ = m.src;
+  svc_fill_own_stats();
+  svc_acks_missing_ = static_cast<int>(children_.size());
+  if (svc_acks_missing_ == 0) {
+    svc_reply_wave();
+    return;
+  }
+  for (int c : children_) {
+    auto msg = make_msg(kJobProbe);
+    auto payload = std::make_unique<JobProbePayload>();
+    payload->probe_id = svc_probe_id_;
+    msg.payload = std::move(payload);
+    send(c, std::move(msg));
+  }
+}
+
+void OverlayPeer::on_job_probe_ack(sim::Message m) {
+  OLB_CHECK(svc_enabled());
+  if (terminated_) return;
+  const auto* pp = static_cast<const JobProbePayload*>(m.payload.get());
+  if (pp->probe_id != svc_probe_id_ || svc_acks_missing_ == 0) return;  // stale
+  for (const JobStat& st : pp->stats) {
+    JobStat& mine = svc_table_[st.job];
+    mine.job = st.job;
+    mine.sent += st.sent;
+    mine.recv += st.recv;
+    mine.holds_milli += st.holds_milli;
+  }
+  if (--svc_acks_missing_ > 0) return;
+  if (is_root()) {
+    svc_finish_wave_at_root();
+  } else {
+    svc_reply_wave();
+  }
+}
+
+void OverlayPeer::svc_reply_wave() {
+  auto msg = make_msg(kJobProbeAck);
+  auto payload = std::make_unique<JobProbePayload>();
+  payload->probe_id = svc_probe_id_;
+  payload->stats.reserve(svc_table_.size());
+  for (const auto& [job, st] : svc_table_) payload->stats.push_back(st);
+  msg.payload = std::move(payload);
+  send(svc_probe_parent_, std::move(msg));
+}
+
+void OverlayPeer::svc_finish_wave_at_root() {
+  svc_wave_outstanding_ = false;
+  const std::uint64_t wave = svc_next_wave_;
+  for (const std::uint64_t job : svc_injected_) {
+    if (svc_done_.count(job) != 0) continue;
+    JobStat zero;
+    zero.job = job;
+    const auto it = svc_table_.find(job);
+    const JobStat& st = it != svc_table_.end() ? it->second : zero;
+    // A job the counters never saw (injected and fully drained at the root
+    // between waves) reads sent == recv == 0, holds == 0: still a correct
+    // quiet reading — the stability pair below does the rest.
+    const bool quiet = st.holds_milli == 0 && st.sent == st.recv;
+    if (!quiet) {
+      svc_prev_.erase(job);
+      continue;
+    }
+    const auto prev = svc_prev_.find(job);
+    if (prev != svc_prev_.end() && prev->second.wave == wave - 1 &&
+        prev->second.sent == st.sent) {
+      svc_done_.insert(job);
+      svc_prev_.erase(job);
+      send(config_.service.gate,
+           make_msg(kJobDone, 0, static_cast<std::int64_t>(job)));
+      continue;
+    }
+    svc_prev_[job] = SvcPrev{st.sent, wave};
+  }
 }
 
 // ------------------------------------------------------------- dispatch ---
@@ -1403,6 +1614,14 @@ void OverlayPeer::on_message(sim::Message m) {
     case kProbe: on_probe(std::move(m)); break;
     case kProbeAck: on_probe_ack(std::move(m)); break;
     case kBound: on_bound_msg(m); break;
+    case kJobInject: on_job_inject(std::move(m)); break;
+    case kJobProbe: on_job_probe(std::move(m)); break;
+    case kJobProbeAck: on_job_probe_ack(std::move(m)); break;
+    case kSvcShutdown:
+      OLB_CHECK(svc_enabled() && is_root());
+      svc_shutdown_ = true;
+      check_root_termination();
+      break;
     default: OLB_CHECK_MSG(false, "unexpected message type for OverlayPeer");
   }
 }

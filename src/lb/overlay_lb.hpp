@@ -84,17 +84,36 @@
 //    clean waves to agree on that sum, so a join or leave between the waves
 //    — whose handover traffic could otherwise race the counters — forces
 //    another wave pair.
+// Multi-job service mode (config.service, set by src/svc; single-job runs
+// never take any of these paths — simulator timelines stay byte-identical):
+//
+//  A JobGate actor (id == fleet size, outside the tree) streams jobs into
+//  the root via kJobInject; every peer's work slot holds a lb::JobBag, so
+//  each kWork transfer is a single-job piece tagged with its id (field c).
+//  The root starts workless, termination is suppressed until the gate's
+//  kSvcShutdown, and per-job completion is detected by root-led accounting
+//  waves (kJobProbe/kJobProbeAck, always recursing — busy peers answer too)
+//  that aggregate each job's {sent, recv, holds} over the tree: a job is
+//  done after two consecutive waves agree on balanced, stable counters and
+//  zero holdings (Mattern's stability rule applied per job). Completions go
+//  back to the gate as kJobDone; after shutdown the classic single-job
+//  termination machinery runs unchanged.
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <set>
 #include <utility>
 #include <vector>
 
+#include "lb/messages.hpp"
 #include "lb/peer_base.hpp"
 #include "overlay/tree_overlay.hpp"
 
 namespace olb::lb {
+
+class JobBag;
 
 enum class SplitPolicy {
   kSubtreeProportional,  ///< the paper's overlay-dependent policy
@@ -155,6 +174,19 @@ struct OverlayConfig {
   /// weighted coin (lighter subtrees preferred). The driver sets it from
   /// RunConfig::dmax so joined peers respect the same degree bound as TD.
   int join_degree = 3;
+
+  // --- multi-job service mode (src/svc sets these; a single-job run leaves
+  // it disabled and never takes any service path, keeping its simulator
+  // timeline byte-identical). Mutually exclusive with faults and churn. ---
+  struct ServiceMode {
+    bool enabled = false;
+    /// The job gate's actor id (== fleet size: peers are [0, gate), the
+    /// gate rides one past them). Bridge sampling excludes it.
+    int gate = -1;
+    /// Cadence of the root's per-job accounting waves.
+    sim::Time wave_interval = sim::milliseconds(2);
+  };
+  ServiceMode service;
 
   // --- fault tolerance (driver sets these iff a FaultPlan is enabled) ---
   bool fault_tolerant = false;
@@ -286,6 +318,25 @@ class OverlayPeer final : public PeerBase {
   /// mid-wave must not let that wave read as clean.
   void dirty_outstanding_probe();
 
+  // multi-job service mode (every path below is gated on svc_enabled())
+  bool svc_enabled() const { return config_.service.enabled; }
+  /// Peers eligible as bridge partners / tree members: excludes the gate.
+  int fleet_size() const {
+    return svc_enabled() ? config_.service.gate : num_peers();
+  }
+  /// The installed JobBag (null when no work). In service mode every
+  /// acquire path installs bags only, so the downcast is total.
+  JobBag* bag();
+  void on_job_inject(sim::Message m);
+  void svc_emit_chunks();
+  /// Own (sent, recv, holds) per job into svc_table_.
+  void svc_fill_own_stats();
+  void svc_launch_wave();
+  void on_job_probe(sim::Message m);
+  void on_job_probe_ack(sim::Message m);
+  void svc_reply_wave();
+  void svc_finish_wave_at_root();
+
   // termination
   std::uint64_t own_sent() const;
   std::uint64_t own_recv() const;
@@ -363,6 +414,30 @@ class OverlayPeer final : public PeerBase {
   /// processed in become_ready().
   std::vector<std::pair<int, std::uint64_t>> parked_joins_;  ///< (id, weight)
   std::uint64_t probe_me_ = 0;  ///< member-events sum of the current wave
+
+  // service-mode state (all empty/idle unless config_.service.enabled)
+  /// Per-job transfer counters of THIS peer: job -> (pieces sent, received).
+  /// Monotone, like the bridge/ft counters; ordered so wave payloads are
+  /// assembled in deterministic job order.
+  std::map<std::uint64_t, std::pair<std::uint64_t, std::uint64_t>> svc_counters_;
+  // wave state (any node)
+  std::uint64_t svc_probe_id_ = 0;
+  int svc_probe_parent_ = -1;
+  int svc_acks_missing_ = 0;
+  std::map<std::uint64_t, JobStat> svc_table_;  ///< subtree aggregate
+  // root-only service state
+  bool svc_wave_outstanding_ = false;
+  std::uint64_t svc_next_wave_ = 0;
+  std::set<std::uint64_t> svc_injected_;  ///< kJobInject processed here
+  std::set<std::uint64_t> svc_done_;      ///< wave-confirmed and reported
+  /// A job's qualifying reading from the previous wave: done needs the next
+  /// wave to agree (same sent, consecutive wave ids).
+  struct SvcPrev {
+    std::uint64_t sent = 0;
+    std::uint64_t wave = 0;
+  };
+  std::map<std::uint64_t, SvcPrev> svc_prev_;
+  bool svc_shutdown_ = false;  ///< gate declared the stream exhausted
 
   // fault-tolerance state
   std::vector<char> peer_down_;   ///< peers known to have crashed

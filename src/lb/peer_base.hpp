@@ -59,6 +59,9 @@ class PeerBase : public sim::Actor {
   sim::Time last_active() const { return last_active_; }
   bool saw_terminate() const { return terminated_; }
   bool holds_work() const { return work_ != nullptr && !work_->empty(); }
+  /// The installed work object, null when none. The service layer downcasts
+  /// this to lb::JobBag after a run to harvest per-job tallies.
+  const Work* current_work() const { return work_.get(); }
   /// True once the peer completed a graceful leave (elastic membership).
   bool departed() const { return departed_; }
   /// Request retransmissions performed by this peer (fault tolerance).

@@ -1,0 +1,66 @@
+#include "svc/arrivals.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+#include "support/rng.hpp"
+
+namespace olb::svc {
+
+const char* arrival_kind_name(ArrivalKind k) {
+  switch (k) {
+    case ArrivalKind::kPoisson: return "poisson";
+    case ArrivalKind::kBursty: return "bursty";
+    case ArrivalKind::kDiurnal: return "diurnal";
+  }
+  return "?";
+}
+
+std::vector<sim::Time> arrival_times(const ArrivalProcess& p,
+                                     std::uint64_t seed) {
+  OLB_CHECK_MSG(p.rate_per_sec > 0.0, "arrival rate must be positive");
+  OLB_CHECK_MSG(p.horizon > 0, "arrival horizon must be positive");
+  if (p.kind == ArrivalKind::kBursty) {
+    OLB_CHECK_MSG(p.on_period > 0 && p.off_period >= 0,
+                  "bursty arrivals need a positive on window");
+  }
+  // Thinning: draw a homogeneous process at the peak rate, keep each point
+  // with probability rate(t) / peak. The peak of the diurnal ramp
+  // rate(t) = rate * 2t/h is 2x the mean rate.
+  const double peak_per_sec =
+      p.kind == ArrivalKind::kDiurnal ? 2.0 * p.rate_per_sec : p.rate_per_sec;
+  const double mean_gap_ns = 1e9 / peak_per_sec;
+  const double horizon_ns = static_cast<double>(p.horizon);
+  const double cycle_ns =
+      static_cast<double>(p.on_period) + static_cast<double>(p.off_period);
+
+  Xoshiro256 rng(mix64(seed ^ 0x61727276616cull));
+  std::vector<sim::Time> out;
+  double t = 0.0;
+  for (;;) {
+    // Exponential inter-arrival; clamp u away from 0 so log() stays finite.
+    const double u = std::max(rng.uniform01(), 1e-12);
+    t += -std::log(u) * mean_gap_ns;
+    if (t >= horizon_ns) break;
+    double accept = 1.0;
+    switch (p.kind) {
+      case ArrivalKind::kPoisson:
+        break;
+      case ArrivalKind::kBursty:
+        accept = std::fmod(t, cycle_ns) < static_cast<double>(p.on_period)
+                     ? 1.0
+                     : 0.0;
+        break;
+      case ArrivalKind::kDiurnal:
+        accept = t / horizon_ns;  // rate(t) / peak = (2t/h) / 2
+        break;
+    }
+    if (accept >= 1.0 || rng.uniform01() < accept) {
+      out.push_back(static_cast<sim::Time>(t));
+    }
+  }
+  return out;
+}
+
+}  // namespace olb::svc

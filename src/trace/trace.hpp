@@ -41,6 +41,13 @@
 //  kRetry        | peer       | target    | msg type   | attempt      | —
 //  kMemberJoin   | joiner     | parent    | —          | weight       | —
 //  kMemberLeave  | leaver     | parent    | —          | weight       | —
+//  kJobSubmit    | gate       | —         | job id     | class        | amount (m)
+//  kJobAdmit     | gate       | —         | job id     | class        | amount (m)
+//  kJobReject    | gate       | —         | job id     | class        | pending
+//  kJobXfer      | sender     | dst       | job id     | amount (m)   | req type
+//  kJobMerge     | receiver   | src       | job id     | amount (m)   | bridge flag
+//  kJobChunk     | peer       | —         | job id     | units done   | Δamount (m)
+//  kJobDone      | gate       | —         | job id     | class        | sojourn ns
 //
 //  (*) 0 = wave launched, 1 = wave came back clean, 2 = wave came back dirty.
 //  (**) 0 = link fault, 1 = destination crashed, 2 = bounce destroyed.
@@ -48,6 +55,11 @@
 //        (stale subtree aggregates can produce absurd magnitudes).
 //  (+) only the overlay's upward request (kReqUp) carries the subtree's
 //      aggregated transfer counters; other kRequest emissions leave a/b = 0.
+//  (m) work amounts in kJob* events travel as milli-units
+//      (llround(amount * 1000)) so the events stay all-integer; the job id
+//      rides the `type` field (job ids are small sequential integers).
+//      Job events are emitted only by service-mode runs (src/svc) — a
+//      single-job run never records any of them.
 #pragma once
 
 #include <cstdint>
@@ -96,6 +108,14 @@ enum class EventKind : std::uint8_t {
   // --- elastic membership ---
   kMemberJoin,
   kMemberLeave,
+  // --- multi-job service layer (src/svc) ---
+  kJobSubmit,
+  kJobAdmit,
+  kJobReject,
+  kJobXfer,
+  kJobMerge,
+  kJobChunk,
+  kJobDone,
 };
 
 inline const char* kind_name(EventKind k) {
@@ -123,6 +143,13 @@ inline const char* kind_name(EventKind k) {
     case EventKind::kRetry: return "retry";
     case EventKind::kMemberJoin: return "member_join";
     case EventKind::kMemberLeave: return "member_leave";
+    case EventKind::kJobSubmit: return "job_submit";
+    case EventKind::kJobAdmit: return "job_admit";
+    case EventKind::kJobReject: return "job_reject";
+    case EventKind::kJobXfer: return "job_xfer";
+    case EventKind::kJobMerge: return "job_merge";
+    case EventKind::kJobChunk: return "job_chunk";
+    case EventKind::kJobDone: return "job_done";
   }
   return "?";
 }

@@ -238,6 +238,33 @@ TEST(MetricsRegistry, GetOrCreateIsIdempotentAndPeerScoped) {
   EXPECT_EQ(registry.size(), 3u);
 }
 
+TEST(MetricsRegistry, PerClassServiceHistogramsAreDisjoint) {
+  // The service gate keys its per-class latency histograms by class id in
+  // the peer slot ("olb_svc_sojourn_ns", class). Recordings must never
+  // bleed across classes, and the exporter must label the classes apart.
+  metrics::Registry registry(1);
+  Histogram* high = registry.histogram("olb_svc_sojourn_ns", 0);
+  Histogram* low = registry.histogram("olb_svc_sojourn_ns", 1);
+  ASSERT_NE(high, low);
+  EXPECT_EQ(registry.histogram("olb_svc_sojourn_ns", 0), high);
+  high->record(10);
+  high->record(20);
+  low->record(1000);
+  const auto hs = high->snapshot();
+  const auto ls = low->snapshot();
+  EXPECT_EQ(hs.count, 2u);
+  EXPECT_EQ(hs.sum, 30u);
+  EXPECT_EQ(ls.count, 1u);
+  EXPECT_EQ(ls.sum, 1000u);
+  std::ostringstream out;
+  metrics::write_prometheus(out, registry.snapshot(1));
+  const std::string text = out.str();
+  EXPECT_NE(text.find("olb_svc_sojourn_ns_count{peer=\"0\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("olb_svc_sojourn_ns_count{peer=\"1\"} 1"),
+            std::string::npos);
+}
+
 // ------------------------------------------------------------- exporters ---
 
 TEST(MetricsExport, PrometheusTextExposition) {

@@ -396,6 +396,94 @@ TEST(WorkCodec, EveryTruncatedMessagePrefixIsRejected) {
   }
 }
 
+TEST(WorkCodec, JobPayloadRoundTripsAndRejectsTruncation) {
+  auto workload = test_uts();
+  const auto codec = runtime::make_work_codec(*workload);
+  sim::Message m(lb::kJobInject, /*a=*/7);
+  m.id = 13;
+  m.src = 8;  // the gate sits one past the fleet
+  m.dst = 0;
+  auto jp = std::make_unique<lb::JobPayload>();
+  jp->job = kU64Max;  // job ids are dense in practice; the codec must not care
+  jp->job_class = 3;
+  jp->work = workload->make_root_work();
+  m.payload = std::move(jp);
+
+  runtime::WireWriter w;
+  runtime::encode_message(m, codec.get(), w);
+  runtime::WireReader r(w.data());
+  sim::Message out;
+  ASSERT_TRUE(runtime::decode_message(r, codec.get(), &out));
+  EXPECT_TRUE(r.exhausted());
+  expect_messages_equal(m, out);
+  const auto* jo = dynamic_cast<const lb::JobPayload*>(out.payload.get());
+  ASSERT_NE(jo, nullptr);
+  EXPECT_EQ(jo->job, kU64Max);
+  EXPECT_EQ(jo->job_class, 3);
+  ASSERT_NE(jo->work, nullptr);
+  EXPECT_EQ(jo->work->amount(), 1.0);  // the root as one pending node
+
+  const auto& full = w.data();
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    runtime::WireReader tr(full.data(), len);
+    sim::Message o;
+    EXPECT_FALSE(runtime::decode_message(tr, codec.get(), &o))
+        << "prefix " << len;
+  }
+}
+
+TEST(WorkCodec, JobProbeStatsRoundTripAndRejectTruncation) {
+  auto workload = test_uts();
+  const auto codec = runtime::make_work_codec(*workload);
+  sim::Message m(lb::kJobProbeAck);
+  m.id = 21;
+  m.src = 3;
+  m.dst = 0;
+  auto probe = std::make_unique<lb::JobProbePayload>();
+  probe->probe_id = kU64Max;
+  probe->stats.push_back({/*job=*/0, /*sent=*/1, /*recv=*/2,
+                          /*holds_milli=*/kI64Max});
+  probe->stats.push_back({kU64Max, kU64Max, kU64Max - 1, /*holds_milli=*/-5});
+  m.payload = std::move(probe);
+
+  runtime::WireWriter w;
+  runtime::encode_message(m, codec.get(), w);
+  runtime::WireReader r(w.data());
+  sim::Message out;
+  ASSERT_TRUE(runtime::decode_message(r, codec.get(), &out));
+  EXPECT_TRUE(r.exhausted());
+  expect_messages_equal(m, out);
+  const auto* po = dynamic_cast<const lb::JobProbePayload*>(out.payload.get());
+  ASSERT_NE(po, nullptr);
+  EXPECT_EQ(po->probe_id, kU64Max);
+  ASSERT_EQ(po->stats.size(), 2u);
+  EXPECT_EQ(po->stats[0].holds_milli, kI64Max);
+  EXPECT_EQ(po->stats[1].job, kU64Max);
+  EXPECT_EQ(po->stats[1].sent, kU64Max);
+  EXPECT_EQ(po->stats[1].recv, kU64Max - 1);
+  EXPECT_EQ(po->stats[1].holds_milli, -5);
+
+  const auto& full = w.data();
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    runtime::WireReader tr(full.data(), len);
+    sim::Message o;
+    EXPECT_FALSE(runtime::decode_message(tr, codec.get(), &o))
+        << "prefix " << len;
+  }
+
+  // An empty wave (no jobs in flight yet) still round-trips.
+  sim::Message empty(lb::kJobProbe);
+  empty.payload = std::make_unique<lb::JobProbePayload>();
+  runtime::WireWriter w2;
+  runtime::encode_message(empty, codec.get(), w2);
+  runtime::WireReader r2(w2.data());
+  sim::Message out2;
+  ASSERT_TRUE(runtime::decode_message(r2, codec.get(), &out2));
+  const auto* po2 = dynamic_cast<const lb::JobProbePayload*>(out2.payload.get());
+  ASSERT_NE(po2, nullptr);
+  EXPECT_TRUE(po2->stats.empty());
+}
+
 TEST(WorkCodec, UnknownPayloadKindRejected) {
   auto workload = test_uts();
   const auto codec = runtime::make_work_codec(*workload);

@@ -223,7 +223,11 @@ int main(int argc, char** argv) {
        ++i) {
     if (max_cases != 0 && cases >= max_cases) break;
     if (std::chrono::steady_clock::now() >= deadline) break;
-    const check::FuzzCase c = check::random_case(base_seed, i, allowed);
+    check::FuzzCase c = check::random_case(base_seed, i, allowed);
+    // Planted bugs target the single-job protocol paths; with a plant
+    // active the sweep budget belongs to plantable cases, so the job
+    // dimension is disarmed (still deterministic per command line).
+    if (plant.enabled()) c.jobs_id = 0;
     if (verbose) {
       std::fprintf(stderr, "[%llu] %s\n", static_cast<unsigned long long>(i),
                    check::format_case(c).c_str());
@@ -236,7 +240,7 @@ int main(int argc, char** argv) {
     // Cross-backend differential pass: only configurations both backends
     // accept (fault-free overlay, no simulated-network bug plant).
     if (diff && lb::strategy_is_overlay(c.strategy) && c.fault_id == 0 &&
-        plant.kind != lb::PlantedBug::Kind::kLostWork) {
+        c.jobs_id == 0 && plant.kind != lb::PlantedBug::Kind::kLostWork) {
       lb::RunConfig config = check::make_case_config(c);
       config.plant = plant;
       const auto d = check::run_differential(
