@@ -29,6 +29,9 @@ std::unique_ptr<metrics::MetricsHub> g_metrics_hub;
 /// builds — like the backend default, so socket launches need no per-bench
 /// plumbing.
 lb::SocketBringup g_socket_bringup;
+/// Process-wide simulator shard count from --shards, carried by every
+/// RunConfig common_config builds (0 = the plain single-queue engine).
+int g_sim_shards = 0;
 
 std::vector<std::string> split_commas(const std::string& s) {
   std::vector<std::string> out;
@@ -77,6 +80,13 @@ Flags& define_run_flags(Flags& flags, const RunFlagSpec& spec) {
         .define("metrics-interval", "100",
                 "metrics flush interval in ms (simulated time on sim, wall "
                 "time on threads)");
+  }
+  if (spec.shards) {
+    flags.define("shards", "0",
+                 "simulator event-queue shards (0 = plain single-queue "
+                 "engine, 1 = sharded coordinator with one shard "
+                 "[byte-identical to 0], >=2 = cluster-aligned conservative "
+                 "sharding; see docs/SCALING.md)");
   }
   return flags;
 }
@@ -162,6 +172,11 @@ RunFlags parse_run_flags(const Flags& flags) {
         }).detach();
       }
     }
+  }
+  if (flags.has("shards")) {
+    rf.sim_shards = static_cast<int>(flags.get_int("shards"));
+    OLB_CHECK_MSG(rf.sim_shards >= 0, "--shards must be >= 0");
+    g_sim_shards = rf.sim_shards;
   }
   if (flags.has("metrics")) {
     const std::string path = flags.get("metrics");
@@ -277,6 +292,7 @@ lb::RunConfig common_config(lb::Strategy s, int n, std::uint64_t seed, int dmax,
   c.backend = g_default_backend;
   c.metrics = g_metrics_hub.get();
   c.sockets = g_socket_bringup;
+  c.sim_shards = g_sim_shards;
   return c;
 }
 }  // namespace

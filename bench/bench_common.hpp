@@ -57,6 +57,9 @@ struct RunFlagSpec {
   /// --time-limit-ms wall-clock watchdog.
   bool backend = true;
   bool metrics = true;  ///< --metrics / --metrics-interval (live telemetry)
+  /// --shards (simulator event-queue shards; see docs/SCALING.md). 0 = the
+  /// plain single-queue engine, the pre-sharding default.
+  bool shards = true;
 };
 
 /// Registers the flags shared by the bench mains according to `spec`.
@@ -70,6 +73,7 @@ struct RunFlags {
   std::uint64_t seed = 1;
   bool csv = false;
   lb::Backend backend = lb::Backend::kSim;
+  int sim_shards = 0;  ///< --shards (0 = plain engine)
 };
 
 /// Reads back whichever of the shared flags were defined. Parsing --backend

@@ -6,6 +6,7 @@
 // Every run's node count is checked against the sequential traversal — the
 // overlay on threads must explore exactly the tree, not approximately.
 // Results (medians over --trials) go to --json as BENCH_runtime.json.
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -18,6 +19,7 @@
 #include "bench_common.hpp"
 #include "runtime/runtime.hpp"
 #include "steal/work_stealing_pool.hpp"
+#include "support/meminfo.hpp"
 
 using namespace olb;
 using namespace olb::bench;
@@ -205,6 +207,19 @@ int main(int argc, char** argv) {
         << ", \"b0\": " << flags.get_int("b0") << ", \"q\": " << flags.get("q")
         << ", \"nodes\": " << seq_count << "},\n";
     out << "  \"sequential_wall_s\": " << seq_wall << ",\n";
+    // Provenance stamps shared with BENCH_overlay.json (docs/SCALING.md):
+    // the harness-level shard setting (this bench runs the threads backend,
+    // so it is informational here) and the host-side memory footprint —
+    // bytes_per_peer counts a "peer" as one thread of the largest row.
+    out << "  \"sim_shards\": " << rf.sim_shards << ",\n";
+    const std::uint64_t rss_peak = support::peak_rss_bytes();
+    const unsigned max_threads =
+        thread_counts.empty() ? 1 : *std::max_element(thread_counts.begin(),
+                                                      thread_counts.end());
+    out << "  \"rss_peak_bytes\": " << rss_peak << ",\n";
+    out << "  \"bytes_per_peer\": "
+        << static_cast<double>(rss_peak) / static_cast<double>(max_threads)
+        << ",\n";
     out << "  \"results\": [\n";
     for (std::size_t i = 0; i < rows.size(); ++i) {
       const Row& r = rows[i];

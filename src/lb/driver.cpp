@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdio>
 #include <memory>
 
 #include "lb/ahmw.hpp"
@@ -10,6 +11,7 @@
 #include "lb/mw.hpp"
 #include "lb/rws.hpp"
 #include "simnet/engine.hpp"
+#include "simnet/sharded_engine.hpp"
 #include "support/check.hpp"
 #include "support/rng.hpp"
 #include "trace/export.hpp"
@@ -281,7 +283,11 @@ struct BuiltCluster {
   AhmwPeer* ahmw_root = nullptr;         ///< set for Strategy::kAHMW
 };
 
-BuiltCluster build_cluster(sim::Engine& engine, Workload& workload,
+// Templated over the engine so the sharded coordinator (sim::ShardedEngine)
+// builds byte-identical clusters through the same code path as the plain
+// engine — both expose the add_actor/num_actors/actor surface.
+template <class EngineT>
+BuiltCluster build_cluster(EngineT& engine, Workload& workload,
                            const RunConfig& config) {
   BuiltCluster built;
   const int n = config.num_peers;
@@ -389,6 +395,37 @@ BuiltCluster build_cluster(sim::Engine& engine, Workload& workload,
   return built;
 }
 
+/// Caps config.sim_shards to what the run supports: features that need one
+/// global event order (or per-link state sized to the whole cluster) force a
+/// single shard, with a one-time note so sweeps are not silently
+/// reconfigured.
+int effective_sim_shards(const RunConfig& config) {
+  const int shards = std::max(config.sim_shards, 0);
+  if (shards < 2) return shards;
+  const char* why = nullptr;
+  if (config.tracer != nullptr) {
+    why = "tracing";
+  } else if (config.metrics != nullptr) {
+    why = "live metrics";
+  } else if (config.faults.enabled()) {
+    why = "fault injection";
+  } else if (config.perturb.enabled()) {
+    why = "schedule perturbation";
+  } else if (config.plant.kind == PlantedBug::Kind::kLostWork) {
+    why = "the lost-work bug plant";
+  }
+  if (why == nullptr) return shards;
+  static bool noted = false;
+  if (!noted) {
+    noted = true;
+    std::fprintf(stderr,
+                 "note: %s needs a single global event order; running with "
+                 "sim_shards=1 instead of %d\n",
+                 why, shards);
+  }
+  return 1;
+}
+
 }  // namespace
 
 overlay::TreeOverlay make_overlay_tree(const RunConfig& config) {
@@ -424,13 +461,14 @@ OverlayConfig make_overlay_config(const RunConfig& config) {
   return oc;
 }
 
-RunMetrics run_distributed(Workload& workload, const RunConfig& config) {
-  OLB_CHECK_MSG(config.backend == Backend::kSim,
-                "run_distributed is the simulator backend; threads/sockets "
-                "runs go through runtime::run_threads / runtime::run_sockets");
-  validate_faults_for_strategy(config);
-  validate_churn(config);
-  sim::Engine engine(config.net, config.seed);
+namespace {
+
+// The whole run — configuration, cluster build, execution, metric harvest —
+// shared between the plain engine and the sharded coordinator. Everything
+// here reads the common accessor surface the two types mirror.
+template <class EngineT>
+RunMetrics run_on_engine(EngineT& engine, Workload& workload,
+                         const RunConfig& config) {
   engine.set_tracer(config.tracer);
   engine.set_metrics(config.metrics);
   engine.enable_queue_delay_stats();
@@ -540,6 +578,30 @@ RunMetrics run_distributed(Workload& workload, const RunConfig& config) {
     metrics.idle_peers = tl.idle_peers;
     metrics.pending_depth = tl.pending_depth;
   }
+  return metrics;
+}
+
+}  // namespace
+
+RunMetrics run_distributed(Workload& workload, const RunConfig& config) {
+  OLB_CHECK_MSG(config.backend == Backend::kSim,
+                "run_distributed is the simulator backend; threads/sockets "
+                "runs go through runtime::run_threads / runtime::run_sockets");
+  validate_faults_for_strategy(config);
+  validate_churn(config);
+  const int shards = effective_sim_shards(config);
+  if (shards == 0) {
+    // The pre-sharding code path, untouched: sim_shards=0 runs stay
+    // byte-identical to every release before the sharded coordinator.
+    sim::Engine engine(config.net, config.seed);
+    RunMetrics metrics = run_on_engine(engine, workload, config);
+    metrics.sim_shards = 1;
+    return metrics;
+  }
+  sim::ShardedEngine engine(config.net, config.seed, config.num_peers, shards);
+  RunMetrics metrics = run_on_engine(engine, workload, config);
+  metrics.sim_shards = engine.num_shards();
+  metrics.sim_windows = engine.windows_run();
   return metrics;
 }
 

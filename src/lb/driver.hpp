@@ -178,6 +178,18 @@ struct RunConfig {
   /// so simulator runs stay byte-identical with or without a hub.
   metrics::MetricsHub* metrics = nullptr;
 
+  /// Simulator sharding (Backend::kSim only; see simnet/sharded_engine.hpp).
+  /// 0 (default) runs the plain single-queue engine — exactly the
+  /// pre-sharding code path. 1 runs the sharded coordinator with one shard,
+  /// which is byte-identical to 0 by construction (CI compares the two on
+  /// pinned traces). >= 2 splits the peer range into that many
+  /// cluster-aligned shards under conservative lookahead — deterministic,
+  /// but a different (equally valid) timeline than the single-queue run.
+  /// Features that assume one global event order (tracing, live metrics,
+  /// fault injection, perturbation, the lost-work plant) force a fallback
+  /// to one shard with a one-time stderr note.
+  int sim_shards = 0;
+
   /// Execution backend. run_distributed only accepts kSim; kThreads runs
   /// go through runtime::run_threads and kSockets through
   /// runtime::run_sockets (both share this config type so flag parsing and
@@ -246,6 +258,12 @@ struct RunMetrics {
   std::int64_t best_bound = kNoBound;
   std::uint64_t events = 0;
   bool ok = false;  ///< quiesced, protocol terminated, no work left anywhere
+
+  /// Simulator sharding actually used (1 for the plain engine and for
+  /// single-shard runs) and conservative windows executed (0 when the
+  /// window loop never ran — plain engine or one shard).
+  int sim_shards = 1;
+  std::uint64_t sim_windows = 0;
 
   /// --- fault accounting (all zero for fault-free runs) ---
   std::uint64_t msgs_dropped = 0;     ///< control messages destroyed by links

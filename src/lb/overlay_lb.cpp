@@ -68,7 +68,13 @@ void OverlayPeer::send_work(int dst, std::unique_ptr<Work> w, int req_type,
 void OverlayPeer::on_start() {
   // Service mode: the root starts workless — jobs arrive from the gate.
   OLB_CHECK((initial_work_ != nullptr) == (is_root() && !svc_enabled()));
-  peer_down_.assign(static_cast<std::size_t>(num_peers()), 0);
+  // Crash book-keeping is only read on fault-tolerant paths; allocating it
+  // unconditionally would cost n bytes per peer — n^2 across the run, which
+  // at n = 10^5 is the whole memory budget (10 GB). Fault-free runs carry an
+  // empty vector instead (on_peer_down tolerates the missing slots).
+  if (config_.fault_tolerant) {
+    peer_down_.assign(static_cast<std::size_t>(num_peers()), 0);
+  }
   if (churn_enabled()) {
     for (const ChurnEvent& e : config_.churn.events) {
       if (e.peer != id()) continue;
@@ -87,7 +93,8 @@ void OverlayPeer::on_start() {
     }
   }
   parent_ = is_root() ? -1 : tree_->parent(id());
-  children_ = tree_->children(id());
+  const overlay::ChildSpan initial_children = tree_->children(id());
+  children_.assign(initial_children.begin(), initial_children.end());
   if (churn_enabled()) {
     // Initial members are the id-prefix [0, initial_peers); the overlay
     // invariant parent[i] < i makes that prefix upward-closed, so filtering

@@ -39,15 +39,28 @@ TreeOverlay::TreeOverlay(std::vector<int> parent) : parent_(std::move(parent)) {
   const int n = size();
   OLB_CHECK(n >= 1);
   OLB_CHECK_MSG(parent_[0] == -1, "node 0 must be the root");
-  children_.resize(static_cast<std::size_t>(n));
   depth_.assign(static_cast<std::size_t>(n), 0);
   subtree_size_.assign(static_cast<std::size_t>(n), 1);
+  // Child lists via counting sort into CSR storage: count, prefix-sum,
+  // scatter. Scattering ids in ascending order keeps each list ascending —
+  // the same order the per-node vectors used to hold.
+  child_offset_.assign(static_cast<std::size_t>(n) + 1, 0);
   for (int i = 1; i < n; ++i) {
     const int p = parent_[static_cast<std::size_t>(i)];
     OLB_CHECK_MSG(p >= 0 && p < i, "parent ids must precede children");
-    children_[static_cast<std::size_t>(p)].push_back(i);
+    ++child_offset_[static_cast<std::size_t>(p) + 1];
     depth_[static_cast<std::size_t>(i)] = depth_[static_cast<std::size_t>(p)] + 1;
     height_ = std::max(height_, depth_[static_cast<std::size_t>(i)]);
+  }
+  for (int v = 0; v < n; ++v) {
+    child_offset_[static_cast<std::size_t>(v) + 1] +=
+        child_offset_[static_cast<std::size_t>(v)];
+  }
+  child_flat_.resize(static_cast<std::size_t>(n > 0 ? n - 1 : 0));
+  std::vector<std::uint32_t> cursor(child_offset_.begin(), child_offset_.end() - 1);
+  for (int i = 1; i < n; ++i) {
+    const auto p = static_cast<std::size_t>(parent_[static_cast<std::size_t>(i)]);
+    child_flat_[cursor[p]++] = i;
   }
   // parent[i] < i makes a single reverse sweep sufficient for subtree sizes.
   for (int i = n - 1; i >= 1; --i) {
@@ -58,8 +71,11 @@ TreeOverlay::TreeOverlay(std::vector<int> parent) : parent_(std::move(parent)) {
 }
 
 int TreeOverlay::max_degree() const {
-  std::size_t best = 0;
-  for (const auto& c : children_) best = std::max(best, c.size());
+  std::uint32_t best = 0;
+  for (int v = 0; v < size(); ++v) {
+    const auto i = static_cast<std::size_t>(v);
+    best = std::max(best, child_offset_[i + 1] - child_offset_[i]);
+  }
   return static_cast<int>(best);
 }
 

@@ -15,10 +15,32 @@
 // computation and several protocol invariants rely on.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
 namespace olb::overlay {
+
+/// Non-owning view of one node's child list inside the overlay's CSR
+/// storage (see TreeOverlay below). Supports exactly what the protocol
+/// call sites need — ranged-for, size/empty, indexing — so child lists
+/// read like the std::vector they used to be.
+class ChildSpan {
+ public:
+  ChildSpan(const int* data, std::size_t size) : data_(data), size_(size) {}
+
+  const int* begin() const { return data_; }
+  const int* end() const { return data_ + size_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  int operator[](std::size_t i) const { return data_[i]; }
+  int front() const { return data_[0]; }
+  int back() const { return data_[size_ - 1]; }
+
+ private:
+  const int* data_;
+  std::size_t size_;
+};
 
 class TreeOverlay {
  public:
@@ -36,8 +58,10 @@ class TreeOverlay {
   int root() const { return 0; }
 
   int parent(int v) const { return parent_[static_cast<std::size_t>(v)]; }
-  const std::vector<int>& children(int v) const {
-    return children_[static_cast<std::size_t>(v)];
+  ChildSpan children(int v) const {
+    const auto i = static_cast<std::size_t>(v);
+    const std::uint32_t begin = child_offset_[i];
+    return ChildSpan(child_flat_.data() + begin, child_offset_[i + 1] - begin);
   }
   /// Number of nodes in the subtree rooted at v (>= 1).
   std::uint64_t subtree_size(int v) const {
@@ -60,11 +84,28 @@ class TreeOverlay {
   /// aborts on violation. Cheap; called by the builders.
   void validate() const;
 
+  /// Bytes of heap storage behind this overlay — the memory-per-peer
+  /// accounting hook (docs/SCALING.md). O(n) total: the child lists are one
+  /// flat CSR array, not n separate vectors.
+  std::size_t memory_bytes() const {
+    return parent_.capacity() * sizeof(int) +
+           child_offset_.capacity() * sizeof(std::uint32_t) +
+           child_flat_.capacity() * sizeof(int) +
+           subtree_size_.capacity() * sizeof(std::uint64_t) +
+           depth_.capacity() * sizeof(int);
+  }
+
  private:
   explicit TreeOverlay(std::vector<int> parent);
 
   std::vector<int> parent_;
-  std::vector<std::vector<int>> children_;
+  /// Child lists in CSR form: node v's children are
+  /// child_flat_[child_offset_[v] .. child_offset_[v+1]), each list in
+  /// ascending id order. One allocation of n-1 ints instead of n vectors —
+  /// at n = 10^6 that is the difference between ~4 MB and ~50 MB of
+  /// header+allocator overhead (docs/SCALING.md has the accounting table).
+  std::vector<std::uint32_t> child_offset_;  ///< n+1 entries
+  std::vector<int> child_flat_;              ///< n-1 entries
   std::vector<std::uint64_t> subtree_size_;
   std::vector<int> depth_;
   int height_ = 0;

@@ -99,7 +99,9 @@ Engine::Engine(NetworkConfig config, std::uint64_t seed)
 
 int Engine::add_actor(std::unique_ptr<Actor> actor) {
   OLB_CHECK_MSG(!running_, "actors must be added before run()");
-  const int id = static_cast<int>(actors_.size());
+  const int id = id_base_ + static_cast<int>(actors_.size());
+  OLB_CHECK_MSG(global_peers_ < 0 || id < global_peers_,
+                "shard overfilled beyond its global peer count");
   actor->transport_ = this;
   actor->id_ = id;
   actor->rng_ = Xoshiro256(mix64(seed_ + 0x9e3779b9u) ^ mix64(static_cast<std::uint64_t>(id)));
@@ -118,7 +120,7 @@ std::uint64_t Engine::total_sent_of_type(int type) const {
 }
 
 void Engine::send_from(Actor& from, int dst, Message m) {
-  OLB_CHECK(dst >= 0 && dst < num_actors());
+  OLB_CHECK(dst >= 0 && dst < transport_num_peers());
   OLB_CHECK_MSG(m.type >= 0, "application message types must be >= 0");
   m.src = from.id_;
   m.dst = dst;
@@ -130,6 +132,16 @@ void Engine::send_from(Actor& from, int dst, Message m) {
   }
   ++from.stats_.sent_by_type[type_idx];
   Time latency = network_.latency(from.id_, dst);
+  if (!is_local(dst)) [[unlikely]] {
+    // Cross-shard send: all send-side effects (stats, latency draw) are
+    // done, so the coordinator can inject the arrival verbatim on the
+    // destination shard at the next window barrier. The perturbation,
+    // link-fault, tracing and bug-plant features below are declined by the
+    // driver whenever more than one shard is active, so skipping them on
+    // this path cannot change behaviour.
+    remote_out_.push_back(RemoteSend{now_ + latency, std::move(m)});
+    return;
+  }
   if (perturb_jitter_ > 0) [[unlikely]] {
     latency += static_cast<Time>(
         perturb_rng_.below(static_cast<std::uint64_t>(perturb_jitter_) + 1));
@@ -343,7 +355,7 @@ Engine::RunResult Engine::run_loop(Time time_limit, std::uint64_t event_limit) {
     }
     const int dst = e.dst;
     const Event::Kind kind = e.kind;
-    Actor& a = *actors_[static_cast<std::size_t>(dst)];
+    Actor& a = *actors_[static_cast<std::size_t>(dst - id_base_)];
     switch (kind) {
       case Event::Kind::kArrival:
         if constexpr (Faulty) {
@@ -395,8 +407,8 @@ Engine::RunResult Engine::run_loop(Time time_limit, std::uint64_t event_limit) {
 // a crashed peer (sender died meanwhile) is destroyed and accounted.
 void Engine::arrival_at_crashed(Event e) {
   Message m = std::move(e.msg);
-  if (m.payload != nullptr && !m.bounced && m.src >= 0 &&
-      !actors_[static_cast<std::size_t>(m.src)]->crashed_) {
+  if (m.payload != nullptr && !m.bounced && m.src >= 0 && is_local(m.src) &&
+      !actors_[static_cast<std::size_t>(m.src - id_base_)]->crashed_) {
     ++work_bounced_;
     const int sender = m.src;
     m.src = e.dst;
@@ -417,7 +429,7 @@ void Engine::arrival_at_crashed(Event e) {
 }
 
 void Engine::apply_crash(int peer) {
-  Actor& a = *actors_[static_cast<std::size_t>(peer)];
+  Actor& a = *local(peer);
   if (a.crashed_) return;
   a.crashed_ = true;
   injector_.mark_crashed(peer);
@@ -435,19 +447,19 @@ void Engine::apply_crash(int peer) {
               static_cast<std::int64_t>(held));
   // Failure detector: every survivor hears about it after detection_delay.
   const Time heard_at = now_ + injector_.plan().detection_delay;
-  for (int i = 0; i < num_actors(); ++i) {
-    if (i == peer || actors_[static_cast<std::size_t>(i)]->crashed_) continue;
+  for (auto& other : actors_) {
+    if (other->id_ == peer || other->crashed_) continue;
     Message n;
     n.type = kPeerDownMsgType;
     n.a = peer;
     n.src = peer;
-    n.dst = i;
+    n.dst = other->id_;
     push_arrival(std::move(n), heard_at);
   }
 }
 
 void Engine::apply_stall(int peer, Time duration) {
-  Actor& a = *actors_[static_cast<std::size_t>(peer)];
+  Actor& a = *local(peer);
   if (a.crashed_) return;
   const Time base = a.busy_until_ > now_ ? a.busy_until_ : now_;
   a.busy_until_ = base + duration;
@@ -504,8 +516,15 @@ Engine::RunResult Engine::run_metered(Time time_limit, std::uint64_t event_limit
   return result;
 }
 
-Engine::RunResult Engine::run(Time time_limit, std::uint64_t event_limit) {
-  running_ = true;
+void Engine::schedule_startup() {
+  // One-shot startup: the sharded coordinator re-enters run() once per
+  // conservative window (thousands of times per simulation), and the
+  // fault-plan events in particular must not be scheduled again — a resumed
+  // run would otherwise replay every crash/stall. The coordinator also calls
+  // this *before* its first window, since it needs next_event_time() to see
+  // the start wakes when picking the window base.
+  if (startup_scheduled_) return;
+  startup_scheduled_ = true;
   for (auto& a : actors_) {
     if (!a->started_ && !a->wake_pending_) schedule_wake(*a, 0);
   }
@@ -517,6 +536,11 @@ Engine::RunResult Engine::run(Time time_limit, std::uint64_t event_limit) {
       emplace_event(s.at, s.peer, Event::Kind::kStall).msg.a = s.duration;
     }
   }
+}
+
+Engine::RunResult Engine::run(Time time_limit, std::uint64_t event_limit) {
+  running_ = true;
+  schedule_startup();
   if (metrics_hub_ != nullptr) [[unlikely]] {
     if (faults_on_) {
       return instrumented_ ? run_metered<true, true>(time_limit, event_limit)

@@ -149,12 +149,16 @@ class Actor {
   friend class olb::runtime::ThreadNet;
   friend class olb::runtime::SocketNet;
 
+  // Field order packs id_ against the flag block: one 8-byte line holds the
+  // id plus all four bools instead of two half-empty ones — 8 bytes per
+  // actor, which is a whole level of the overlay at 10^6 peers
+  // (docs/SCALING.md has the per-peer budget).
   Transport* transport_ = nullptr;
-  int id_ = -1;
   double speed_ = 1.0;
   Xoshiro256 rng_;
 
   Time busy_until_ = 0;
+  int id_ = -1;
   bool started_ = false;
   bool compute_pending_ = false;
   bool wake_pending_ = false;
@@ -169,14 +173,70 @@ class Engine final : public Transport {
  public:
   Engine(NetworkConfig config, std::uint64_t seed);
 
-  /// Takes ownership; returns the actor's id (dense, starting at 0).
-  /// All actors must be added before run().
+  /// Takes ownership; returns the actor's id (dense, starting at id_base —
+  /// 0 unless this engine is a shard). All actors must be added before run().
   int add_actor(std::unique_ptr<Actor> actor);
 
   int num_actors() const { return static_cast<int>(actors_.size()); }
-  Actor& actor(int id) { return *actors_[static_cast<std::size_t>(id)]; }
-  const ActorStats& stats(int id) const {
-    return actors_[static_cast<std::size_t>(id)]->stats_;
+  Actor& actor(int id) { return *local(id); }
+  const ActorStats& stats(int id) const { return local(id)->stats_; }
+
+  // --- shard support (ShardedEngine, sharded_engine.hpp) ---
+
+  /// Declares this engine a shard owning the contiguous global id range
+  /// [id_base, id_base + local count) out of `global_peers` total. Actor
+  /// ids, their RNG streams and transport_num_peers() all use global
+  /// values, so a shard's actors are bit-identical to the same actors
+  /// inside an unsharded engine. Sends to non-local destinations divert to
+  /// the remote outbox instead of the event queue. Call before add_actor().
+  /// The default state (base 0, global -1) means unsharded: every peer is
+  /// local and num_peers() == num_actors().
+  void configure_shard(int id_base, int global_peers) {
+    OLB_CHECK_MSG(actors_.empty(), "configure_shard before add_actor");
+    OLB_CHECK(id_base >= 0 && global_peers > id_base);
+    id_base_ = id_base;
+    global_peers_ = global_peers;
+  }
+  int id_base() const { return id_base_; }
+  bool is_local(int id) const {
+    return id >= id_base_ && id < id_base_ + num_actors();
+  }
+
+  /// A message bound for another shard: the send-side work (stats, latency
+  /// draw) is already done; `at` is the arrival time at the destination.
+  struct RemoteSend {
+    Time at;
+    Message msg;  ///< src/dst are global ids
+  };
+  /// Cross-shard sends since the last drain, in send order. The shard
+  /// coordinator moves them into the destination engines at each window
+  /// barrier — conservative lookahead guarantees `at` is still in every
+  /// destination's future (see sharded_engine.hpp).
+  std::vector<RemoteSend>& remote_outbox() { return remote_out_; }
+
+  /// Queues an arrival handed over from another shard. Stamps this engine's
+  /// own insertion sequence, so cross-shard delivery order is exactly the
+  /// coordinator's (deterministic) drain order. The sending engine already
+  /// counted the message, so totals summed over shards stay per-message.
+  void inject_arrival(Message m, Time at) {
+    OLB_CHECK_MSG(at >= now_, "cross-shard arrival would be in the past");
+    push_arrival(std::move(m), at);
+  }
+
+  /// One-shot: queues the start wakes and any fault-plan events. run() calls
+  /// it implicitly; the sharded coordinator calls it before its first window
+  /// so next_event_time() sees the start wakes when picking the window base.
+  void schedule_startup();
+
+  /// Earliest pending event time, kTimeMax when the queue is empty — the
+  /// coordinator's window-base input.
+  Time next_event_time() const {
+    return queue_.empty() ? kTimeMax : queue_.peek_time();
+  }
+
+  /// Bytes of heap storage behind the event queue and remote outbox.
+  std::size_t queue_memory_bytes() const {
+    return queue_.memory_bytes() + remote_out_.capacity() * sizeof(RemoteSend);
   }
 
   struct RunResult {
@@ -274,6 +334,7 @@ class Engine final : public Transport {
   metrics::MetricsHub* metrics_hub() const { return metrics_hub_; }
 
   Time queueing_delay_max() const { return queue_delay_max_; }
+  std::uint64_t queueing_delay_samples() const { return queue_delay_samples_; }
   double queueing_delay_mean() const {
     return queue_delay_samples_ > 0
                ? static_cast<double>(queue_delay_sum_) /
@@ -284,9 +345,18 @@ class Engine final : public Transport {
  private:
   friend class Actor;
 
+  /// Maps a global actor id to the owned actor (ids are global everywhere;
+  /// only the storage index is shard-relative).
+  const std::unique_ptr<Actor>& local(int id) const {
+    OLB_CHECK(is_local(id));
+    return actors_[static_cast<std::size_t>(id - id_base_)];
+  }
+
   // Transport services (Actor dispatches here; see transport.hpp).
   Time transport_now() const override { return now_; }
-  int transport_num_peers() const override { return num_actors(); }
+  int transport_num_peers() const override {
+    return global_peers_ >= 0 ? global_peers_ : num_actors();
+  }
   trace::TraceSink* transport_tracer() const override { return tracer_; }
   void transport_send(Actor& from, int dst, Message m) override {
     send_from(from, dst, std::move(m));
@@ -339,6 +409,14 @@ class Engine final : public Transport {
   std::uint64_t total_messages_ = 0;
   Time now_ = 0;
   bool running_ = false;
+  // Shard state (see configure_shard; inert in unsharded engines).
+  int id_base_ = 0;
+  int global_peers_ = -1;
+  std::vector<RemoteSend> remote_out_;
+  /// One-shot guards: the windowed sharded driver calls run() thousands of
+  /// times per simulation, so start wakes and fault-plan events must be
+  /// scheduled exactly once, not per call.
+  bool startup_scheduled_ = false;
   // Fault injection (inactive by default; every hot-path probe is one
   // predicted-not-taken branch, and zero-fault runs take none of them).
   FaultInjector injector_;

@@ -121,6 +121,15 @@ class EventQueue {
 
   const Event& peek() const { return slots_[heap_.front().slot]; }
 
+  /// Bytes of heap storage behind the queue. Tracks the slab's high-water
+  /// mark (the slab never shrinks) — the honest number for the
+  /// bytes-per-peer accounting in docs/SCALING.md.
+  std::size_t memory_bytes() const {
+    return heap_.capacity() * sizeof(Entry) +
+           slots_.capacity() * sizeof(Event) +
+           free_.capacity() * sizeof(std::uint32_t);
+  }
+
  private:
   /// Heap entry: the deterministic ordering key plus the slab slot holding
   /// the full Event. Trivially copyable by design — sifts copy these.

@@ -1,0 +1,279 @@
+#include "simnet/sharded_engine.hpp"
+
+#include <algorithm>
+
+namespace olb::sim {
+
+ShardedEngine::ShardedEngine(NetworkConfig config, std::uint64_t seed,
+                             int num_peers, int num_shards, bool threaded) {
+  OLB_CHECK(num_peers >= 1);
+  OLB_CHECK(num_shards >= 1);
+  int k = std::min(num_shards, num_peers);
+  bool cluster_aligned = false;
+  if (config.cluster_capacity > 0) {
+    // Shards own whole clusters: every cross-shard link is then a
+    // cross-cluster link, which buys the large (inter-cluster) lookahead.
+    const int clusters =
+        (num_peers + config.cluster_capacity - 1) / config.cluster_capacity;
+    k = std::min(k, clusters);
+    cluster_aligned = true;
+    bases_.resize(static_cast<std::size_t>(k) + 1);
+    for (int s = 0; s <= k; ++s) {
+      const auto cluster_begin =
+          static_cast<long long>(clusters) * s / k;
+      bases_[static_cast<std::size_t>(s)] = static_cast<int>(
+          std::min<long long>(cluster_begin * config.cluster_capacity,
+                              num_peers));
+    }
+  } else {
+    // Single uniform cluster: even peer split, intra-latency lookahead.
+    bases_.resize(static_cast<std::size_t>(k) + 1);
+    for (int s = 0; s <= k; ++s) {
+      bases_[static_cast<std::size_t>(s)] =
+          static_cast<int>(static_cast<long long>(num_peers) * s / k);
+    }
+  }
+  lookahead_ = std::max<Time>(
+      1, cluster_aligned && k >= 2 ? config.inter_latency : config.intra_latency);
+  threaded_ = threaded && k >= 2;
+  engines_.reserve(static_cast<std::size_t>(k));
+  for (int s = 0; s < k; ++s) {
+    auto engine = std::make_unique<Engine>(config, seed);
+    engine->configure_shard(bases_[static_cast<std::size_t>(s)], num_peers);
+    engines_.push_back(std::move(engine));
+  }
+}
+
+ShardedEngine::~ShardedEngine() { stop_workers(); }
+
+int ShardedEngine::shard_of(int id) const {
+  OLB_CHECK(id >= 0 && id < bases_.back());
+  const auto it = std::upper_bound(bases_.begin(), bases_.end(), id);
+  return static_cast<int>(it - bases_.begin()) - 1;
+}
+
+int ShardedEngine::add_actor(std::unique_ptr<Actor> actor) {
+  const int id = next_id_++;
+  OLB_CHECK_MSG(id < bases_.back(), "more actors than the declared peer count");
+  const int got = owner(id).add_actor(std::move(actor));
+  OLB_CHECK(got == id);  // global add order fills each shard contiguously
+  return id;
+}
+
+Engine::RunResult ShardedEngine::run(Time time_limit,
+                                     std::uint64_t event_limit) {
+  if (num_shards() == 1) {
+    // Identity path: one Engine over the whole peer range, one run() call —
+    // byte-identical to the unsharded simulator (CI enforces this).
+    return engines_[0]->run(time_limit, event_limit);
+  }
+  Engine::RunResult total;
+  std::uint64_t remaining = event_limit;
+  window_results_.assign(engines_.size(), {});
+  // Seed every shard's start wakes up front: the window base below is the
+  // min of next_event_time() across shards, which must already see them.
+  for (auto& e : engines_) e->schedule_startup();
+  if (threaded_ && workers_.empty()) start_workers();
+  for (;;) {
+    drain_outboxes();
+    Time t = kTimeMax;
+    for (const auto& e : engines_) t = std::min(t, e->next_event_time());
+    if (t == kTimeMax) {
+      total.quiesced = true;
+      break;
+    }
+    if (t > time_limit || remaining == 0) break;
+    window_end_ = std::min(time_limit, t + (lookahead_ - 1));
+    window_budget_ = remaining;
+    if (threaded_) {
+      std::unique_lock<std::mutex> lk(mu_);
+      pending_ = num_shards();
+      ++generation_;
+      work_cv_.notify_all();
+      done_cv_.wait(lk, [this] { return pending_ == 0; });
+    } else {
+      for (int s = 0; s < num_shards(); ++s) run_shard_window(s);
+    }
+    ++windows_;
+    std::uint64_t window_events = 0;
+    for (const Engine::RunResult& r : window_results_) {
+      window_events += r.events;
+      total.end_time = std::max(total.end_time, r.end_time);
+    }
+    total.events += window_events;
+    remaining -= std::min(remaining, window_events);
+  }
+  return total;
+}
+
+void ShardedEngine::run_shard_window(int s) {
+  window_results_[static_cast<std::size_t>(s)] =
+      engines_[static_cast<std::size_t>(s)]->run(window_end_, window_budget_);
+}
+
+void ShardedEngine::drain_outboxes() {
+  // Shard-id order, each outbox in send order: the deterministic
+  // cross-shard FIFO. inject_arrival stamps the destination's own
+  // insertion sequence, so delivery order is exactly this drain order.
+  for (auto& e : engines_) {
+    auto& out = e->remote_outbox();
+    for (Engine::RemoteSend& rs : out) {
+      owner(rs.msg.dst).inject_arrival(std::move(rs.msg), rs.at);
+    }
+    out.clear();
+  }
+}
+
+void ShardedEngine::start_workers() {
+  workers_.reserve(engines_.size());
+  for (int s = 0; s < num_shards(); ++s) {
+    workers_.emplace_back([this, s] {
+      std::uint64_t seen = 0;
+      for (;;) {
+        std::unique_lock<std::mutex> lk(mu_);
+        work_cv_.wait(lk, [&] { return shutdown_ || generation_ != seen; });
+        if (shutdown_) return;
+        seen = generation_;
+        lk.unlock();
+        run_shard_window(s);
+        lk.lock();
+        if (--pending_ == 0) done_cv_.notify_one();
+      }
+    });
+  }
+}
+
+void ShardedEngine::stop_workers() {
+  if (workers_.empty()) return;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+  workers_.clear();
+  shutdown_ = false;
+}
+
+Time ShardedEngine::now() const {
+  Time t = 0;
+  for (const auto& e : engines_) t = std::max(t, e->now());
+  return t;
+}
+
+std::uint64_t ShardedEngine::total_messages() const {
+  std::uint64_t total = 0;
+  for (const auto& e : engines_) total += e->total_messages();
+  return total;
+}
+
+std::uint64_t ShardedEngine::total_sent_of_type(int type) const {
+  std::uint64_t total = 0;
+  for (const auto& e : engines_) total += e->total_sent_of_type(type);
+  return total;
+}
+
+const std::vector<Time>& ShardedEngine::busy_histogram() const {
+  merged_busy_.clear();
+  for (const auto& e : engines_) {
+    const std::vector<Time>& h = e->busy_histogram();
+    if (h.size() > merged_busy_.size()) merged_busy_.resize(h.size(), 0);
+    for (std::size_t i = 0; i < h.size(); ++i) merged_busy_[i] += h[i];
+  }
+  return merged_busy_;
+}
+
+void ShardedEngine::enable_queue_delay_stats() {
+  for (auto& e : engines_) e->enable_queue_delay_stats();
+}
+
+Time ShardedEngine::queueing_delay_max() const {
+  Time m = 0;
+  for (const auto& e : engines_) m = std::max(m, e->queueing_delay_max());
+  return m;
+}
+
+double ShardedEngine::queueing_delay_mean() const {
+  double sum = 0.0;
+  std::uint64_t samples = 0;
+  for (const auto& e : engines_) {
+    sum += e->queueing_delay_mean() *
+           static_cast<double>(e->queueing_delay_samples());
+    samples += e->queueing_delay_samples();
+  }
+  return samples > 0 ? sum / static_cast<double>(samples) : 0.0;
+}
+
+std::uint64_t ShardedEngine::msgs_dropped() const {
+  std::uint64_t total = 0;
+  for (const auto& e : engines_) total += e->msgs_dropped();
+  return total;
+}
+
+std::uint64_t ShardedEngine::msgs_duplicated() const {
+  std::uint64_t total = 0;
+  for (const auto& e : engines_) total += e->msgs_duplicated();
+  return total;
+}
+
+std::uint64_t ShardedEngine::latency_spikes() const {
+  std::uint64_t total = 0;
+  for (const auto& e : engines_) total += e->latency_spikes();
+  return total;
+}
+
+std::uint64_t ShardedEngine::work_bounced() const {
+  std::uint64_t total = 0;
+  for (const auto& e : engines_) total += e->work_bounced();
+  return total;
+}
+
+int ShardedEngine::crashes_applied() const {
+  int total = 0;
+  for (const auto& e : engines_) total += e->crashes_applied();
+  return total;
+}
+
+double ShardedEngine::work_lost_units() const {
+  double total = 0.0;
+  for (const auto& e : engines_) total += e->work_lost_units();
+  return total;
+}
+
+void ShardedEngine::set_tracer(trace::TraceSink* tracer) {
+  OLB_CHECK_MSG(tracer == nullptr || num_shards() == 1,
+                "tracing requires a single shard (one global event order)");
+  engines_[0]->set_tracer(tracer);
+}
+
+void ShardedEngine::set_metrics(metrics::MetricsHub* hub) {
+  OLB_CHECK_MSG(hub == nullptr || num_shards() == 1,
+                "live metrics require a single shard");
+  engines_[0]->set_metrics(hub);
+}
+
+void ShardedEngine::set_faults(const FaultPlan& plan) {
+  OLB_CHECK_MSG(num_shards() == 1,
+                "fault injection requires a single shard");
+  engines_[0]->set_faults(plan);
+}
+
+void ShardedEngine::set_perturbation(const SchedulePerturbation& p) {
+  OLB_CHECK_MSG(!p.enabled() || num_shards() == 1,
+                "schedule perturbation requires a single shard");
+  engines_[0]->set_perturbation(p);
+}
+
+void ShardedEngine::set_planted_payload_drop(int nth) {
+  OLB_CHECK_MSG(nth == 0 || num_shards() == 1,
+                "bug plants require a single shard");
+  engines_[0]->set_planted_payload_drop(nth);
+}
+
+std::size_t ShardedEngine::queue_memory_bytes() const {
+  std::size_t total = 0;
+  for (const auto& e : engines_) total += e->queue_memory_bytes();
+  return total;
+}
+
+}  // namespace olb::sim

@@ -1,0 +1,177 @@
+// Sharded discrete-event simulation: k Engines, conservative lookahead.
+//
+// One Engine comfortably simulates ~10^3..10^4 peers; the scale ladder in
+// the paper's Fig. 5 extension wants 10^5..10^6. ShardedEngine splits the
+// peer range into contiguous shards — aligned to cluster boundaries when the
+// topology has them — and gives each shard its own Engine and event queue.
+// Shards synchronise with the classic conservative-window protocol
+// (Chandy/Misra/Bryant flavoured, barrier-stepped):
+//
+//   T   := min over shards of the earliest pending event time
+//   L   := lookahead = the minimum base latency of any cross-shard link
+//   run every shard through the window [T, T + L), i.e. time_limit T + L - 1
+//   drain cross-shard outboxes into the destination shards, repeat
+//
+// Safety: a message sent at time t >= T arrives at t + latency >= T + L,
+// which is strictly after the window, so injecting arrivals only at window
+// barriers can never place an event in a shard's past. The engines assert
+// exactly that (Engine::inject_arrival).
+//
+// When every shard boundary coincides with a cluster boundary, every
+// cross-shard link is a cross-cluster link and L is the inter-cluster
+// latency (200us under the paper topology — thousands of events per peer
+// window at realistic loads). Otherwise L falls back to the intra-cluster
+// latency, which lower-bounds every link.
+//
+// Determinism: within a window shards share nothing, and the barrier drains
+// outboxes in shard-id order (each a FIFO), stamping the destination
+// engine's own insertion sequence — so the threaded execution is
+// bit-identical to running the shards one after another. A run is still a
+// pure function of (actors, config, seed, shard count).
+//
+// Identity: with a single shard there is exactly one Engine, configured over
+// the whole peer range, and run() forwards to it verbatim — byte-identical
+// timelines to the unsharded engine, which CI enforces on pinned seeds.
+// With k >= 2 the timeline is deterministic but *different* (each shard owns
+// a jitter RNG stream), so only schedule-independent outputs — e.g. exact
+// UTS unit counts — are comparable across shard counts.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "simnet/engine.hpp"
+
+namespace olb::sim {
+
+class ShardedEngine {
+ public:
+  /// Splits `num_peers` into (at most) `num_shards` contiguous shards.
+  /// When the topology has clusters, shards own whole clusters and the
+  /// shard count is clamped to the cluster count; use num_shards() for the
+  /// effective value. `threaded` selects the worker-pool execution path
+  /// (identical results either way; the serial path exists for tests and
+  /// for single-shard runs, which bypass the window loop entirely).
+  ShardedEngine(NetworkConfig config, std::uint64_t seed, int num_peers,
+                int num_shards, bool threaded = true);
+  ~ShardedEngine();
+
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  int num_shards() const { return static_cast<int>(engines_.size()); }
+  Time lookahead() const { return lookahead_; }
+  int shard_base(int s) const { return bases_[static_cast<std::size_t>(s)]; }
+  int shard_of(int id) const;
+  Engine& shard(int s) { return *engines_[static_cast<std::size_t>(s)]; }
+
+  /// Mirrors Engine::add_actor: ids are dense 0..num_peers-1 in add order,
+  /// routed to the owning shard. Exactly `num_peers` actors must be added.
+  int add_actor(std::unique_ptr<Actor> actor);
+  int num_actors() const { return next_id_; }
+  Actor& actor(int id) { return owner(id).actor(id); }
+  const ActorStats& stats(int id) const { return owner(id).stats(id); }
+
+  /// Runs the conservative-window loop until every shard quiesces or a
+  /// limit trips. `event_limit` is enforced per window — each shard's
+  /// window is capped by the budget remaining at the window barrier, so a
+  /// k-shard run can overshoot the limit by at most a factor of k (it is a
+  /// runaway backstop, not an exact meter).
+  Engine::RunResult run(Time time_limit = kTimeMax,
+                        std::uint64_t event_limit = ~std::uint64_t{0});
+
+  /// Number of conservative windows executed so far (1 window == 1 barrier).
+  std::uint64_t windows_run() const { return windows_; }
+
+  // --- aggregated Engine mirrors (the lb driver reads these; see
+  // driver.cpp's templated metric tail) ---
+  Time now() const;
+  std::uint64_t total_messages() const;
+  std::uint64_t total_sent_of_type(int type) const;
+  /// Bucket-wise sum of the per-shard busy histograms (same kBusyBucket).
+  const std::vector<Time>& busy_histogram() const;
+  void enable_queue_delay_stats();
+  Time queueing_delay_max() const;
+  double queueing_delay_mean() const;
+  std::uint64_t msgs_dropped() const;
+  std::uint64_t msgs_duplicated() const;
+  std::uint64_t latency_spikes() const;
+  std::uint64_t work_bounced() const;
+  int crashes_applied() const;
+  double work_lost_units() const;
+  bool peer_crashed(int id) const { return owner(id).peer_crashed(id); }
+  const FaultPlan& fault_plan() const { return engines_[0]->fault_plan(); }
+
+  // --- single-shard-only features ---
+  // Tracing, metrics, faults, perturbation and bug plants all assume one
+  // global event order (or per-pair link state sized to the local actor
+  // count), so the driver declines them for k >= 2; the k == 1 forwarding
+  // keeps the CI byte-identity gate honest (shards=1 runs carry the full
+  // instrument set of the unsharded engine).
+  void set_tracer(trace::TraceSink* tracer);
+  trace::TraceSink* tracer() const { return engines_[0]->tracer(); }
+  void set_metrics(metrics::MetricsHub* hub);
+  void set_faults(const FaultPlan& plan);
+  void set_perturbation(const SchedulePerturbation& p);
+  void set_planted_payload_drop(int nth);
+
+  /// Bytes of heap memory behind the event queues and remote outboxes —
+  /// the simulator's own share of the bytes-per-peer budget.
+  std::size_t queue_memory_bytes() const;
+
+  /// Lifecycle pass-throughs (no-ops on the simulator; kept so the driver's
+  /// templated run path treats both engine types uniformly).
+  void transport_start() {
+    for (auto& e : engines_) e->transport_start();
+  }
+  void transport_shutdown() {
+    for (auto& e : engines_) e->transport_shutdown();
+  }
+
+ private:
+  Engine& owner(int id) { return *engines_[static_cast<std::size_t>(shard_of(id))]; }
+  const Engine& owner(int id) const {
+    return *engines_[static_cast<std::size_t>(shard_of(id))];
+  }
+
+  /// Moves every shard's remote outbox into the destination engines, in
+  /// shard-id order (the deterministic cross-shard FIFO).
+  void drain_outboxes();
+
+  /// Runs shard s through the current window. Called from the coordinator
+  /// (serial mode) or a pinned worker thread (threaded mode).
+  void run_shard_window(int s);
+
+  void start_workers();
+  void stop_workers();
+
+  std::vector<int> bases_;  ///< shard s owns global ids [bases_[s], bases_[s+1])
+  Time lookahead_ = 0;
+  std::vector<std::unique_ptr<Engine>> engines_;
+  int next_id_ = 0;
+  std::uint64_t windows_ = 0;
+  bool threaded_ = false;
+
+  // Window state shared with the worker pool (all barrier-synchronised;
+  // workers only touch their own engine between barriers).
+  Time window_end_ = 0;
+  std::uint64_t window_budget_ = 0;
+  std::vector<Engine::RunResult> window_results_;
+
+  // Worker pool: one thread per shard, stepped by a generation counter.
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t generation_ = 0;
+  int pending_ = 0;
+  bool shutdown_ = false;
+
+  mutable std::vector<Time> merged_busy_;  ///< cache for busy_histogram()
+};
+
+}  // namespace olb::sim

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Checks that every relative markdown link in the repo's docs resolves.
+
+Scans the given files (default: *.md at the repo root plus docs/*.md) for
+inline links/images `[text](target)` and reference definitions
+`[label]: target`, and verifies that every non-URL target exists relative
+to the containing file. Anchors (`#...`) and external schemes are skipped;
+an optional `#fragment` on a local path is stripped before the check.
+
+No dependencies beyond the standard library — runnable locally and in CI:
+
+    python3 tools/check_doc_links.py
+    python3 tools/check_doc_links.py README.md docs/SCALING.md
+"""
+import re
+import sys
+from pathlib import Path
+
+INLINE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+REFDEF = re.compile(r"^\[[^\]]+\]:\s+(\S+)", re.M)
+SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def targets(text):
+    for m in INLINE.finditer(text):
+        yield m.group(1)
+    for m in REFDEF.finditer(text):
+        yield m.group(1)
+
+
+def check(path):
+    bad = []
+    text = path.read_text(encoding="utf-8", errors="replace")
+    for target in targets(text):
+        if target.startswith(SCHEMES) or target.startswith("#"):
+            continue
+        local = target.split("#", 1)[0]
+        if not local:
+            continue
+        if not (path.parent / local).exists():
+            bad.append((path, target))
+    return bad
+
+
+def main(argv):
+    root = Path(__file__).resolve().parent.parent
+    files = [Path(a) for a in argv[1:]]
+    if not files:
+        files = sorted(root.glob("*.md")) + sorted(root.glob("docs/*.md"))
+    broken = []
+    for f in files:
+        broken.extend(check(f))
+    for path, target in broken:
+        print(f"BROKEN LINK: {path}: {target}")
+    print(f"checked {len(files)} files: "
+          f"{'FAIL' if broken else 'ok'} ({len(broken)} broken)")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -42,6 +42,7 @@
 #include "runtime/runtime.hpp"
 #include "simnet/engine.hpp"
 #include "support/check.hpp"
+#include "support/meminfo.hpp"
 #include "support/stats.hpp"
 
 using namespace olb;
@@ -288,6 +289,58 @@ double threads_rate(int threads, std::uint64_t chunk, std::uint32_t uts_seed,
   return static_cast<double>(metrics.total_units) / metrics.done_seconds;
 }
 
+/// One sharded large-n run (the docs/SCALING.md regime): BTD over 10^5 peers
+/// on the conservatively-windowed engine. Gated — the full suite runs it
+/// once (not interleaved; a rep costs ~half a minute), smoke skips it.
+/// Beyond the nodes/s rate it captures the scale fingerprint the playbook
+/// budgets against: effective shard count, window count, peak RSS and bytes
+/// per peer, all stamped into the JSON's "scale" object.
+struct ScaleInfo {
+  int peers = 0;
+  int shards_requested = 0;
+  int shards = 0;  ///< effective (cluster alignment may clamp the request)
+  std::uint64_t windows = 0;
+  std::uint64_t nodes = 0;
+  double wall_seconds = 0.0;
+  double sim_seconds = 0.0;
+  std::uint64_t rss_peak_bytes = 0;
+  double bytes_per_peer = 0.0;
+};
+
+double scale_rate(int peers, int shards, std::uint32_t uts_seed, int b0,
+                  double q, ScaleInfo* info) {
+  auto workload = make_uts(uts_seed, b0, q);
+  auto config = uts_config(lb::Strategy::kOverlayBTD, peers, 1);
+  config.backend = lb::Backend::kSim;
+  config.sim_shards = shards;
+  if (peers > 1000) {
+    // Large-n pacing (docs/SCALING.md): stretch the idle-retry timers in
+    // proportion to n, or termination is a request storm. Same rule as
+    // fig5_scalability's --scale-pacing.
+    const auto pace = static_cast<sim::Time>(peers / 1000);
+    config.overlay.retry_delay *= pace;
+    config.overlay.bridge_patience *= pace;
+    config.limits.event_limit = 4'000'000'000ull;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto metrics = lb::run_distributed(*workload, config);
+  const double wall = wall_since(t0);
+  OLB_CHECK_MSG(metrics.ok, "perf_lab scale slice did not terminate");
+  if (info != nullptr) {
+    info->peers = peers;
+    info->shards_requested = shards;
+    info->shards = metrics.sim_shards;
+    info->windows = metrics.sim_windows;
+    info->nodes = metrics.total_units;
+    info->wall_seconds = wall;
+    info->sim_seconds = metrics.exec_seconds;
+    info->rss_peak_bytes = support::peak_rss_bytes();
+    info->bytes_per_peer = static_cast<double>(info->rss_peak_bytes) /
+                           static_cast<double>(peers);
+  }
+  return static_cast<double>(metrics.total_units) / wall;
+}
+
 double mailbox_rate(std::uint64_t msgs) {
   // The production path: nodes come from the producer's bounded pool and
   // are recycled back to it by the consumer (ThreadNet does exactly this).
@@ -332,7 +385,8 @@ struct MetricResult {
 // ------------------------------------------------------------------ output ---
 
 void write_json(const std::string& path, const std::string& suite, int reps,
-                const std::string& sha, const std::vector<MetricResult>& results) {
+                const std::string& sha, const std::vector<MetricResult>& results,
+                const ScaleInfo* scale) {
   std::ofstream out(path);
   OLB_CHECK_MSG(out.good(), "cannot open --json output path");
   out << "{\n";
@@ -347,6 +401,19 @@ void write_json(const std::string& path, const std::string& suite, int reps,
   out << "    \"governor\": \"" << json_escape(scaling_governor()) << "\",\n";
   out << "    \"compiler\": \"" << json_escape(__VERSION__) << "\"\n";
   out << "  },\n";
+  if (scale != nullptr) {
+    // The docs/SCALING.md fingerprint: shard count and per-peer memory of
+    // the gated large-n slice. Absent when the slice did not run (smoke).
+    out << "  \"scale\": {\"peers\": " << scale->peers
+        << ", \"shards\": " << scale->shards
+        << ", \"shards_requested\": " << scale->shards_requested
+        << ", \"windows\": " << scale->windows
+        << ", \"nodes\": " << scale->nodes
+        << ", \"wall_seconds\": " << scale->wall_seconds
+        << ", \"sim_seconds\": " << scale->sim_seconds
+        << ", \"rss_peak_bytes\": " << scale->rss_peak_bytes
+        << ", \"bytes_per_peer\": " << scale->bytes_per_peer << "},\n";
+  }
   out << "  \"results\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const MetricResult& r = results[i];
@@ -513,7 +580,14 @@ int main(int argc, char** argv) {
       .define("rt-uts-seed", "1", "UTS root seed of the runtime slice")
       .define("rt-uts-b0", "0", "UTS b0 of the runtime slice (0 = suite default)")
       .define("rt-uts-q", "0.4995", "UTS q of the runtime slice")
-      .define("mailbox-msgs", "0", "messages per mailbox rep (0 = suite default)");
+      .define("mailbox-msgs", "0", "messages per mailbox rep (0 = suite default)")
+      .define("scale-peers", "-1",
+              "peers for the sharded large-n slice (-1 = suite default: "
+              "100000 full / off for smoke; 0 = off)")
+      .define("scale-shards", "8", "event-queue shards for the large-n slice")
+      .define("scale-uts-seed", "1", "UTS root seed of the large-n slice")
+      .define("scale-uts-b0", "2000", "UTS b0 of the large-n slice")
+      .define("scale-uts-q", "0.49995", "UTS q of the large-n slice");
   if (!flags.parse(argc, argv)) return 0;
 
   const std::string suite = flags.get("suite");
@@ -532,6 +606,9 @@ int main(int argc, char** argv) {
   const int rt_b0 = static_cast<int>(defaulted("rt-uts-b0", 2000, 600));
   const auto mailbox_msgs =
       static_cast<std::uint64_t>(defaulted("mailbox-msgs", 1000000, 200000));
+  const std::int64_t scale_flag = flags.get_int("scale-peers");
+  const int scale_peers =
+      static_cast<int>(scale_flag >= 0 ? scale_flag : (smoke ? 0 : 100000));
 
   std::uint64_t sim_nodes = 0, rt_nodes = 0;
   std::vector<SuiteItem> items;
@@ -588,6 +665,32 @@ int main(int argc, char** argv) {
     table.add_row({r.name, r.unit, Table::cell(r.best, 0), Table::cell(r.p50, 0),
                    Table::cell(spread, 1)});
   }
+  // Gated large-n slice: one shot after the interleave (a rep is ~half a
+  // minute at n = 10^5, too heavy to round-robin with the micros).
+  ScaleInfo scale;
+  if (scale_peers > 0) {
+    const double rate = scale_rate(
+        scale_peers, static_cast<int>(flags.get_int("scale-shards")),
+        static_cast<std::uint32_t>(flags.get_int("scale-uts-seed")),
+        static_cast<int>(flags.get_int("scale-uts-b0")),
+        flags.get_double("scale-uts-q"), &scale);
+    MetricResult r;
+    r.name = "sim_sharded_scale";
+    r.unit = "nodes/s";
+    r.best = r.p50 = rate;
+    r.reps = {rate};
+    results.push_back(r);
+    table.add_row({r.name, r.unit, Table::cell(r.best, 0), Table::cell(r.p50, 0),
+                   Table::cell(0.0, 1)});
+    std::printf("# scale slice: n=%d shards=%d (requested %d) windows=%llu "
+                "wall=%.1fs rss_peak=%.1fMB bytes/peer=%.0f\n",
+                scale.peers, scale.shards, scale.shards_requested,
+                static_cast<unsigned long long>(scale.windows),
+                scale.wall_seconds,
+                static_cast<double>(scale.rss_peak_bytes) / (1024.0 * 1024.0),
+                scale.bytes_per_peer);
+  }
+
   std::printf("\n");
   table.print(std::cout);
   std::printf("\n# sim slice: %llu nodes; runtime slice: %llu nodes\n",
@@ -596,7 +699,8 @@ int main(int argc, char** argv) {
 
   const std::string json_path = flags.get("json");
   if (!json_path.empty()) {
-    write_json(json_path, suite, reps, sha, results);
+    write_json(json_path, suite, reps, sha, results,
+               scale_peers > 0 ? &scale : nullptr);
     std::printf("# wrote %s\n", json_path.c_str());
   }
   return 0;
